@@ -1,0 +1,32 @@
+//! Wall-clock criterion benchmark of the five assembly variants (serial),
+//! the native companion to the modelled Table I/II: the same B → RSPR
+//! ordering must show up in real execution on the host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use alya_bench::case::Case;
+use alya_core::nut::compute_nu_t;
+use alya_core::{assemble_serial, Variant};
+
+fn bench_variants(c: &mut Criterion) {
+    let case = Case::bolund(20_000);
+    let nut = compute_nu_t(&case.input());
+    let mut input = case.input();
+    input.nu_t = Some(&nut);
+    let ne = case.mesh.num_elements() as u64;
+
+    let mut group = c.benchmark_group("assembly_serial");
+    group.throughput(Throughput::Elements(ne));
+    group.sample_size(10);
+    for variant in Variant::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.name()),
+            &variant,
+            |b, &v| b.iter(|| assemble_serial(v, &input)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

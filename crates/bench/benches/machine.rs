@@ -1,0 +1,61 @@
+//! Performance-machine substrate benchmarks: cache-simulation throughput
+//! and register-allocation speed — these bound how large a sampled GPU/CPU
+//! simulation stays practical.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use alya_machine::cache::{AccessKind, CacheSim, Replacement};
+use alya_machine::{Event, RegisterAllocator};
+
+fn bench_machine(c: &mut Criterion) {
+    // Cache simulation on a pseudo-random stream.
+    let stream: Vec<u64> = {
+        let mut s = 0xDEADBEEFu64;
+        (0..100_000)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (s >> 16) % (16 << 20)
+            })
+            .collect()
+    };
+    let mut group = c.benchmark_group("cache_sim");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.sample_size(20);
+    for (name, policy) in [("lru", Replacement::Lru), ("random", Replacement::Random)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cache =
+                    CacheSim::new(1 << 20, 32, 16).with_replacement(policy);
+                for &a in &stream {
+                    cache.access(a, AccessKind::Load, None);
+                }
+                cache.stats().misses()
+            })
+        });
+    }
+    group.finish();
+
+    // Register allocation over a synthetic kernel-sized def/use stream.
+    let events: Vec<Event> = {
+        let mut ev = Vec::new();
+        for round in 0..200u32 {
+            for v in 0..40 {
+                ev.push(Event::Def(round * 40 + v));
+            }
+            for v in 0..40 {
+                ev.push(Event::Use(round * 40 + v));
+            }
+        }
+        ev
+    };
+    let mut group = c.benchmark_group("regalloc");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.sample_size(20);
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| RegisterAllocator::new(32).allocate(&events).spilled_values)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

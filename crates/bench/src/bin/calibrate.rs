@@ -1,0 +1,151 @@
+//! Model calibration check, mirroring the paper's reference [12]
+//! (gpu-benches): run Scale- and Triad-style streaming microkernels plus a
+//! dependent-chain latency kernel through the GPU model, and the
+//! likwid-bench-style load/peakflops kernels through the CPU model, and
+//! compare against the machine figures the paper quotes.
+//!
+//! Usage: `calibrate` (self-contained).
+
+use alya_bench::report::{num, Table};
+use alya_machine::cpu::CpuModel;
+use alya_machine::gpu::{GpuModel, RegisterDemand};
+use alya_machine::spec::{CpuSpec, GpuSpec};
+use alya_machine::Event;
+
+fn main() {
+    let spec = GpuSpec::a100_40gb();
+    println!("GPU model calibration — {} (paper machine figures in brackets)\n", spec.name);
+
+    let model = GpuModel::new(spec);
+    let n = 1 << 22;
+    let mut t = Table::new(["kernel", "modelled", "reference"]);
+
+    // Scale: b[i] = s * a[i] — the paper's 1381 GB/s bandwidth anchor.
+    let scale = model.execute(
+        "scale",
+        RegisterDemand::Measured { pressure: 8 },
+        n,
+        |e| {
+            vec![
+                Event::GLoad(0x100_0000_0000 + e as u64 * 8),
+                Event::Flop(1),
+                Event::GStore(0x200_0000_0000 + e as u64 * 8),
+            ]
+        },
+    );
+    t.row([
+        "scale bandwidth".to_string(),
+        format!("{} GB/s", num(scale.dram_bw / 1e9)),
+        "[1381 GB/s measured]".to_string(),
+    ]);
+
+    // Triad: a[i] = b[i] + s*c[i] — 3 streams, plenty of MLP.
+    let triad = model.execute(
+        "triad",
+        RegisterDemand::Measured { pressure: 8 },
+        n,
+        |e| {
+            vec![
+                Event::GLoad(0x300_0000_0000 + e as u64 * 8),
+                Event::GLoad(0x400_0000_0000 + e as u64 * 8),
+                Event::Fma(1),
+                Event::GStore(0x500_0000_0000 + e as u64 * 8),
+            ]
+        },
+    );
+    t.row([
+        "triad bandwidth".to_string(),
+        format!("{} GB/s", num(triad.dram_bw / 1e9)),
+        "[~1350 GB/s]".to_string(),
+    ]);
+
+    // Peak FP64: FMA-dense kernel.
+    let peak = model.execute(
+        "peakflops",
+        RegisterDemand::Measured { pressure: 8 },
+        1 << 18,
+        |e| {
+            vec![
+                Event::GLoad(0x600_0000_0000 + e as u64 * 8),
+                Event::Fma(8192),
+                Event::GStore(0x700_0000_0000 + e as u64 * 8),
+            ]
+        },
+    );
+    t.row([
+        "peak FP64".to_string(),
+        format!("{} TF/s", num(peak.gflops / 1e12)),
+        "[9.7 TF/s]".to_string(),
+    ]);
+
+    // Pointer-chase-like dependent loads at minimal occupancy: the latency
+    // floor the baseline variant lives under.
+    // Eight separate coalesced streams, each load consumed before the
+    // next issues — the baseline's MLP≈1 pattern with 8-sector warp
+    // transactions.
+    let chase = model.execute(
+        "dependent-chain",
+        RegisterDemand::Measured { pressure: 114 }, // 255 regs -> 12.5%
+        n,
+        |e| {
+            let mut ev = Vec::new();
+            for k in 0..8u64 {
+                ev.push(Event::GLoad(
+                    0x800_0000_0000 + k * 0x10_0000_0000 + e as u64 * 8,
+                ));
+                ev.push(Event::Fma(1));
+            }
+            ev
+        },
+    );
+    t.row([
+        "dependent-chain BW @12.5% occ".to_string(),
+        format!("{} GB/s", num(chase.dram_bw / 1e9)),
+        "[~608 GB/s (Table II, B)]".to_string(),
+    ]);
+    println!("{}", t.render());
+
+    // CPU side.
+    let cspec = CpuSpec::icelake_8360y();
+    println!("CPU model calibration — {}\n", cspec.name);
+    let mut t = Table::new(["kernel", "modelled", "reference"]);
+    let mut cmodel = CpuModel::new(cspec);
+    cmodel.sample_packs = 64;
+
+    // likwid-bench load: pure streaming reads.
+    let load = cmodel.execute("load", 1 << 22, 16, |p| {
+        let mut ev = Vec::new();
+        for lane in 0..16 {
+            let e = (p * 16 + lane) as u64;
+            ev.push(Event::GLoad(0x100_0000_0000 + e * 8));
+            ev.push(Event::Flop(1));
+        }
+        ev
+    });
+    // Socket bandwidth = 36 cores sharing 179 GB/s; single core is capped
+    // by core_dram_bw.
+    t.row([
+        "load BW (1 core)".to_string(),
+        format!("{} GB/s", num(load.dram_bw_1c / 1e9)),
+        "[<= 13 GB/s/core; 179 GB/s socket]".to_string(),
+    ]);
+
+    let flops = cmodel.execute("peakflops", 1 << 20, 16, |_| {
+        let mut ev = Vec::new();
+        for _ in 0..16 {
+            ev.push(Event::Fma(64));
+        }
+        ev
+    });
+    t.row([
+        "peak FP64 (1 core, 3.4 GHz)".to_string(),
+        format!("{} GF/s", num(flops.gflops_1c / 1e9)),
+        "[109 GF/s hw; model issue-capped at ~54]".to_string(),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "note: the CPU issue model is calibrated to the ~1-IPC sustained rate of\n\
+         the latency-bound FEM kernels (Table I), so a pure-FMA microkernel reads\n\
+         half the hardware peak — the port-limit term alone would give 109 GF/s."
+    );
+}

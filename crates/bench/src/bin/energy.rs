@@ -1,0 +1,93 @@
+//! Reproduces **Section VI**: the energy-per-assembly estimate and the
+//! GPU-vs-CPU efficiency ratio (including the baseline's inversion).
+//!
+//! Usage: `energy [mesh_elems]` (default 40000).
+
+use alya_bench::case::Case;
+use alya_bench::profile::{cpu_report, gpu_report};
+use alya_bench::report::{num, Table};
+use alya_bench::{paper, CALLS_PER_RUNTIME, PAPER_ELEMS};
+use alya_core::nut::compute_nu_t;
+use alya_core::Variant;
+use alya_machine::cpu::CpuModel;
+use alya_machine::energy::{cpu_energy, efficiency_ratio, gpu_energy, PowerSpec};
+use alya_machine::gpu::GpuModel;
+use alya_machine::spec::{CpuSpec, GpuSpec};
+
+fn main() {
+    let elems: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40_000);
+
+    eprintln!("building case (~{elems} tets) and simulating...");
+    let case = Case::bolund(elems);
+    let nut = compute_nu_t(&case.input());
+    let mut input = case.input();
+    input.nu_t = Some(&nut);
+
+    let gpu_model = GpuModel::new(GpuSpec::a100_40gb());
+    let mut cpu_model = CpuModel::new(CpuSpec::icelake_8360y());
+    cpu_model.sample_packs = 96;
+    let power = PowerSpec::alex_fritz();
+
+    // Fastest variants on each target (paper: RSPR on GPU, RSP on CPU at
+    // 71 workers), plus the baseline for the inversion story.
+    let gpu_best = gpu_report(Variant::Rspr, &input, &gpu_model, PAPER_ELEMS);
+    let gpu_base = gpu_report(Variant::B, &input, &gpu_model, PAPER_ELEMS);
+    let cpu_best = cpu_report(Variant::Rsp, &input, &cpu_model, PAPER_ELEMS);
+    let cpu_base = cpu_report(Variant::B, &input, &cpu_model, PAPER_ELEMS);
+
+    let t_gpu_best = gpu_best.runtime * CALLS_PER_RUNTIME;
+    let t_gpu_base = gpu_base.runtime * CALLS_PER_RUNTIME;
+    let t_cpu_best = cpu_model.scale(&cpu_best, PAPER_ELEMS, 71) * CALLS_PER_RUNTIME;
+    let t_cpu_base = cpu_model.scale(&cpu_base, PAPER_ELEMS, 71) * CALLS_PER_RUNTIME;
+
+    println!("Section VI reproduction — energy per assembly\n");
+    println!(
+        "power model: {} W per A100 (incl. host share), {} W per CPU node\n",
+        power.gpu_watts, power.cpu_node_watts
+    );
+
+    let mut t = Table::new(["configuration", "runtime ms", "energy J"]);
+    t.row([
+        "GPU RSPR (fastest)".to_string(),
+        num(t_gpu_best * 1e3),
+        num(gpu_energy(&power, t_gpu_best)),
+    ]);
+    t.row([
+        "CPU node RSP, 71 workers".to_string(),
+        num(t_cpu_best * 1e3),
+        num(cpu_energy(&power, t_cpu_best)),
+    ]);
+    t.row([
+        "GPU B (baseline)".to_string(),
+        num(t_gpu_base * 1e3),
+        num(gpu_energy(&power, t_gpu_base)),
+    ]);
+    t.row([
+        "CPU node B, 71 workers".to_string(),
+        num(t_cpu_base * 1e3),
+        num(cpu_energy(&power, t_cpu_base)),
+    ]);
+    println!("{}", t.render());
+
+    let best_ratio = efficiency_ratio(&power, t_gpu_best, t_cpu_best);
+    let base_ratio = efficiency_ratio(&power, t_gpu_base, t_cpu_base);
+    println!(
+        "optimized: GPU is {best_ratio:.1}x more energy-efficient (paper: ~{:.1}x from {} ms/{} J vs {} ms/{} J)",
+        paper::ENERGY.cpu_joules / paper::ENERGY.gpu_joules,
+        paper::ENERGY.gpu_runtime_s * 1e3,
+        paper::ENERGY.gpu_joules,
+        paper::ENERGY.cpu_runtime_s * 1e3,
+        paper::ENERGY.cpu_joules,
+    );
+    println!(
+        "baseline: ratio {base_ratio:.2} — {} (paper: the GPU was the LESS efficient option)",
+        if base_ratio < 1.0 {
+            "inversion reproduced"
+        } else {
+            "inversion NOT reproduced"
+        }
+    );
+}

@@ -1,0 +1,80 @@
+//! Reproduces **Figure 2**: CPU strong scaling (performance in Melem/s and
+//! wall time vs worker count) for B, RS, RSP, with the turbo-bin kinks and
+//! the perfect-scaling reference extrapolated from 4 workers.
+//!
+//! Usage: `fig2 [mesh_elems] [sample_packs]` (defaults 40000 / 96).
+//! Output: one whitespace-separated row per worker count, gnuplot-ready.
+
+use alya_bench::case::Case;
+use alya_bench::profile::cpu_report;
+use alya_bench::{CALLS_PER_RUNTIME, PAPER_ELEMS};
+use alya_core::nut::compute_nu_t;
+use alya_core::Variant;
+use alya_machine::cpu::CpuModel;
+use alya_machine::spec::CpuSpec;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let elems: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(40_000);
+    let packs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(96);
+
+    eprintln!("building case (~{elems} tets) and simulating variants...");
+    let case = Case::bolund(elems);
+    let nut = compute_nu_t(&case.input());
+    let mut input = case.input();
+    input.nu_t = Some(&nut);
+
+    let mut model = CpuModel::new(CpuSpec::icelake_8360y());
+    model.sample_packs = packs;
+
+    let variants = [Variant::B, Variant::Rs, Variant::Rsp];
+    let reports: Vec<_> = variants
+        .iter()
+        .map(|&v| cpu_report(v, &input, &model, PAPER_ELEMS))
+        .collect();
+
+    println!("# Figure 2 reproduction — CPU strong scaling ({})", model.spec.name);
+    println!(
+        "# {} elements, {} RHS sweeps per runtime; turbo bins: <=17c@3.4GHz, <=32c@3.1GHz, else 2.6GHz",
+        PAPER_ELEMS, CALLS_PER_RUNTIME
+    );
+    println!(
+        "# {:>7} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "workers",
+        "B_Melem/s",
+        "RS_Melem/s",
+        "RSP_Melem/s",
+        "B_ms",
+        "RS_ms",
+        "RSP_ms",
+        "perfect_RSP"
+    );
+
+    // Perfect-scaling line extrapolated from 4 workers (as in the paper).
+    let rsp_4 = model.melems_per_s(&reports[2], PAPER_ELEMS, 4);
+
+    for workers in 1..=71u32 {
+        let me: Vec<f64> = reports
+            .iter()
+            .map(|r| model.melems_per_s(r, PAPER_ELEMS, workers))
+            .collect();
+        let ms: Vec<f64> = reports
+            .iter()
+            .map(|r| model.scale(r, PAPER_ELEMS, workers) * CALLS_PER_RUNTIME * 1e3)
+            .collect();
+        let perfect = rsp_4 / 4.0 * workers as f64;
+        println!(
+            "{:>9} {:>12.2} {:>12.2} {:>12.2} {:>12.1} {:>12.1} {:>12.1} {:>14.2}",
+            workers, me[0], me[1], me[2], ms[0], ms[1], ms[2], perfect
+        );
+    }
+
+    // The paper's kink narrative, verified numerically.
+    let s17 = model.melems_per_s(&reports[2], PAPER_ELEMS, 17) / 17.0;
+    let s18 = model.melems_per_s(&reports[2], PAPER_ELEMS, 18) / 18.0;
+    eprintln!(
+        "per-worker throughput drop at the 17->18 turbo bin: {:.1}% (expect ~{:.1}% = 1 - 3.1/3.4)",
+        (1.0 - s18 / s17) * 100.0,
+        (1.0 - 3.1 / 3.4) * 100.0
+    );
+}

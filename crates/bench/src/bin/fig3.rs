@@ -1,0 +1,88 @@
+//! Reproduces **Figure 3**: the roofline diagram of the GPU variants —
+//! DRAM and L2 arithmetic-intensity points for each variant plus the four
+//! roofs (FP64 peak, instruction-mix roof, DRAM bandwidth, L2 bandwidth).
+//!
+//! Usage: `fig3 [mesh_elems] [sample_sms] [waves]` (defaults 40000 / 4 / 2).
+//! Output: gnuplot-ready point list + sampled roof lines.
+
+use alya_bench::case::Case;
+use alya_bench::profile::gpu_report;
+use alya_bench::{paper, PAPER_ELEMS};
+use alya_core::nut::compute_nu_t;
+use alya_core::Variant;
+use alya_machine::gpu::GpuModel;
+use alya_machine::roofline::{point_from_counters, Roofline, RooflineClass};
+use alya_machine::spec::GpuSpec;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let elems: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(40_000);
+    let sample_sms: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let waves: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+
+    eprintln!("building case (~{elems} tets) and simulating variants...");
+    let case = Case::bolund(elems);
+    let nut = compute_nu_t(&case.input());
+    let mut input = case.input();
+    input.nu_t = Some(&nut);
+
+    let mut model = GpuModel::new(GpuSpec::a100_40gb());
+    model.sample_sms = sample_sms;
+    model.waves = waves;
+    let chart = Roofline::a100(&model.spec);
+
+    println!("# Figure 3 reproduction — A100 roofline");
+    println!(
+        "# roofs: FP64 {:.1} TF/s, mix {:.1} TF/s, DRAM {:.0} GB/s, L2 {:.0} GB/s; knee at {:.2} Flop/B",
+        chart.peak_flops / 1e12,
+        chart.mix_roof / 1e12,
+        chart.dram_bw / 1e9,
+        chart.l2_bw / 1e9,
+        chart.dram_knee()
+    );
+    println!(
+        "# {:>7} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "variant", "AI_dram", "AI_L2", "GFlop/s", "class", "roof_frac"
+    );
+
+    for variant in Variant::ALL {
+        let r = gpu_report(variant, &input, &model, PAPER_ELEMS);
+        let p = point_from_counters(
+            variant.name(),
+            r.flops,
+            r.dram_volume,
+            r.l2_volume,
+            r.gflops,
+        );
+        let class = match chart.classify(p.dram_intensity) {
+            RooflineClass::MemoryBound => "memory-bound",
+            RooflineClass::ComputeBound => "compute-bound",
+        };
+        println!(
+            "{:>9} {:>12.3} {:>12.3} {:>12.1} {:>14} {:>12.2}",
+            p.label,
+            p.dram_intensity,
+            p.l2_intensity,
+            p.flops / 1e9,
+            class,
+            chart.dram_roof_fraction(&p)
+        );
+    }
+
+    println!("\n# paper points (from Table II):");
+    for c in &paper::TABLE2 {
+        let p = point_from_counters(c.label, c.flops, c.dram, c.l2_volume, c.gflops * 1e9);
+        println!(
+            "# {:>7} {:>12.3} {:>12.3} {:>12.1}",
+            p.label,
+            p.dram_intensity,
+            p.l2_intensity,
+            p.flops / 1e9
+        );
+    }
+
+    println!("\n# DRAM roof samples (AI, GFlop/s):");
+    for (ai, perf) in chart.dram_series(0.1, 100.0, 40) {
+        println!("{ai:>10.3} {:>12.1}", perf / 1e9);
+    }
+}

@@ -1,0 +1,64 @@
+//! Reuse-distance diagnosis (extension): the paper's optimization story
+//! retold in stack-distance terms. For each variant's per-thread trace the
+//! binary prints the mean reuse distance, the cold fraction, the working
+//! set needed for 90 % hits, and the analytic LRU miss-ratio curve — the
+//! mechanism-level view behind the cache-effectiveness rows of Table II:
+//! privatization removes the short-distance mass (register-resident now),
+//! specialization removes the long tail (fewer intermediates).
+//!
+//! Usage: `reuse [mesh_elems]` (default 20000).
+
+use alya_bench::case::Case;
+use alya_bench::profile::gpu_thread_trace;
+use alya_bench::report::{num, pct, Table};
+use alya_core::nut::compute_nu_t;
+use alya_core::Variant;
+use alya_machine::reuse::analyze;
+
+fn main() {
+    let elems: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(20_000);
+
+    let case = Case::bolund(elems);
+    let nut = compute_nu_t(&case.input());
+    let mut input = case.input();
+    input.nu_t = Some(&nut);
+
+    println!("reuse-distance diagnosis — one thread's global accesses, 32 B lines\n");
+    let mut t = Table::new([
+        "variant",
+        "accesses",
+        "cold",
+        "mean dist",
+        "lines for 90% hits",
+        "miss@64",
+        "miss@1k",
+        "miss@16k",
+    ]);
+    for variant in Variant::ALL {
+        // Concatenate a handful of threads for a denser stream.
+        let mut events = Vec::new();
+        for thread in 0..8 {
+            events.extend(gpu_thread_trace(variant, &input, thread * 97, 4096));
+        }
+        let h = analyze(&events, 32);
+        t.row([
+            variant.name().to_string(),
+            h.total.to_string(),
+            pct(h.cold as f64 / h.total.max(1) as f64),
+            num(h.mean_distance()),
+            h.capacity_for_miss_ratio(0.10).to_string(),
+            pct(h.lru_miss_ratio(64)),
+            pct(h.lru_miss_ratio(1024)),
+            pct(h.lru_miss_ratio(16 * 1024)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "reading: B re-reads thousands of interleaved intermediates (small mean\n\
+         distance, huge access count) — privatization (P, RSP, RSPR) deletes those\n\
+         accesses outright; what remains is the cold-dominated nodal gather."
+    );
+}

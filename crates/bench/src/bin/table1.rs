@@ -1,0 +1,111 @@
+//! Reproduces **Table I**: CPU performance counters for B, RS, RSP.
+//!
+//! Usage: `table1 [mesh_elems] [sample_packs]` (defaults 40000 / 128).
+
+use alya_bench::case::Case;
+use alya_bench::profile::cpu_report;
+use alya_bench::report::{num, pct, Table};
+use alya_bench::{paper, CALLS_PER_RUNTIME, PAPER_ELEMS};
+use alya_core::nut::compute_nu_t;
+use alya_core::Variant;
+use alya_machine::cpu::CpuModel;
+use alya_machine::spec::CpuSpec;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let elems: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(40_000);
+    let packs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(128);
+
+    eprintln!("building Bolund-like case (~{elems} tets)...");
+    let case = Case::bolund(elems);
+    let nut = compute_nu_t(&case.input());
+    let mut input = case.input();
+    input.nu_t = Some(&nut);
+
+    let mut model = CpuModel::new(CpuSpec::icelake_8360y());
+    model.sample_packs = packs;
+
+    println!("Table I reproduction — CPU ({})", model.spec.name);
+    println!(
+        "mesh: {} tets / {} nodes; runtimes scaled to {} elements x {} RHS sweeps\n",
+        case.mesh.num_elements(),
+        case.mesh.num_nodes(),
+        PAPER_ELEMS,
+        CALLS_PER_RUNTIME
+    );
+
+    let variants = [Variant::B, Variant::Rs, Variant::Rsp];
+    let mut reports = Vec::new();
+    for v in variants {
+        eprintln!("simulating {v}...");
+        reports.push(cpu_report(v, &input, &model, PAPER_ELEMS));
+    }
+
+    let mut t = Table::new(["metric", "B", "RS", "RSP"]);
+    use alya_machine::cpu::CpuReport;
+    macro_rules! push_row {
+        ($name:expr, $f:expr) => {{
+            let f = $f;
+            let mut cells: Vec<String> = vec![$name.to_string()];
+            for r in &reports {
+                cells.push(f(r));
+            }
+            t.row(cells);
+        }};
+    }
+    push_row!("ld/st ops per elem", |r: &CpuReport| num(r.ldst_ops));
+    push_row!("flop per elem", |r: &CpuReport| num(r.flops));
+    push_row!("L1 volume B/elem", |r: &CpuReport| num(r.l1_volume));
+    push_row!("L1 effectiveness", |r: &CpuReport| pct(r.l1_effectiveness));
+    push_row!("L2/L3 volume B/elem", |r: &CpuReport| num(r.l23_volume));
+    push_row!("L2/L3 effectiveness", |r: &CpuReport| pct(
+        r.l23_effectiveness
+    ));
+    push_row!("DRAM volume B/elem", |r: &CpuReport| num(r.dram_volume));
+    push_row!("GFlop/s (1c)", |r: &CpuReport| num(r.gflops_1c / 1e9));
+    push_row!("GB/s (1c)", |r: &CpuReport| num(r.dram_bw_1c / 1e9));
+    push_row!("runtime 1c ms (3 sweeps)", |r: &CpuReport| num(
+        r.runtime_1c * CALLS_PER_RUNTIME * 1e3
+    ));
+    // 71 workers via the scaling model.
+    {
+        let mut cells = vec!["runtime 71c ms (3 sweeps)".to_string()];
+        for r in &reports {
+            let t71 = model.scale(r, PAPER_ELEMS, 71) * CALLS_PER_RUNTIME * 1e3;
+            cells.push(num(t71));
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+
+    println!("paper values:");
+    let mut p = Table::new(["metric", "B", "RS", "RSP"]);
+    let pt = &paper::TABLE1;
+    p.row(std::iter::once("ld/st ops per elem".to_string()).chain(pt.iter().map(|c| num(c.ldst))));
+    p.row(std::iter::once("flop per elem".to_string()).chain(pt.iter().map(|c| num(c.flops))));
+    p.row(
+        std::iter::once("L1 volume B/elem".to_string()).chain(pt.iter().map(|c| num(c.l1_volume))),
+    );
+    p.row(std::iter::once("L1 effectiveness".to_string()).chain(pt.iter().map(|c| pct(c.l1_eff))));
+    p.row(
+        std::iter::once("L2/L3 volume B/elem".to_string())
+            .chain(pt.iter().map(|c| num(c.l23_volume))),
+    );
+    p.row(std::iter::once("DRAM volume B/elem".to_string()).chain(pt.iter().map(|c| num(c.dram))));
+    p.row(std::iter::once("GFlop/s (1c)".to_string()).chain(pt.iter().map(|c| num(c.gflops_1c))));
+    p.row(
+        std::iter::once("runtime 1c ms".to_string())
+            .chain(pt.iter().map(|c| num(c.runtime_1c_ms))),
+    );
+    p.row(
+        std::iter::once("runtime 71c ms".to_string())
+            .chain(pt.iter().map(|c| num(c.runtime_71c_ms))),
+    );
+    println!("{}", p.render());
+
+    println!(
+        "headline: B -> RSP single-core speedup {:.1}x (paper {:.1}x)",
+        reports[0].runtime_1c / reports[2].runtime_1c,
+        paper::TABLE1[0].runtime_1c_ms / paper::TABLE1[2].runtime_1c_ms
+    );
+}

@@ -1,0 +1,104 @@
+//! Reproduces **Table II**: GPU performance counters for the five variants.
+//!
+//! Usage: `table2 [mesh_elems] [sample_sms] [waves]` (defaults 40000 / 4 / 2).
+
+use alya_bench::case::Case;
+use alya_bench::profile::gpu_report;
+use alya_bench::report::{num, pct, Table};
+use alya_bench::{paper, CALLS_PER_RUNTIME, PAPER_ELEMS};
+use alya_core::nut::compute_nu_t;
+use alya_core::Variant;
+use alya_machine::gpu::GpuModel;
+use alya_machine::spec::GpuSpec;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let elems: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(40_000);
+    let sample_sms: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let waves: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+
+    eprintln!("building Bolund-like case (~{elems} tets)...");
+    let case = Case::bolund(elems);
+    let nut = compute_nu_t(&case.input());
+    let mut input = case.input();
+    input.nu_t = Some(&nut);
+
+    let mut model = GpuModel::new(GpuSpec::a100_40gb());
+    model.sample_sms = sample_sms;
+    model.waves = waves;
+
+    println!("Table II reproduction — GPU ({})", model.spec.name);
+    println!(
+        "mesh: {} tets / {} nodes; runtimes scaled to {} elements x {} RHS sweeps\n",
+        case.mesh.num_elements(),
+        case.mesh.num_nodes(),
+        PAPER_ELEMS,
+        CALLS_PER_RUNTIME
+    );
+
+    let mut t = Table::new([
+        "metric", "B", "P", "RS", "RSP", "RSPR",
+    ]);
+    let mut reports = Vec::new();
+    for variant in Variant::ALL {
+        eprintln!("simulating {variant}...");
+        reports.push(gpu_report(variant, &input, &model, PAPER_ELEMS));
+    }
+
+    macro_rules! push_row {
+        ($name:expr, $f:expr) => {{
+            let f = $f;
+            let mut cells: Vec<String> = vec![$name.to_string()];
+            for r in &reports {
+                cells.push(f(r));
+            }
+            t.row(cells);
+        }};
+    }
+    use alya_machine::gpu::GpuReport;
+    push_row!("global ld/st per elem", |r: &GpuReport| num(r.global_ldst));
+    push_row!("local  ld/st per elem", |r: &GpuReport| num(r.local_ldst));
+    push_row!("flop per elem", |r: &GpuReport| num(r.flops));
+    push_row!("L1 volume B/elem", |r: &GpuReport| num(r.l1_volume));
+    push_row!("L1 effectiveness", |r: &GpuReport| pct(r.l1_effectiveness));
+    push_row!("L2 volume B/elem", |r: &GpuReport| num(r.l2_volume));
+    push_row!("L2 effectiveness", |r: &GpuReport| pct(r.l2_effectiveness));
+    push_row!("DRAM volume B/elem", |r: &GpuReport| num(r.dram_volume));
+    push_row!("registers", |r: &GpuReport| r.registers.to_string());
+    push_row!("occupancy", |r: &GpuReport| pct(r.occupancy));
+    push_row!("GFlop/s", |r: &GpuReport| num(r.gflops / 1e9));
+    push_row!("GB/s", |r: &GpuReport| num(r.dram_bw / 1e9));
+    push_row!("runtime ms (3 sweeps)", |r: &GpuReport| num(
+        r.runtime * CALLS_PER_RUNTIME * 1e3
+    ));
+    push_row!("bottleneck", |r: &GpuReport| r.bottleneck.to_string());
+    println!("{}", t.render());
+
+    println!("paper values:");
+    let mut p = Table::new(["metric", "B", "P", "RS", "RSP", "RSPR"]);
+    let pt = &paper::TABLE2;
+    p.row(
+        std::iter::once("global ld/st per elem".to_string())
+            .chain(pt.iter().map(|c| num(c.global_ldst))),
+    );
+    p.row(
+        std::iter::once("local  ld/st per elem".to_string())
+            .chain(pt.iter().map(|c| num(c.local_ldst))),
+    );
+    p.row(std::iter::once("flop per elem".to_string()).chain(pt.iter().map(|c| num(c.flops))));
+    p.row(std::iter::once("DRAM volume B/elem".to_string()).chain(pt.iter().map(|c| num(c.dram))));
+    p.row(
+        std::iter::once("registers".to_string())
+            .chain(pt.iter().map(|c| c.registers.to_string())),
+    );
+    p.row(std::iter::once("GFlop/s".to_string()).chain(pt.iter().map(|c| num(c.gflops))));
+    p.row(std::iter::once("runtime ms".to_string()).chain(pt.iter().map(|c| num(c.runtime_ms))));
+    println!("{}", p.render());
+
+    let speedup = reports[0].runtime / reports[4].runtime;
+    println!(
+        "headline: B -> RSPR speedup {:.1}x (paper: {:.1}x)",
+        speedup,
+        paper::TABLE2[0].runtime_ms / paper::TABLE2[4].runtime_ms
+    );
+}

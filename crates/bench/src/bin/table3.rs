@@ -1,0 +1,139 @@
+//! Reproduces **Table III**: store behaviour of the Listing-3 microkernel
+//! under the three `temp` mappings (global / local / registers).
+//!
+//! Usage: `table3` (no arguments; the microkernel is self-contained).
+
+use alya_bench::paper;
+use alya_bench::report::{num, Table};
+use alya_core::listing3::{trace, TempMapping, ROWLEN};
+use alya_machine::cache::{AccessKind, CacheSim, Replacement};
+use alya_machine::spec::GpuSpec;
+use alya_machine::trace::TraceCounts;
+use alya_machine::{Event, RegisterAllocator};
+
+/// Simulated threads (a few blocks' worth — the test code is tiny).
+const THREADS: usize = 4096;
+const TPB: usize = 128;
+
+struct StoreVolumes {
+    local_stores: u64,
+    global_stores: u64,
+    l2_bytes: f64,
+    dram_bytes: f64,
+}
+
+/// Replays the microkernel for one mapping through an L1+L2 pair with the
+/// local-line retirement semantics and measures per-thread store behaviour.
+fn run(mapping: TempMapping) -> StoreVolumes {
+    let spec = GpuSpec::a100_40gb();
+    let mut l1 = CacheSim::new(spec.l1_bytes, spec.line_bytes, spec.l1_assoc);
+    let mut l2 = CacheSim::new(4 * 1024 * 1024, spec.line_bytes, spec.l2_assoc)
+        .with_replacement(Replacement::Random);
+
+    let mut counts = TraceCounts::default();
+    let mut l2_store_bytes = 0u64;
+    let mut dram_store_bytes = 0u64;
+    let line = spec.line_bytes as u64;
+
+    for block in 0..(THREADS / TPB) as u32 {
+        for t in 0..TPB {
+            let thread = block as usize * TPB + t;
+            let mut ev = trace(mapping, thread, THREADS);
+            if mapping == TempMapping::Registers {
+                ev = RegisterAllocator::new(64).allocate(&ev).events;
+            }
+            let c = TraceCounts::from_events(&ev);
+            counts.global_stores += c.global_stores;
+            counts.local_stores += c.local_stores;
+            // Replay stores through the hierarchy (loads omitted: Table III
+            // reports store traffic).
+            for e in &ev {
+                match *e {
+                    Event::GStore(addr) => {
+                        // Write-through L1, store lands in L2.
+                        l1.write_through(addr);
+                        let o2 = l2.access(addr / line * line, AccessKind::Store, None);
+                        l2_store_bytes += 8;
+                        if o2.writeback.is_some() {
+                            dram_store_bytes += line;
+                        }
+                    }
+                    Event::LStore(slot) => {
+                        // Local memory: write-back in L1, block-owned.
+                        let addr = (1u64 << 48)
+                            + block as u64 * (1 << 24)
+                            + (slot as u64 * TPB as u64 + t as u64) * 8;
+                        let out =
+                            l1.access(addr / line * line, AccessKind::Store, Some(block));
+                        if let Some(wb) = out.writeback {
+                            let o2 =
+                                l2.access(wb, AccessKind::Store, out.writeback_owner);
+                            l2_store_bytes += line;
+                            if o2.writeback.is_some() {
+                                dram_store_bytes += line;
+                            }
+                        }
+                        let _ = out;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Block retires: flush its local L1 lines to L2 (they must leave
+        // the SM) and then invalidate the block's lines everywhere —
+        // retired local data never needs DRAM.
+        for wb in l1.flush() {
+            if wb >= (1 << 48) {
+                let o2 = l2.access(wb, AccessKind::Store, Some(block));
+                l2_store_bytes += line;
+                if o2.writeback.is_some() {
+                    dram_store_bytes += line;
+                }
+            } else {
+                dram_store_bytes += line;
+            }
+        }
+        l2.invalidate_owner(block);
+    }
+    // End of kernel: surviving dirty L2 lines go to DRAM.
+    dram_store_bytes += l2.flush().len() as u64 * line;
+
+    StoreVolumes {
+        local_stores: counts.local_stores / THREADS as u64,
+        global_stores: counts.global_stores / THREADS as u64,
+        l2_bytes: l2_store_bytes as f64 / THREADS as f64,
+        dram_bytes: dram_store_bytes as f64 / THREADS as f64,
+    }
+}
+
+fn main() {
+    println!(
+        "Table III reproduction — Listing 3 ({} rows, {} threads)\n",
+        ROWLEN, THREADS
+    );
+    let mut t = Table::new(["", "global memory", "local memory", "registers"]);
+    let results: Vec<StoreVolumes> = TempMapping::ALL.iter().map(|&m| run(m)).collect();
+
+    t.row(std::iter::once("local store instr".to_string())
+        .chain(results.iter().map(|r| r.local_stores.to_string())));
+    t.row(std::iter::once("global store instr".to_string())
+        .chain(results.iter().map(|r| r.global_stores.to_string())));
+    t.row(std::iter::once("store volume to L2 (B)".to_string())
+        .chain(results.iter().map(|r| num(r.l2_bytes))));
+    t.row(std::iter::once("store volume to DRAM (B)".to_string())
+        .chain(results.iter().map(|r| num(r.dram_bytes))));
+    println!("{}", t.render());
+
+    println!("paper values:");
+    let mut p = Table::new(["", "global memory", "local memory", "registers"]);
+    let pt = &paper::TABLE3;
+    p.row(std::iter::once("local store instr".to_string())
+        .chain(pt.iter().map(|c| c.local_stores.to_string())));
+    p.row(std::iter::once("global store instr".to_string())
+        .chain(pt.iter().map(|c| c.global_stores.to_string())));
+    p.row(std::iter::once("store volume to L2 (B)".to_string())
+        .chain(pt.iter().map(|c| num(c.l2_store_bytes))));
+    p.row(std::iter::once("store volume to DRAM (B)".to_string())
+        .chain(pt.iter().map(|c| num(c.dram_store_bytes))));
+    println!("{}", p.render());
+}

@@ -1,0 +1,246 @@
+//! Published values from the paper, for side-by-side reporting.
+
+/// One column of the paper's Table II (GPU, per element).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperGpu {
+    /// Variant letter.
+    pub label: &'static str,
+    /// Global load/store operations.
+    pub global_ldst: f64,
+    /// Local load/store operations.
+    pub local_ldst: f64,
+    /// Floating-point operations.
+    pub flops: f64,
+    /// L1 volume, bytes (effectiveness in `l1_eff`).
+    pub l1_volume: f64,
+    /// L1 effectiveness.
+    pub l1_eff: f64,
+    /// L2 volume, bytes.
+    pub l2_volume: f64,
+    /// L2 effectiveness.
+    pub l2_eff: f64,
+    /// DRAM volume, bytes.
+    pub dram: f64,
+    /// Registers per thread.
+    pub registers: u32,
+    /// Achieved GFlop/s.
+    pub gflops: f64,
+    /// Achieved GB/s.
+    pub gbs: f64,
+    /// Kernel runtime, ms.
+    pub runtime_ms: f64,
+}
+
+/// Table II as printed in the paper.
+pub const TABLE2: [PaperGpu; 5] = [
+    PaperGpu {
+        label: "B",
+        global_ldst: 6218.0,
+        local_ldst: 24.0,
+        flops: 6293.0,
+        l1_volume: 49936.0,
+        l1_eff: 0.29,
+        l2_volume: 35507.0,
+        l2_eff: 0.34,
+        dram: 23331.0,
+        registers: 255,
+        gflops: 163.0,
+        gbs: 608.0,
+        runtime_ms: 3773.0,
+    },
+    PaperGpu {
+        label: "P",
+        global_ldst: 483.0,
+        local_ldst: 2593.0,
+        flops: 6148.0,
+        l1_volume: 24616.0,
+        l1_eff: 0.03,
+        l2_volume: 23837.0,
+        l2_eff: 0.21,
+        dram: 18721.0,
+        registers: 255,
+        gflops: 393.0,
+        gbs: 1200.0,
+        runtime_ms: 1536.0,
+    },
+    PaperGpu {
+        label: "RS",
+        global_ldst: 960.0,
+        local_ldst: 0.0,
+        flops: 1663.0,
+        l1_volume: 7680.0,
+        l1_eff: 0.60,
+        l2_volume: 3052.0,
+        l2_eff: 0.61,
+        dram: 1170.0,
+        registers: 184,
+        gflops: 829.0,
+        gbs: 583.0,
+        runtime_ms: 197.0,
+    },
+    PaperGpu {
+        label: "RSP",
+        global_ldst: 50.0,
+        local_ldst: 71.0,
+        flops: 1391.0,
+        l1_volume: 968.0,
+        l1_eff: 0.0,
+        l2_volume: 1304.0,
+        l2_eff: 0.66,
+        dram: 442.0,
+        registers: 148,
+        gflops: 2020.0,
+        gbs: 646.0,
+        runtime_ms: 68.0,
+    },
+    PaperGpu {
+        label: "RSPR",
+        global_ldst: 71.0,
+        local_ldst: 30.0,
+        flops: 1333.0,
+        l1_volume: 808.0,
+        l1_eff: 0.0,
+        l2_volume: 968.0,
+        l2_eff: 0.84,
+        dram: 150.0,
+        registers: 128,
+        gflops: 2575.0,
+        gbs: 289.0,
+        runtime_ms: 51.0,
+    },
+];
+
+/// One column of the paper's Table I (CPU, per element).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperCpu {
+    /// Variant letter.
+    pub label: &'static str,
+    /// Load/store operations.
+    pub ldst: f64,
+    /// Floating-point operations.
+    pub flops: f64,
+    /// L1 volume, bytes.
+    pub l1_volume: f64,
+    /// L1 effectiveness.
+    pub l1_eff: f64,
+    /// L2/L3 volume, bytes.
+    pub l23_volume: f64,
+    /// L2/L3 effectiveness.
+    pub l23_eff: f64,
+    /// DRAM volume, bytes.
+    pub dram: f64,
+    /// Single-core GFlop/s.
+    pub gflops_1c: f64,
+    /// Single-core GB/s.
+    pub gbs_1c: f64,
+    /// Single-core runtime, ms.
+    pub runtime_1c_ms: f64,
+    /// 71-worker runtime, ms.
+    pub runtime_71c_ms: f64,
+}
+
+/// Table I as printed in the paper.
+pub const TABLE1: [PaperCpu; 3] = [
+    PaperCpu {
+        label: "B",
+        ldst: 6055.0,
+        flops: 6316.0,
+        l1_volume: 48440.0,
+        l1_eff: 0.74,
+        l23_volume: 12716.0,
+        l23_eff: 0.98,
+        dram: 261.0,
+        gflops_1c: 13.8,
+        gbs_1c: 0.53,
+        runtime_1c_ms: 44047.0,
+        runtime_71c_ms: 785.0,
+    },
+    PaperCpu {
+        label: "RS",
+        ldst: 2516.0,
+        flops: 1760.0,
+        l1_volume: 20128.0,
+        l1_eff: 0.94,
+        l23_volume: 1120.0,
+        l23_eff: 0.80,
+        dram: 218.0,
+        gflops_1c: 11.9,
+        gbs_1c: 1.3,
+        runtime_1c_ms: 15429.0,
+        runtime_71c_ms: 244.0,
+    },
+    PaperCpu {
+        label: "RSP",
+        ldst: 639.0,
+        flops: 1249.0,
+        l1_volume: 5112.0,
+        l1_eff: 0.82,
+        l23_volume: 932.0,
+        l23_eff: 0.74,
+        dram: 241.0,
+        gflops_1c: 14.2,
+        gbs_1c: 2.5,
+        runtime_1c_ms: 8400.0,
+        runtime_71c_ms: 122.0,
+    },
+];
+
+/// One column of Table III (Listing-3 store behaviour, per thread).
+#[derive(Debug, Clone, Copy)]
+pub struct PaperListing3 {
+    /// Mapping name.
+    pub label: &'static str,
+    /// Local store instructions.
+    pub local_stores: u64,
+    /// Global store instructions.
+    pub global_stores: u64,
+    /// Store volume reaching L2, bytes.
+    pub l2_store_bytes: f64,
+    /// Store volume reaching DRAM, bytes.
+    pub dram_store_bytes: f64,
+}
+
+/// Table III as printed in the paper.
+pub const TABLE3: [PaperListing3; 3] = [
+    PaperListing3 {
+        label: "global memory",
+        local_stores: 0,
+        global_stores: 9,
+        l2_store_bytes: 72.0,
+        dram_store_bytes: 72.0,
+    },
+    PaperListing3 {
+        label: "local memory",
+        local_stores: 8,
+        global_stores: 1,
+        l2_store_bytes: 72.0,
+        dram_store_bytes: 8.0,
+    },
+    PaperListing3 {
+        label: "registers",
+        local_stores: 0,
+        global_stores: 1,
+        l2_store_bytes: 8.0,
+        dram_store_bytes: 8.0,
+    },
+];
+
+/// Section VI headline energies.
+pub struct PaperEnergy {
+    /// Fastest GPU kernel time, s.
+    pub gpu_runtime_s: f64,
+    /// Fastest CPU node time, s.
+    pub cpu_runtime_s: f64,
+    /// GPU energy, J.
+    pub gpu_joules: f64,
+    /// CPU-node energy, J.
+    pub cpu_joules: f64,
+}
+
+/// The paper's Section VI numbers (51 ms / 21 J vs 122 ms / 82 J).
+pub const ENERGY: PaperEnergy = PaperEnergy {
+    gpu_runtime_s: 0.051,
+    cpu_runtime_s: 0.122,
+    gpu_joules: 21.0,
+    cpu_joules: 82.0,
+};

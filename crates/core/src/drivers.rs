@@ -1,0 +1,535 @@
+//! Assembly drivers: serial, traced, and rayon-parallel.
+//!
+//! The kernels compute one element; the drivers own iteration order,
+//! workspace allocation, the ν_t precompute for the baseline variants, and
+//! the scatter discipline:
+//!
+//! * [`assemble_serial`] — one thread, direct read-modify-write scatter;
+//! * [`assemble_parallel`] with
+//!   * [`ParallelStrategy::TwoPhase`] — parallel elemental compute into a
+//!     buffer, then a separate scatter loop (the structure of the paper's
+//!     CPU path: "a single vectorization loop and a scalar scatter loop");
+//!   * [`ParallelStrategy::Colored`] — races prevented by element
+//!     coloring, every color fully parallel with plain stores;
+//!   * [`ParallelStrategy::Partitioned`] — owner-computes over mesh
+//!     partitions with per-worker buffers and a reduction;
+//! * [`assemble_traced`] / [`trace_element`] — the instrumented runs the
+//!   performance models replay.
+
+use alya_fem::VectorField;
+use alya_machine::{NoRecord, Recorder, TraceRecorder};
+use alya_mesh::{Coloring, ElementGraph, NodeToElements, Partition};
+use rayon::prelude::*;
+
+use crate::gather::{DirectSink, ScatterSink};
+use crate::input::AssemblyInput;
+use crate::kernels;
+use crate::layout::Layout;
+use crate::nut::compute_nu_t;
+use crate::variant::Variant;
+use crate::workspace::Ws;
+
+/// Elements per pack on the CPU path (the paper's optimal `VECTOR_DIM`).
+pub const CPU_VECTOR_DIM: usize = 16;
+
+/// Dispatches one element to the variant's kernel.
+///
+/// `ws_buf` must hold `variant.nvalues() × stride` floats for the
+/// workspace variants (it is ignored by RSP/RSPR); `stride`/`lane` place
+/// the element within its pack.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_element<R: Recorder, S: ScatterSink>(
+    variant: Variant,
+    input: &AssemblyInput,
+    e: usize,
+    lay: &Layout,
+    ws_buf: &mut [f64],
+    stride: usize,
+    lane: usize,
+    sink: &mut S,
+    rec: &mut R,
+) {
+    match variant {
+        Variant::B => {
+            let mut ws = Ws::global(ws_buf, stride, lane);
+            kernels::baseline::element(input, e, lay, &mut ws, sink, rec);
+        }
+        Variant::P => {
+            let mut ws = Ws::local(ws_buf);
+            kernels::baseline::element(input, e, lay, &mut ws, sink, rec);
+        }
+        Variant::Rs => {
+            let mut ws = Ws::global(ws_buf, stride, lane);
+            kernels::rs::element(input, e, lay, &mut ws, sink, rec);
+        }
+        Variant::Rsp => kernels::rsp::element(input, e, lay, sink, rec),
+        Variant::Rspr => kernels::rspr::element(input, e, lay, sink, rec),
+    }
+}
+
+/// Attaches the ν_t pass output when the variant needs it, then calls `f`.
+fn with_nut<T>(
+    variant: Variant,
+    input: &AssemblyInput,
+    f: impl FnOnce(&AssemblyInput) -> T,
+) -> T {
+    if variant.needs_nut_pass() && input.nu_t.is_none() {
+        let nut = compute_nu_t(input);
+        let mut inp = *input;
+        inp.nu_t = Some(&nut);
+        f(&inp)
+    } else {
+        f(input)
+    }
+}
+
+/// Serial assembly over the whole mesh (the reference implementation).
+pub fn assemble_serial(variant: Variant, input: &AssemblyInput) -> VectorField {
+    with_nut(variant, input, |input| {
+        let nn = input.mesh.num_nodes();
+        let ne = input.mesh.num_elements();
+        let mut rhs = VectorField::zeros(nn);
+        let nval = variant.nvalues().max(1);
+        let mut ws_buf = vec![0.0; nval * CPU_VECTOR_DIM];
+        let mut sink = DirectSink { rhs: &mut rhs };
+        for e in 0..ne {
+            let lane = e % CPU_VECTOR_DIM;
+            let lay = Layout::cpu(e, CPU_VECTOR_DIM, nn);
+            assemble_element(
+                variant,
+                input,
+                e,
+                &lay,
+                &mut ws_buf,
+                CPU_VECTOR_DIM,
+                lane,
+                &mut sink,
+                &mut NoRecord,
+            );
+        }
+        rhs
+    })
+}
+
+/// Records the instrumented event stream of a single element.
+///
+/// `layout` decides the addressing convention (CPU pack vs GPU launch).
+pub fn trace_element(
+    variant: Variant,
+    input: &AssemblyInput,
+    e: usize,
+    lay: &Layout,
+) -> TraceRecorder {
+    with_nut(variant, input, |input| {
+        let nn = input.mesh.num_nodes();
+        let mut rec = TraceRecorder::new();
+        let nval = variant.nvalues().max(1);
+        let mut ws_buf = vec![0.0; nval];
+        let mut rhs = VectorField::zeros(nn);
+        let mut sink = DirectSink { rhs: &mut rhs };
+        assemble_element(
+            variant, input, e, lay, &mut ws_buf, 1, 0, &mut sink, &mut rec,
+        );
+        rec
+    })
+}
+
+/// Traces a whole CPU pack (`CPU_VECTOR_DIM` consecutive elements) — the
+/// unit the CPU model replays.
+pub fn trace_pack(variant: Variant, input: &AssemblyInput, pack: usize) -> TraceRecorder {
+    with_nut(variant, input, |input| {
+        let nn = input.mesh.num_nodes();
+        let ne = input.mesh.num_elements();
+        let mut rec = TraceRecorder::new();
+        let nval = variant.nvalues().max(1);
+        let mut ws_buf = vec![0.0; nval * CPU_VECTOR_DIM];
+        let mut rhs = VectorField::zeros(nn);
+        let mut sink = DirectSink { rhs: &mut rhs };
+        for lane in 0..CPU_VECTOR_DIM {
+            let e = (pack * CPU_VECTOR_DIM + lane) % ne;
+            let lay = Layout::cpu(e, CPU_VECTOR_DIM, nn);
+            assemble_element(
+                variant,
+                input,
+                e,
+                &lay,
+                &mut ws_buf,
+                CPU_VECTOR_DIM,
+                lane,
+                &mut sink,
+                &mut rec,
+            );
+        }
+        rec
+    })
+}
+
+/// Convenience: serial assembly that also returns the whole-mesh trace of
+/// element 0 (used by reports and tests).
+pub fn assemble_traced(variant: Variant, input: &AssemblyInput) -> (VectorField, TraceRecorder) {
+    let rhs = assemble_serial(variant, input);
+    let lay = Layout::cpu(0, CPU_VECTOR_DIM, input.mesh.num_nodes());
+    let rec = trace_element(variant, input, 0, &lay);
+    (rhs, rec)
+}
+
+/// Scatter discipline for [`assemble_parallel`].
+pub enum ParallelStrategy {
+    /// Parallel elemental compute into a buffer + separate scatter loop.
+    TwoPhase,
+    /// Element coloring; every color class runs fully parallel.
+    Colored(Coloring),
+    /// Owner-computes over partitions with per-worker RHS buffers.
+    Partitioned(Partition),
+}
+
+impl ParallelStrategy {
+    /// Builds a coloring strategy for the mesh.
+    pub fn colored(mesh: &alya_mesh::TetMesh) -> Self {
+        let n2e = NodeToElements::build(mesh);
+        let graph = ElementGraph::build(mesh, &n2e);
+        ParallelStrategy::Colored(Coloring::greedy(&graph))
+    }
+
+    /// Builds a partitioned strategy with `parts` workers.
+    pub fn partitioned(mesh: &alya_mesh::TetMesh, parts: usize) -> Self {
+        ParallelStrategy::Partitioned(Partition::rcb(mesh, parts))
+    }
+}
+
+/// A sink that buffers one element's contributions locally (keyed by the
+/// element's own node list).
+struct BufferSink {
+    nodes: [u32; 4],
+    acc: [[f64; 3]; 4],
+}
+
+impl ScatterSink for BufferSink {
+    #[inline]
+    fn add<R: Recorder>(&mut self, n: u32, d: usize, v: f64, _lay: &Layout, rec: &mut R) {
+        rec.flop(1);
+        let a = self
+            .nodes
+            .iter()
+            .position(|&x| x == n)
+            .expect("scatter to a node outside the element");
+        self.acc[a][d] += v;
+    }
+}
+
+/// Shared mutable RHS for the colored strategy. Safety contract: callers
+/// only write nodes of elements within one color class, which are disjoint
+/// across concurrently processed elements.
+struct SharedRhs {
+    ptr: *mut f64,
+    num_nodes: usize,
+}
+unsafe impl Send for SharedRhs {}
+unsafe impl Sync for SharedRhs {}
+
+struct ColoredSink<'a> {
+    shared: &'a SharedRhs,
+}
+
+impl ScatterSink for ColoredSink<'_> {
+    #[inline]
+    fn add<R: Recorder>(&mut self, n: u32, d: usize, v: f64, _lay: &Layout, rec: &mut R) {
+        rec.flop(1);
+        // SAFETY: the coloring guarantees no other thread touches node `n`
+        // during this color class.
+        unsafe {
+            let slot = self
+                .shared
+                .ptr
+                .add(d * self.shared.num_nodes + n as usize);
+            *slot += v;
+        }
+    }
+}
+
+/// Parallel assembly with the chosen scatter discipline. Produces the same
+/// RHS as [`assemble_serial`] up to floating-point reassociation of the
+/// nodal sums.
+pub fn assemble_parallel(
+    variant: Variant,
+    input: &AssemblyInput,
+    strategy: &ParallelStrategy,
+) -> VectorField {
+    with_nut(variant, input, |input| {
+        let nn = input.mesh.num_nodes();
+        let ne = input.mesh.num_elements();
+        let nval = variant.nvalues().max(1);
+
+        // Workspace buffers are reused per rayon worker (map_init /
+        // for_each_init), never allocated per element.
+        let compute_one = |ws_buf: &mut Vec<f64>, e: usize| -> BufferSink {
+            let mut sink = BufferSink {
+                nodes: input.mesh.element(e),
+                acc: [[0.0; 3]; 4],
+            };
+            let lay = Layout::cpu(e, CPU_VECTOR_DIM, nn);
+            assemble_element(
+                variant,
+                input,
+                e,
+                &lay,
+                ws_buf,
+                1,
+                0,
+                &mut sink,
+                &mut NoRecord,
+            );
+            sink
+        };
+
+        match strategy {
+            ParallelStrategy::TwoPhase => {
+                // Phase 1: vectorizable elemental loop, fully parallel.
+                let buffers: Vec<BufferSink> = (0..ne)
+                    .into_par_iter()
+                    .map_init(|| vec![0.0; nval], |ws, e| compute_one(ws, e))
+                    .collect();
+                // Phase 2: the scalar scatter loop.
+                let mut rhs = VectorField::zeros(nn);
+                for b in &buffers {
+                    for a in 0..4 {
+                        rhs.add(b.nodes[a] as usize, b.acc[a]);
+                    }
+                }
+                rhs
+            }
+            ParallelStrategy::Colored(coloring) => {
+                let mut rhs = VectorField::zeros(nn);
+                let shared = SharedRhs {
+                    ptr: rhs.as_mut_slice().as_mut_ptr(),
+                    num_nodes: nn,
+                };
+                for class in coloring.classes() {
+                    class.par_iter().for_each_init(
+                        || vec![0.0; nval],
+                        |ws_buf, &e| {
+                            let mut sink = ColoredSink { shared: &shared };
+                            let lay = Layout::cpu(e as usize, CPU_VECTOR_DIM, nn);
+                            assemble_element(
+                                variant,
+                                input,
+                                e as usize,
+                                &lay,
+                                ws_buf,
+                                1,
+                                0,
+                                &mut sink,
+                                &mut NoRecord,
+                            );
+                        },
+                    );
+                }
+                rhs
+            }
+            ParallelStrategy::Partitioned(partition) => {
+                let partials: Vec<Vec<f64>> = (0..partition.num_parts())
+                    .into_par_iter()
+                    .map(|p| {
+                        let mut local = vec![0.0; 3 * nn];
+                        let mut ws_buf = vec![0.0; nval];
+                        for &e in partition.part(p) {
+                            let b = compute_one(&mut ws_buf, e as usize);
+                            for a in 0..4 {
+                                for d in 0..3 {
+                                    local[d * nn + b.nodes[a] as usize] += b.acc[a][d];
+                                }
+                            }
+                        }
+                        local
+                    })
+                    .collect();
+                let mut rhs = VectorField::zeros(nn);
+                let out = rhs.as_mut_slice();
+                for part in &partials {
+                    for (o, v) in out.iter_mut().zip(part) {
+                        *o += v;
+                    }
+                }
+                rhs
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alya_fem::{ConstantProperties, ScalarField, VectorField};
+    use alya_mesh::{BoxMeshBuilder, TetMesh};
+
+    fn setup(mesh: &TetMesh) -> (VectorField, ScalarField, ScalarField) {
+        let v = VectorField::from_fn(mesh, |p| {
+            [
+                p[2] * p[2] + 0.3 * p[1],
+                0.5 * p[0] - p[2],
+                0.2 * p[0] * p[1],
+            ]
+        });
+        let p = ScalarField::from_fn(mesh, |q| q[0] - 0.5 * q[1] + q[2] * q[2]);
+        let t = ScalarField::zeros(mesh.num_nodes());
+        (v, p, t)
+    }
+
+    fn max_rel_diff(a: &VectorField, b: &VectorField) -> f64 {
+        let scale = a.max_abs().max(1e-30);
+        a.max_abs_diff(b) / scale
+    }
+
+    #[test]
+    fn all_variants_produce_the_same_rhs() {
+        let mesh = BoxMeshBuilder::new(3, 3, 3).jitter(0.1).seed(11).build();
+        let (v, p, t) = setup(&mesh);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t)
+            .props(ConstantProperties {
+                density: 1.2,
+                viscosity: 1e-3,
+            })
+            .body_force([0.1, 0.0, -0.5]);
+        let reference = assemble_serial(Variant::Rsp, &input);
+        assert!(reference.max_abs() > 0.0, "degenerate test input");
+        for variant in Variant::ALL {
+            let rhs = assemble_serial(variant, &input);
+            let diff = max_rel_diff(&reference, &rhs);
+            assert!(diff < 1e-11, "{variant} deviates by {diff}");
+        }
+    }
+
+    #[test]
+    fn parallel_strategies_match_serial() {
+        let mesh = BoxMeshBuilder::new(3, 3, 2).build();
+        let (v, p, t) = setup(&mesh);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t).props(ConstantProperties::AIR);
+        let serial = assemble_serial(Variant::Rsp, &input);
+        for strategy in [
+            ParallelStrategy::TwoPhase,
+            ParallelStrategy::colored(&mesh),
+            ParallelStrategy::partitioned(&mesh, 5),
+        ] {
+            let par = assemble_parallel(Variant::Rsp, &input, &strategy);
+            let diff = max_rel_diff(&serial, &par);
+            assert!(diff < 1e-12, "deviation {diff}");
+        }
+    }
+
+    #[test]
+    fn parallel_handles_all_variants() {
+        let mesh = BoxMeshBuilder::new(2, 2, 2).build();
+        let (v, p, t) = setup(&mesh);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t);
+        let serial = assemble_serial(Variant::B, &input);
+        let strategy = ParallelStrategy::colored(&mesh);
+        for variant in Variant::ALL {
+            let par = assemble_parallel(variant, &input, &strategy);
+            let diff = max_rel_diff(&serial, &par);
+            assert!(diff < 1e-11, "{variant} deviates by {diff}");
+        }
+    }
+
+    #[test]
+    fn diffusion_of_linear_field_balances_interior() {
+        // For u = (z, 0, 0), grad u constant: convection and diffusion
+        // element contributions cancel at interior nodes of a symmetric
+        // mesh... at minimum the assembly must be translation invariant:
+        // adding a constant to u leaves the diffusion term unchanged and
+        // alters convection consistently. Here: zero viscosity + zero
+        // pressure + rigid-translation velocity => RHS is exactly zero
+        // (gradients vanish).
+        let mesh = BoxMeshBuilder::new(3, 3, 3).build();
+        let v = VectorField::from_fn(&mesh, |_| [1.0, 2.0, -0.5]);
+        let p = ScalarField::zeros(mesh.num_nodes());
+        let t = ScalarField::zeros(mesh.num_nodes());
+        let input = AssemblyInput::new(&mesh, &v, &p, &t);
+        for variant in Variant::ALL {
+            let rhs = assemble_serial(variant, &input);
+            assert!(
+                rhs.max_abs() < 1e-12,
+                "{variant}: rigid translation produced forces ({})",
+                rhs.max_abs()
+            );
+        }
+    }
+
+    #[test]
+    fn pressure_gradient_pushes_flow() {
+        // Constant pressure gradient in x: RHS x-component must sum ~0 over
+        // the mesh (divergence theorem, zero BC contributions ignored), but
+        // interior nodes should feel +grad terms; just check nonzero and
+        // antisymmetric-ish: total sum equals boundary flux term.
+        let mesh = BoxMeshBuilder::new(3, 3, 3).build();
+        let v = VectorField::zeros(mesh.num_nodes());
+        let p = ScalarField::from_fn(&mesh, |q| 10.0 * q[0]);
+        let t = ScalarField::zeros(mesh.num_nodes());
+        let input = AssemblyInput::new(&mesh, &v, &p, &t);
+        let rhs = assemble_serial(Variant::Rsp, &input);
+        assert!(rhs.max_abs() > 1e-6);
+        // For nodes away from the y-boundaries the weak pressure term has no
+        // y-component (∮ p N_a n_y vanishes); on the y-faces it legitimately
+        // does not.
+        let y_max = mesh
+            .coords()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p[1] > 1e-9 && p[1] < 1.0 - 1e-9)
+            .fold(0.0f64, |m, (n, _)| m.max(rhs.get(n)[1].abs()));
+        assert!(y_max < 1e-12, "interior y component {y_max}");
+    }
+
+    #[test]
+    fn trace_pack_covers_vector_dim_elements() {
+        let mesh = BoxMeshBuilder::new(2, 2, 2).build();
+        let (v, p, t) = setup(&mesh);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t);
+        let one = trace_element(
+            Variant::Rs,
+            &input,
+            0,
+            &Layout::cpu(0, CPU_VECTOR_DIM, mesh.num_nodes()),
+        );
+        let pack = trace_pack(Variant::Rs, &input, 0);
+        let c1 = one.counts();
+        let cp = pack.counts();
+        assert_eq!(cp.global_loads % c1.global_loads, 0);
+        assert_eq!(cp.global_loads / c1.global_loads, CPU_VECTOR_DIM as u64);
+    }
+
+    #[test]
+    fn traced_variants_have_expected_footprints() {
+        let mesh = BoxMeshBuilder::new(2, 2, 2).build();
+        let (v, p, t) = setup(&mesh);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t);
+        let lay = Layout::cpu(0, CPU_VECTOR_DIM, mesh.num_nodes());
+        let b = trace_element(Variant::B, &input, 0, &lay).counts();
+        let pvt = trace_element(Variant::P, &input, 0, &lay).counts();
+        let rs = trace_element(Variant::Rs, &input, 0, &lay).counts();
+        let rsp = trace_element(Variant::Rsp, &input, 0, &lay).counts();
+
+        // B: flood of global traffic, no local, no private values.
+        assert!(b.global_ldst() > 2000, "B global {}", b.global_ldst());
+        assert_eq!(b.local_ldst(), 0);
+        assert_eq!(b.defs, 0);
+        // P: the workspace moved to local memory wholesale.
+        assert_eq!(pvt.global_ldst() + pvt.local_ldst(), b.global_ldst());
+        assert!(pvt.local_ldst() > 2000);
+        // RS: ~6x fewer ops than B (paper: 6x).
+        assert!(
+            rs.global_ldst() * 4 < b.global_ldst(),
+            "RS {} vs B {}",
+            rs.global_ldst(),
+            b.global_ldst()
+        );
+        // RS: ~3-5x fewer flops than B.
+        assert!(rs.flops() * 2 < b.flops(), "RS {} vs B {}", rs.flops(), b.flops());
+        // RSP: only gather/scatter remains as global traffic.
+        assert!(rsp.global_ldst() < 100, "RSP {}", rsp.global_ldst());
+        assert!(rsp.defs > 50, "RSP defs {}", rsp.defs);
+        // Specialized flops match between array and scalar forms (modulo a
+        // couple of bookkeeping stores the array form performs).
+        let dflops = rs.flops() as i64 - rsp.flops() as i64;
+        assert!(dflops.abs() < 16, "RS {} vs RSP {}", rs.flops(), rsp.flops());
+    }
+}

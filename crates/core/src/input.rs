@@ -1,0 +1,143 @@
+//! Assembly inputs.
+
+use alya_fem::material::{ConstantProperties, ConstitutiveModel};
+use alya_fem::turbulence::VREMAN_C;
+use alya_fem::{ScalarField, VectorField};
+use alya_mesh::TetMesh;
+
+/// Everything the RHS assembly reads.
+///
+/// The **specialized** variants use `props` (compile-time-constant density
+/// and viscosity in spirit — a plain struct here); the **generic** baseline
+/// variants evaluate `model` per Gauss point from the interpolated
+/// temperature, just as Alya's property subroutines do. For the variant
+/// equivalence tests both describe the same constant law.
+#[derive(Clone, Copy)]
+pub struct AssemblyInput<'a> {
+    /// The tetrahedral mesh.
+    pub mesh: &'a TetMesh,
+    /// Velocity at the current step.
+    pub velocity: &'a VectorField,
+    /// Pressure at the current step.
+    pub pressure: &'a ScalarField,
+    /// Temperature (feeds the generic constitutive path).
+    pub temperature: &'a ScalarField,
+    /// Constant properties for the specialized path.
+    pub props: ConstantProperties,
+    /// Runtime-dispatched property law for the generic path; `None` falls
+    /// back to a constant law equal to `props` (keeping the variants
+    /// equivalent).
+    pub model: Option<&'a dyn ConstitutiveModel>,
+    /// Uniform body force (gravity, pressure-gradient forcing, ...).
+    pub body_force: [f64; 3],
+    /// Vreman model constant.
+    pub vreman_c: f64,
+    /// Per-element turbulent viscosity, precomputed by [`crate::nut`] —
+    /// consumed by the baseline variants (Alya computes ν_t "at the
+    /// beginning of each time step in a specific subroutine").
+    pub nu_t: Option<&'a [f64]>,
+}
+
+impl<'a> AssemblyInput<'a> {
+    /// Input with unit constant properties, no forcing, standard Vreman.
+    pub fn new(
+        mesh: &'a TetMesh,
+        velocity: &'a VectorField,
+        pressure: &'a ScalarField,
+        temperature: &'a ScalarField,
+    ) -> Self {
+        Self {
+            mesh,
+            velocity,
+            pressure,
+            temperature,
+            props: ConstantProperties::UNIT,
+            model: None,
+            body_force: [0.0; 3],
+            vreman_c: VREMAN_C,
+            nu_t: None,
+        }
+    }
+
+    /// Density the generic path sees at temperature `t`.
+    pub fn density_at(&self, t: f64) -> f64 {
+        match self.model {
+            Some(m) => m.density(t),
+            None => self.props.density,
+        }
+    }
+
+    /// Viscosity the generic path sees at temperature `t`.
+    pub fn viscosity_at(&self, t: f64) -> f64 {
+        match self.model {
+            Some(m) => m.viscosity(t),
+            None => self.props.viscosity,
+        }
+    }
+
+    /// Sets constant properties for both the specialized and generic paths.
+    pub fn props(mut self, props: ConstantProperties) -> Self {
+        self.props = props;
+        self
+    }
+
+    /// Overrides the generic-path constitutive model (breaks cross-variant
+    /// equivalence unless it matches `props` — useful to demonstrate the
+    /// generality the baseline drags along).
+    pub fn model(mut self, model: &'a dyn ConstitutiveModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Sets the body force.
+    pub fn body_force(mut self, f: [f64; 3]) -> Self {
+        self.body_force = f;
+        self
+    }
+
+    /// Sets the Vreman constant.
+    pub fn vreman_c(mut self, c: f64) -> Self {
+        self.vreman_c = c;
+        self
+    }
+
+    /// Attaches the precomputed per-element ν_t for the baseline path.
+    pub fn with_nu_t(mut self, nu_t: &'a [f64]) -> Self {
+        assert_eq!(nu_t.len(), self.mesh.num_elements());
+        self.nu_t = Some(nu_t);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alya_mesh::BoxMeshBuilder;
+
+    #[test]
+    fn builder_chain() {
+        let mesh = BoxMeshBuilder::new(2, 2, 2).build();
+        let v = VectorField::zeros(mesh.num_nodes());
+        let p = ScalarField::zeros(mesh.num_nodes());
+        let t = ScalarField::zeros(mesh.num_nodes());
+        let input = AssemblyInput::new(&mesh, &v, &p, &t)
+            .props(ConstantProperties::AIR)
+            .body_force([0.0, 0.0, -9.81])
+            .vreman_c(0.1);
+        assert_eq!(input.props.density, 1.2);
+        assert_eq!(input.body_force[2], -9.81);
+        assert_eq!(input.vreman_c, 0.1);
+        assert!(input.nu_t.is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn nu_t_length_checked() {
+        let mesh = BoxMeshBuilder::new(2, 2, 2).build();
+        let v = VectorField::zeros(mesh.num_nodes());
+        let p = ScalarField::zeros(mesh.num_nodes());
+        let t = ScalarField::zeros(mesh.num_nodes());
+        let short = vec![0.0; 3];
+        let _ = AssemblyInput::new(&mesh, &v, &p, &t).with_nu_t(&short);
+    }
+}

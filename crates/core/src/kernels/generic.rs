@@ -1,0 +1,328 @@
+//! Fully generic mixed-element assembly — the code Alya runs *before* any
+//! of the paper's specializations.
+//!
+//! Takes a [`MixedMesh`] directly: runtime element kinds, per-Gauss-point
+//! Jacobians and shape gradients, per-Gauss-point Vreman evaluation,
+//! runtime-dispatched constitutive laws. Same physics as the tet kernels
+//! (convection, diffusion, pressure, body force), so on an all-tet mesh it
+//! agrees with them to roundoff — and on hexahedra/prisms it quantifies
+//! what the tetrahedral specialization gives up (and what the
+//! "partition to tets" route costs), with full Recorder instrumentation
+//! for the flop accounting.
+
+use alya_fem::element::ElementKind;
+use alya_fem::geometry::physical_gradients;
+use alya_fem::material::ConstantProperties;
+use alya_fem::{ScalarField, VectorField};
+use alya_machine::Recorder;
+use alya_mesh::mixed::{CellKind, MixedMesh};
+
+use crate::ops;
+
+/// Inputs for the mixed assembly (decoupled from [`crate::AssemblyInput`],
+/// which is tied to `TetMesh`).
+pub struct MixedInput<'a> {
+    /// The mixed mesh.
+    pub mesh: &'a MixedMesh,
+    /// Velocity on the mixed mesh's nodes.
+    pub velocity: &'a VectorField,
+    /// Pressure on the mixed mesh's nodes.
+    pub pressure: &'a ScalarField,
+    /// Constant fluid properties.
+    pub props: ConstantProperties,
+    /// Uniform body force.
+    pub body_force: [f64; 3],
+    /// Vreman constant.
+    pub vreman_c: f64,
+}
+
+fn element_kind(kind: CellKind) -> ElementKind {
+    match kind {
+        CellKind::Tet4 => ElementKind::Tet4,
+        CellKind::Hex8 => ElementKind::Hex8,
+        CellKind::Prism6 => ElementKind::Prism6,
+        // Pyramids have rational shape functions this FEM layer does not
+        // carry; Alya-style workflows decompose them (MixedMesh::to_tets).
+        CellKind::Pyramid5 => panic!(
+            "pyramids are decomposition-only: call MixedMesh::to_tets() first"
+        ),
+    }
+}
+
+/// Assembles the momentum RHS over the whole mixed mesh.
+pub fn assemble_mixed<R: Recorder>(input: &MixedInput, rec: &mut R) -> VectorField {
+    let mut rhs = VectorField::zeros(input.mesh.num_nodes());
+    for block in input.mesh.blocks() {
+        let kind = element_kind(block.kind);
+        for c in 0..block.len() {
+            assemble_cell(input, kind, block.cell(c), &mut rhs, rec);
+        }
+    }
+    rhs
+}
+
+/// One cell, fully generic.
+fn assemble_cell<R: Recorder>(
+    input: &MixedInput,
+    kind: ElementKind,
+    nodes: &[u32],
+    rhs: &mut VectorField,
+    rec: &mut R,
+) {
+    let nn = kind.num_nodes();
+    let ng = kind.num_gauss();
+    let rho = input.props.density;
+    let mu = input.props.viscosity;
+
+    // Gather (counts as global loads, scattered nodal access).
+    let coords: Vec<[f64; 3]> = nodes
+        .iter()
+        .map(|&n| input.mesh.coords()[n as usize])
+        .collect();
+    let vel: Vec<[f64; 3]> = nodes
+        .iter()
+        .map(|&n| input.velocity.get(n as usize))
+        .collect();
+    let pre: Vec<f64> = nodes
+        .iter()
+        .map(|&n| input.pressure.get(n as usize))
+        .collect();
+    if R::ENABLED {
+        rec.gload(nodes.len() as u64); // connectivity (one read per node id)
+        for _ in 0..(nn * 7) {
+            rec.gload(0); // coords(3) + vel(3) + pressure(1) per node
+        }
+    }
+
+    // Pass 1: cell volume (needed for the Vreman filter width).
+    let mut volume = 0.0;
+    let mut dets = vec![0.0; ng];
+    for g in 0..ng {
+        let (_, det) = physical_gradients(kind, g, &coords);
+        dets[g] = det;
+        rec.fma((nn * 9 + 40) as u32); // Jacobian build + inversion cost
+        rec.flop(2);
+        volume += kind.gauss_weight(g) * det;
+    }
+    rec.flop(2);
+    let delta = volume.abs().cbrt();
+
+    let mut elrhs = vec![[0.0; 3]; nn];
+    for g in 0..ng {
+        let (grads, _) = physical_gradients(kind, g, &coords);
+        rec.fma((nn * 9) as u32); // gradient mapping
+        let sha = kind.shape_values(g);
+        rec.flop(nn as u32);
+        rec.flop(1);
+        let w = kind.gauss_weight(g) * dets[g];
+
+        // Interpolations.
+        let mut u_gp = [0.0; 3];
+        let mut p_gp = 0.0;
+        for a in 0..nn {
+            for d in 0..3 {
+                u_gp[d] += sha[a] * vel[a][d];
+            }
+            p_gp += sha[a] * pre[a];
+        }
+        rec.fma((4 * nn) as u32);
+
+        // Velocity gradient at the point.
+        let mut gve = [[0.0; 3]; 3];
+        for a in 0..nn {
+            for i in 0..3 {
+                for j in 0..3 {
+                    gve[i][j] += grads[a][i] * vel[a][j];
+                }
+            }
+        }
+        rec.fma((9 * nn) as u32);
+
+        // Per-Gauss-point Vreman (the generic path cannot hoist it).
+        let nut = ops::vreman(&gve, delta, input.vreman_c, rec);
+        rec.flop(2);
+        let mu_eff = mu + rho * nut;
+
+        // Convection vector.
+        let mut con = [0.0; 3];
+        for d in 0..3 {
+            for i in 0..3 {
+                con[d] += u_gp[i] * gve[i][d];
+            }
+            rec.fma(3);
+            rec.flop(1);
+            con[d] *= rho;
+        }
+
+        // Contributions.
+        for a in 0..nn {
+            for d in 0..3 {
+                rec.fma(2);
+                rec.flop(4);
+                let mut r = -w * sha[a] * con[d];
+                r += w * p_gp * grads[a][d];
+                r += w * rho * input.body_force[d] * sha[a];
+                // Diffusion.
+                let mut flux = 0.0;
+                for b in 0..nn {
+                    let gdot = grads[a][0] * grads[b][0]
+                        + grads[a][1] * grads[b][1]
+                        + grads[a][2] * grads[b][2];
+                    flux += gdot * vel[b][d];
+                }
+                rec.fma((4 * nn) as u32);
+                rec.flop(2);
+                r -= w * mu_eff * flux;
+                elrhs[a][d] += r;
+            }
+        }
+    }
+
+    // Scatter.
+    for (a, &n) in nodes.iter().enumerate() {
+        if R::ENABLED {
+            for _ in 0..3 {
+                rec.gload(0);
+                rec.gstore(0);
+            }
+        }
+        rhs.add(n as usize, elrhs[a]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alya_machine::{NoRecord, TraceRecorder};
+    use alya_mesh::mixed::{hex_box, mixed_box, prism_box, MixedMesh};
+    use alya_mesh::BoxMeshBuilder;
+
+    /// Wraps a tet mesh as a single-block mixed mesh.
+    fn tets_as_mixed(mesh: &alya_mesh::TetMesh) -> MixedMesh {
+        let conn: Vec<u32> = mesh.connectivity().iter().flatten().copied().collect();
+        MixedMesh::from_raw(mesh.coords().to_vec(), vec![(CellKind::Tet4, conn)])
+    }
+
+    #[test]
+    fn agrees_with_tet_kernels_on_tet_meshes() {
+        let mesh = BoxMeshBuilder::new(3, 3, 3).jitter(0.1).seed(2).build();
+        let velocity = VectorField::from_fn(&mesh, |p| [p[2] * p[2], 0.3 * p[0], -0.1 * p[1]]);
+        let pressure = ScalarField::from_fn(&mesh, |p| p[0] - 0.4 * p[1]);
+        let temperature = ScalarField::zeros(mesh.num_nodes());
+        let props = ConstantProperties::AIR;
+        let bf = [0.1, 0.0, -0.5];
+
+        let tet_input = crate::AssemblyInput::new(&mesh, &velocity, &pressure, &temperature)
+            .props(props)
+            .body_force(bf);
+        let reference = crate::assemble_serial(crate::Variant::Rsp, &tet_input);
+
+        let mixed = tets_as_mixed(&mesh);
+        let input = MixedInput {
+            mesh: &mixed,
+            velocity: &velocity,
+            pressure: &pressure,
+            props,
+            body_force: bf,
+            vreman_c: tet_input.vreman_c,
+        };
+        let rhs = assemble_mixed(&input, &mut NoRecord);
+        let dev = rhs.max_abs_diff(&reference) / reference.max_abs();
+        assert!(dev < 1e-11, "mixed-generic deviates from tet kernels by {dev}");
+    }
+
+    #[test]
+    fn rigid_translation_is_forceless_on_every_shape() {
+        for mesh in [
+            hex_box(3, 3, 2, [1.0, 1.0, 1.0]),
+            prism_box(3, 3, 2, [1.0, 1.0, 1.0]),
+            mixed_box(2, 2, 2, [1.0, 1.0, 1.0]),
+        ] {
+            let velocity = VectorField::from_coords(mesh.coords(), |_| [1.0, -0.5, 2.0]);
+            let pressure = ScalarField::zeros(mesh.num_nodes());
+            let input = MixedInput {
+                mesh: &mesh,
+                velocity: &velocity,
+                pressure: &pressure,
+                props: ConstantProperties::UNIT,
+                body_force: [0.0; 3],
+                vreman_c: 0.07,
+            };
+            let rhs = assemble_mixed(&input, &mut NoRecord);
+            assert!(rhs.max_abs() < 1e-11, "rigid forces {}", rhs.max_abs());
+        }
+    }
+
+    #[test]
+    fn global_force_balance_without_forcing() {
+        // Σ_a rhs_a = 0 for diffusion and pressure terms (Σ_a ∇N_a = 0 per
+        // element), and for convection (Σ_a N_a = 1, but the total is the
+        // volume integral of -ρ(u·∇)u, generally nonzero) — so test with
+        // zero convection (rho = 0) and nonzero viscosity + pressure.
+        let mesh = hex_box(3, 2, 2, [1.5, 1.0, 1.0]);
+        let velocity =
+            VectorField::from_coords(mesh.coords(), |p| [p[2] * p[2], p[0] * p[1], -p[1]]);
+        let pressure =
+            ScalarField::from_coords(mesh.coords(), |p| p[0] * p[1] - p[2]);
+        let input = MixedInput {
+            mesh: &mesh,
+            velocity: &velocity,
+            pressure: &pressure,
+            props: ConstantProperties {
+                density: 0.0,
+                viscosity: 0.7,
+            },
+            body_force: [0.0; 3],
+            vreman_c: 0.07,
+        };
+        let rhs = assemble_mixed(&input, &mut NoRecord);
+        for d in 0..3 {
+            let total: f64 = rhs.component(d).iter().sum();
+            assert!(total.abs() < 1e-11, "component {d} unbalanced: {total}");
+        }
+    }
+
+    #[test]
+    fn hex_native_vs_tet_decomposed_flop_cost() {
+        // The paper's premise quantified: what does assembling natively on
+        // hexes cost versus decomposing to tets and running the (still
+        // generic) tet path?
+        let mesh = hex_box(2, 2, 2, [1.0; 3]);
+        let velocity = VectorField::from_coords(mesh.coords(), |p| [p[2], 0.2 * p[0], 0.0]);
+        let pressure = ScalarField::zeros(mesh.num_nodes());
+        let props = ConstantProperties::AIR;
+
+        let mut rec_hex = TraceRecorder::new();
+        let input = MixedInput {
+            mesh: &mesh,
+            velocity: &velocity,
+            pressure: &pressure,
+            props,
+            body_force: [0.0; 3],
+            vreman_c: 0.07,
+        };
+        let _ = assemble_mixed(&input, &mut rec_hex);
+
+        let tets = mesh.to_tets();
+        let mixed_tets = tets_as_mixed(&tets);
+        let input_t = MixedInput {
+            mesh: &mixed_tets,
+            velocity: &velocity,
+            pressure: &pressure,
+            props,
+            body_force: [0.0; 3],
+            vreman_c: 0.07,
+        };
+        let mut rec_tet = TraceRecorder::new();
+        let _ = assemble_mixed(&input_t, &mut rec_tet);
+
+        let f_hex = rec_hex.counts().flops();
+        let f_tet = rec_tet.counts().flops();
+        // Native Q1 hexes: 8 nodes x 8 Gauss points with per-point geometry
+        // beats 6 generic tets per hex... or not — that is exactly what this
+        // measures. Either way both are nonzero and within a small factor.
+        assert!(f_hex > 0 && f_tet > 0);
+        let ratio = f_hex as f64 / f_tet as f64;
+        assert!((0.2..5.0).contains(&ratio), "flop ratio {ratio}");
+    }
+}

@@ -1,0 +1,128 @@
+//! The five assembly kernel variants.
+//!
+//! All variants integrate the same physics over one linear tetrahedron —
+//! convection `−ρ (u·∇)u`, diffusion `−(μ + ρ ν_t) ∇u : ∇N`, pressure
+//! `+p ∇·N` and a uniform body force, with the 4-point Gauss rule — and
+//! must produce the same elemental RHS to roundoff. They differ *only* in
+//! code structure, which is the paper's entire subject:
+//!
+//! * [`baseline`] (**B** and, with a local workspace, **P**): the generic,
+//!   elemental-matrix formulation with every intermediate in a workspace
+//!   array;
+//! * [`rs`] (**RS**): specialized and restructured, but intermediates still
+//!   in interleaved arrays;
+//! * [`rsp`] (**RSP**): specialized, restructured and privatized to scalars;
+//! * [`rspr`] (**RSPR**): RSP plus immediate per-node scatter.
+
+pub mod baseline;
+pub mod generic;
+pub mod rs;
+pub mod rsp;
+pub mod rspr;
+
+use alya_machine::Recorder;
+
+/// Tracked thread-private scalar: the value plus its lifetime identity for
+/// the register allocator.
+#[derive(Debug, Clone, Copy)]
+pub struct Pv {
+    val: f64,
+    id: u32,
+}
+
+impl Pv {
+    /// Reads the value, recording a register use.
+    #[inline]
+    pub fn get<R: Recorder>(self, rec: &mut R) -> f64 {
+        if R::ENABLED {
+            rec.use_(self.id);
+        }
+        self.val
+    }
+
+    /// Updates the value in place (same register, new definition — the
+    /// accumulator pattern).
+    #[inline]
+    pub fn set<R: Recorder>(&mut self, val: f64, rec: &mut R) {
+        if R::ENABLED {
+            rec.def(self.id);
+        }
+        self.val = val;
+    }
+}
+
+/// Allocates private-value identities for one element's kernel execution.
+#[derive(Debug, Default)]
+pub struct PrivAlloc {
+    next: u32,
+}
+
+impl PrivAlloc {
+    /// Fresh allocator (ids are per-element; the register allocator works
+    /// on a single thread's stream).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defines a new private value.
+    #[inline]
+    pub fn def<R: Recorder>(&mut self, val: f64, rec: &mut R) -> Pv {
+        let id = self.next;
+        self.next += 1;
+        if R::ENABLED {
+            rec.def(id);
+        }
+        Pv { val, id }
+    }
+
+    /// Defines a private 3-vector.
+    #[inline]
+    pub fn def3<R: Recorder>(&mut self, val: [f64; 3], rec: &mut R) -> [Pv; 3] {
+        [
+            self.def(val[0], rec),
+            self.def(val[1], rec),
+            self.def(val[2], rec),
+        ]
+    }
+}
+
+/// Reads a private 3-vector.
+#[inline]
+pub fn get3<R: Recorder>(v: &[Pv; 3], rec: &mut R) -> [f64; 3] {
+    [v[0].get(rec), v[1].get(rec), v[2].get(rec)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alya_machine::{Event, NoRecord, TraceRecorder};
+
+    #[test]
+    fn private_values_track_lifetimes() {
+        let mut rec = TraceRecorder::new();
+        let mut pa = PrivAlloc::new();
+        let a = pa.def(1.5, &mut rec);
+        let mut b = pa.def(2.0, &mut rec);
+        let x = a.get(&mut rec) + b.get(&mut rec);
+        b.set(x, &mut rec);
+        assert_eq!(b.get(&mut rec), 3.5);
+        assert_eq!(
+            rec.events,
+            vec![
+                Event::Def(0),
+                Event::Def(1),
+                Event::Use(0),
+                Event::Use(1),
+                Event::Def(1),
+                Event::Use(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn no_record_private_values_are_plain_floats() {
+        let mut pa = PrivAlloc::new();
+        let v = pa.def3([1.0, 2.0, 3.0], &mut NoRecord);
+        assert_eq!(get3(&v, &mut NoRecord), [1.0, 2.0, 3.0]);
+    }
+}

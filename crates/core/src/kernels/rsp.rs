@@ -1,0 +1,189 @@
+//! The **RSP** kernel: Restructured + Specialized + Privatized.
+//!
+//! Identical math to [`crate::kernels::rs`], but every intermediate is a
+//! thread-private scalar. With the compile-time loop bounds of the
+//! specialized path, a compiler maps these to registers; the register
+//! allocator in `alya-machine` replays that decision over the `Def`/`Use`
+//! events this kernel emits, spilling to local memory only beyond the
+//! register budget. The irreducible global traffic that remains is the
+//! nodal gather/scatter.
+
+use alya_fem::element::Tet4;
+use alya_machine::Recorder;
+
+use crate::gather::{self, ScatterSink};
+use crate::input::AssemblyInput;
+use crate::kernels::{get3, Pv, PrivAlloc};
+use crate::layout::{self, Layout};
+use crate::ops;
+
+/// Assembles one element the RSP way.
+pub fn element<R: Recorder, S: ScatterSink>(
+    input: &AssemblyInput,
+    e: usize,
+    lay: &Layout,
+    sink: &mut S,
+    rec: &mut R,
+) {
+    let rho = input.props.density;
+    let mu = input.props.viscosity;
+    let mut pa = PrivAlloc::new();
+
+    // --- Gather straight into private values. ---
+    let nodes = gather::gather_conn(input, e, lay, rec);
+    let coords_raw = gather::gather_coords(input, &nodes, lay, rec);
+    let coords: [[Pv; 3]; 4] = [
+        pa.def3(coords_raw[0], rec),
+        pa.def3(coords_raw[1], rec),
+        pa.def3(coords_raw[2], rec),
+        pa.def3(coords_raw[3], rec),
+    ];
+    let vel_raw = gather::gather_velocity(input, &nodes, lay, rec);
+    let vel: [[Pv; 3]; 4] = [
+        pa.def3(vel_raw[0], rec),
+        pa.def3(vel_raw[1], rec),
+        pa.def3(vel_raw[2], rec),
+        pa.def3(vel_raw[3], rec),
+    ];
+    let pre_raw = gather::gather_scalar(input.pressure, layout::PRES_BASE, &nodes, lay, rec);
+    let pre: [Pv; 4] = [
+        pa.def(pre_raw[0], rec),
+        pa.def(pre_raw[1], rec),
+        pa.def(pre_raw[2], rec),
+        pa.def(pre_raw[3], rec),
+    ];
+
+    // --- Geometry once; coordinates die here. ---
+    let elcod = [
+        get3(&coords[0], rec),
+        get3(&coords[1], rec),
+        get3(&coords[2], rec),
+        get3(&coords[3], rec),
+    ];
+    let (grads_raw, vol_raw) = ops::tet4_grads(&elcod, rec);
+    let grads: [[Pv; 3]; 4] = [
+        pa.def3(grads_raw[0], rec),
+        pa.def3(grads_raw[1], rec),
+        pa.def3(grads_raw[2], rec),
+        pa.def3(grads_raw[3], rec),
+    ];
+    let vol = pa.def(vol_raw, rec);
+
+    // --- Constant velocity gradient. ---
+    let mut gve_raw = [[0.0; 3]; 3];
+    for i in 0..3 {
+        for j in 0..3 {
+            let mut gv = 0.0;
+            for a in 0..4 {
+                gv += grads[a][i].get(rec) * vel[a][j].get(rec);
+            }
+            rec.fma(4);
+            gve_raw[i][j] = gv;
+        }
+    }
+    let gve: [[Pv; 3]; 3] = [
+        pa.def3(gve_raw[0], rec),
+        pa.def3(gve_raw[1], rec),
+        pa.def3(gve_raw[2], rec),
+    ];
+
+    // --- Vreman on the fly. ---
+    let gve_for_nut = [
+        get3(&gve[0], rec),
+        get3(&gve[1], rec),
+        get3(&gve[2], rec),
+    ];
+    rec.flop(2);
+    let delta = vol.get(rec).cbrt();
+    let nut = pa.def(ops::vreman(&gve_for_nut, delta, input.vreman_c, rec), rec);
+
+    // --- RHS accumulators, live across the Gauss loop. ---
+    let mut rhs: [[Pv; 3]; 4] = [
+        pa.def3([0.0; 3], rec),
+        pa.def3([0.0; 3], rec),
+        pa.def3([0.0; 3], rec),
+        pa.def3([0.0; 3], rec),
+    ];
+
+    rec.flop(1);
+    let gpvol = 0.25 * vol.get(rec);
+
+    // --- Gauss loop: transient advection/convection, immediate use. ---
+    for g in 0..Tet4::NUM_GAUSS {
+        let mut adv_raw = [0.0; 3];
+        for (d, adv_d) in adv_raw.iter_mut().enumerate() {
+            let mut adv = 0.0;
+            for a in 0..4 {
+                adv += Tet4::SHAPE[g][a] * vel[a][d].get(rec);
+            }
+            rec.fma(4);
+            *adv_d = adv;
+        }
+        let adv = pa.def3(adv_raw, rec);
+        let mut con_raw = [0.0; 3];
+        for (d, con_d) in con_raw.iter_mut().enumerate() {
+            let mut con = 0.0;
+            for i in 0..3 {
+                con += adv[i].get(rec) * gve[i][d].get(rec);
+            }
+            rec.fma(3);
+            rec.flop(1);
+            *con_d = rho * con;
+        }
+        let con = pa.def3(con_raw, rec);
+        for a in 0..4 {
+            for d in 0..3 {
+                rec.flop(2);
+                let inc = -gpvol * Tet4::SHAPE[g][a] * con[d].get(rec);
+                rec.flop(1);
+                let new = rhs[a][d].get(rec) + inc;
+                rhs[a][d].set(new, rec);
+            }
+        }
+    }
+
+    // --- Pressure, force, diffusion. ---
+    rec.flop(4);
+    let pbar = pa.def(
+        0.25 * (pre[0].get(rec) + pre[1].get(rec) + pre[2].get(rec) + pre[3].get(rec)),
+        rec,
+    );
+    rec.flop(2);
+    let mu_eff = pa.def(mu + rho * nut.get(rec), rec);
+    let volv = vol.get(rec);
+    for a in 0..4 {
+        for d in 0..3 {
+            rec.fma(2);
+            rec.flop(2);
+            let inc = volv * pbar.get(rec) * grads[a][d].get(rec)
+                + gpvol * rho * input.body_force[d];
+            rec.flop(1);
+            let new = rhs[a][d].get(rec) + inc;
+            rhs[a][d].set(new, rec);
+        }
+    }
+    for a in 0..4 {
+        for d in 0..3 {
+            let mut flux = 0.0;
+            for b in 0..4 {
+                let mut gdot = 0.0;
+                for i in 0..3 {
+                    gdot += grads[a][i].get(rec) * grads[b][i].get(rec);
+                }
+                rec.fma(3);
+                rec.fma(1);
+                flux += gdot * vel[b][d].get(rec);
+            }
+            rec.flop(3);
+            let new = rhs[a][d].get(rec) - volv * mu_eff.get(rec) * flux;
+            rhs[a][d].set(new, rec);
+        }
+    }
+
+    // --- Scatter the completed elemental RHS. ---
+    let mut elrhs = [[0.0; 3]; 4];
+    for a in 0..4 {
+        elrhs[a] = get3(&rhs[a], rec);
+    }
+    gather::scatter_elemental(sink, &nodes, &elrhs, lay, rec);
+}

@@ -1,0 +1,147 @@
+//! Modelled address-space layout for the instrumented kernels.
+//!
+//! The performance models see byte addresses; this module fixes where each
+//! logical array lives, mirroring how the Fortran code's arrays are laid
+//! out:
+//!
+//! * **nodal arrays** (coordinates, velocity, pressure, temperature, the
+//!   assembled RHS, the per-element ν_t) are component-blocked, exactly like
+//!   the real containers in `alya-fem`;
+//! * **intermediate workspaces** are interleaved with stride `VECTOR_DIM`:
+//!   value `v` of element lane `l` sits at `WS + (v · VECTOR_DIM + l) · 8`.
+//!   On the CPU (`VECTOR_DIM` = 16) the same window is reused for every
+//!   pack, so intermediates stay cache-resident; on the GPU path
+//!   (`VECTOR_DIM` = the whole launch) every element owns fresh addresses —
+//!   precisely the difference that makes the paper's baseline behave so
+//!   differently on the two targets.
+
+/// Base of the connectivity array (element → 4 node ids).
+pub const CONN_BASE: u64 = 0x0100_0000_0000;
+/// Base of the node-coordinate array (blocked x / y / z).
+pub const COORD_BASE: u64 = 0x0200_0000_0000;
+/// Base of the velocity field (blocked u / v / w).
+pub const VEL_BASE: u64 = 0x0300_0000_0000;
+/// Base of the pressure field.
+pub const PRES_BASE: u64 = 0x0400_0000_0000;
+/// Base of the temperature field.
+pub const TEMP_BASE: u64 = 0x0500_0000_0000;
+/// Base of the assembled RHS (blocked like velocity).
+pub const RHS_BASE: u64 = 0x0600_0000_0000;
+/// Base of the per-element turbulent-viscosity array (baseline path).
+pub const NUT_BASE: u64 = 0x0700_0000_0000;
+/// Base of the vectorized intermediate workspace.
+pub const WS_BASE: u64 = 0x1000_0000_0000;
+
+/// Addressing context of one element within one kernel execution.
+#[derive(Debug, Clone, Copy)]
+pub struct Layout {
+    /// Elements per vector (16 on the CPU path, the launch size on GPU).
+    pub vector_dim: usize,
+    /// This element's lane within the vector.
+    pub lane: usize,
+    /// Number of mesh nodes (for blocked nodal addressing).
+    pub num_nodes: usize,
+}
+
+impl Layout {
+    /// CPU-style layout: lane cycles within a reused pack window.
+    pub fn cpu(elem: usize, vector_dim: usize, num_nodes: usize) -> Self {
+        Self {
+            vector_dim,
+            lane: elem % vector_dim,
+            num_nodes,
+        }
+    }
+
+    /// GPU-style layout: the whole launch is one vector, every element gets
+    /// unique intermediate addresses.
+    pub fn gpu(elem: usize, launch_elems: usize, num_nodes: usize) -> Self {
+        Self {
+            vector_dim: launch_elems,
+            lane: elem,
+            num_nodes,
+        }
+    }
+
+    /// Address of intermediate value `v` for this lane.
+    #[inline]
+    pub fn ws(&self, v: usize) -> u64 {
+        WS_BASE + ((v * self.vector_dim + self.lane) as u64) * 8
+    }
+
+    /// Address of connectivity entry `a` of element `e`.
+    #[inline]
+    pub fn conn(&self, e: usize, a: usize) -> u64 {
+        CONN_BASE + ((e * 4 + a) as u64) * 8
+    }
+
+    /// Address of component `d` of node `n` in a blocked nodal vector array
+    /// rooted at `base`.
+    #[inline]
+    pub fn nodal_vec(&self, base: u64, n: usize, d: usize) -> u64 {
+        base + ((d * self.num_nodes + n) as u64) * 8
+    }
+
+    /// Address of node `n` in a blocked nodal scalar array at `base`.
+    #[inline]
+    pub fn nodal_scalar(&self, base: u64, n: usize) -> u64 {
+        base + (n as u64) * 8
+    }
+
+    /// Address of the per-element scalar `e` in an element array at `base`.
+    #[inline]
+    pub fn elemental(&self, base: u64, e: usize) -> u64 {
+        base + (e as u64) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_lanes_wrap_and_reuse_addresses() {
+        let a = Layout::cpu(3, 16, 100);
+        let b = Layout::cpu(19, 16, 100); // next pack, same lane
+        assert_eq!(a.lane, 3);
+        assert_eq!(b.lane, 3);
+        assert_eq!(a.ws(7), b.ws(7)); // the reuse that keeps the CPU in L1
+    }
+
+    #[test]
+    fn gpu_lanes_are_unique() {
+        let a = Layout::gpu(3, 1 << 20, 100);
+        let b = Layout::gpu(19, 1 << 20, 100);
+        assert_ne!(a.ws(7), b.ws(7));
+    }
+
+    #[test]
+    fn interleaving_makes_consecutive_lanes_adjacent() {
+        // Same value, consecutive lanes -> 8 bytes apart (coalesced).
+        let a = Layout::gpu(5, 1024, 10);
+        let b = Layout::gpu(6, 1024, 10);
+        assert_eq!(b.ws(3) - a.ws(3), 8);
+        // Different values of one lane are VECTOR_DIM * 8 apart.
+        assert_eq!(a.ws(4) - a.ws(3), 1024 * 8);
+    }
+
+    #[test]
+    fn nodal_blocked_addressing() {
+        let l = Layout::cpu(0, 16, 50);
+        assert_eq!(l.nodal_vec(VEL_BASE, 7, 0), VEL_BASE + 7 * 8);
+        assert_eq!(l.nodal_vec(VEL_BASE, 7, 2), VEL_BASE + (100 + 7) * 8);
+        assert_eq!(l.nodal_scalar(PRES_BASE, 3), PRES_BASE + 24);
+    }
+
+    #[test]
+    fn regions_do_not_overlap_for_realistic_sizes() {
+        // 6 M nodes, 32 M elements, 512 workspace values x 2 M lanes all fit
+        // inside their regions.
+        let nodal_span = 3u64 * 6_000_000 * 8;
+        assert!(COORD_BASE + nodal_span < VEL_BASE);
+        assert!(CONN_BASE + 32_000_000 * 4 * 8 < COORD_BASE);
+        let ws_span = 512u64 * 2_097_152 * 8;
+        assert!(WS_BASE.checked_add(ws_span).is_some());
+        assert!(NUT_BASE + 32_000_000 * 8 < WS_BASE);
+    }
+}

@@ -1,0 +1,175 @@
+//! The variant taxonomy (the paper's B / P / RS / RSP / RSPR letters).
+
+use alya_machine::gpu::RegisterDemand;
+use alya_machine::Space;
+
+use crate::kernels;
+
+/// One of the paper's five source-code variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Baseline: generic, elemental matrices, interleaved global arrays.
+    B,
+    /// Baseline structure with privatized (local-memory) arrays.
+    P,
+    /// Restructured + specialized, interleaved global arrays.
+    Rs,
+    /// Restructured + specialized + privatized to scalars.
+    Rsp,
+    /// RSP + immediate per-node scatter (GPU-oriented).
+    Rspr,
+}
+
+impl Variant {
+    /// All variants, in the paper's presentation order.
+    pub const ALL: [Variant; 5] = [
+        Variant::B,
+        Variant::P,
+        Variant::Rs,
+        Variant::Rsp,
+        Variant::Rspr,
+    ];
+
+    /// The paper's letter code.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::B => "B",
+            Variant::P => "P",
+            Variant::Rs => "RS",
+            Variant::Rsp => "RSP",
+            Variant::Rspr => "RSPR",
+        }
+    }
+
+    /// One-line description for reports.
+    pub fn description(self) -> &'static str {
+        match self {
+            Variant::B => "baseline (generic, elemental matrices, global arrays)",
+            Variant::P => "baseline + privatized local arrays",
+            Variant::Rs => "restructured + specialized, global arrays",
+            Variant::Rsp => "restructured + specialized + privatized scalars",
+            Variant::Rspr => "RSP + immediate scatter (GPU-oriented)",
+        }
+    }
+
+    /// Workspace slots per element (0 for the scalar-private variants).
+    pub fn nvalues(self) -> usize {
+        match self {
+            Variant::B | Variant::P => kernels::baseline::NVALUES,
+            Variant::Rs => kernels::rs::NVALUES,
+            Variant::Rsp | Variant::Rspr => 0,
+        }
+    }
+
+    /// Number of distinct intermediate arrays in the source (reporting).
+    pub fn num_arrays(self) -> usize {
+        match self {
+            Variant::B | Variant::P => kernels::baseline::NUM_ARRAYS,
+            Variant::Rs => kernels::rs::NUM_ARRAYS,
+            Variant::Rsp | Variant::Rspr => 0,
+        }
+    }
+
+    /// Memory space of the workspace, if the variant uses one.
+    pub fn workspace_space(self) -> Option<Space> {
+        match self {
+            Variant::B | Variant::Rs => Some(Space::Global),
+            Variant::P => Some(Space::Local),
+            Variant::Rsp | Variant::Rspr => None,
+        }
+    }
+
+    /// Whether the element type / properties / turbulence model are
+    /// compile-time specialized.
+    pub fn is_specialized(self) -> bool {
+        matches!(self, Variant::Rs | Variant::Rsp | Variant::Rspr)
+    }
+
+    /// Whether intermediates are thread-private.
+    pub fn is_privatized(self) -> bool {
+        matches!(self, Variant::P | Variant::Rsp | Variant::Rspr)
+    }
+
+    /// Whether the variant needs the ν_t precompute pass (the generic
+    /// baseline does; the specialized variants fold it in).
+    pub fn needs_nut_pass(self) -> bool {
+        !self.is_specialized()
+    }
+
+    /// Register-demand model for the GPU (see
+    /// [`alya_machine::gpu::RegisterDemand`]): array-style kernels are
+    /// sized by their workspace catalog, scalar-private kernels by the
+    /// measured live-value pressure.
+    pub fn register_demand(self, measured_pressure: u32) -> RegisterDemand {
+        match self {
+            Variant::B | Variant::P | Variant::Rs => RegisterDemand::ArrayStyle {
+                values_per_elem: self.nvalues() as u32,
+            },
+            Variant::Rsp | Variant::Rspr => RegisterDemand::Measured {
+                pressure: measured_pressure,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_sizes_mirror_the_paper() {
+        // Paper: 430 values in 32 arrays -> RS reduces to 130 in 13.
+        assert!(Variant::B.nvalues() > 400);
+        assert!((100..150).contains(&Variant::Rs.nvalues()));
+        assert_eq!(Variant::Rs.num_arrays(), 13);
+        assert_eq!(Variant::Rsp.nvalues(), 0);
+    }
+
+    #[test]
+    fn taxonomy_flags() {
+        assert!(!Variant::B.is_specialized());
+        assert!(!Variant::B.is_privatized());
+        assert!(Variant::P.is_privatized());
+        assert!(!Variant::P.is_specialized());
+        assert!(Variant::Rs.is_specialized());
+        assert!(!Variant::Rs.is_privatized());
+        assert!(Variant::Rsp.is_specialized() && Variant::Rsp.is_privatized());
+        assert!(Variant::B.needs_nut_pass());
+        assert!(Variant::P.needs_nut_pass());
+        assert!(!Variant::Rsp.needs_nut_pass());
+    }
+
+    #[test]
+    fn workspace_spaces() {
+        assert_eq!(Variant::B.workspace_space(), Some(Space::Global));
+        assert_eq!(Variant::P.workspace_space(), Some(Space::Local));
+        assert_eq!(Variant::Rs.workspace_space(), Some(Space::Global));
+        assert_eq!(Variant::Rspr.workspace_space(), None);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let names: Vec<&str> = Variant::ALL.iter().map(|v| v.name()).collect();
+        assert_eq!(names, vec!["B", "P", "RS", "RSP", "RSPR"]);
+        assert_eq!(Variant::Rsp.to_string(), "RSP");
+    }
+
+    #[test]
+    fn register_demand_kinds() {
+        use RegisterDemand::*;
+        assert!(matches!(
+            Variant::B.register_demand(0),
+            ArrayStyle { values_per_elem } if values_per_elem > 400
+        ));
+        assert!(matches!(
+            Variant::Rsp.register_demand(55),
+            Measured { pressure: 55 }
+        ));
+    }
+}

@@ -1,0 +1,177 @@
+//! Dirichlet boundary conditions.
+//!
+//! The LES examples need walls (no-slip), inflow profiles and free-slip
+//! lids. A [`DirichletBc`] marks constrained nodes with their prescribed
+//! values; applying it to a field sets the values, applying it to an RHS
+//! zeroes the constrained entries (strong imposition for explicit stepping).
+
+use alya_mesh::TetMesh;
+
+use crate::fields::{ScalarField, VectorField};
+
+/// A set of per-node vector constraints (componentwise).
+#[derive(Debug, Clone, Default)]
+pub struct DirichletBc {
+    /// `(node, component, value)` triplets, deduplicated on build.
+    constraints: Vec<(u32, u8, f64)>,
+}
+
+impl DirichletBc {
+    /// Empty constraint set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Constrains component `component` of node `node` to `value`.
+    pub fn fix(&mut self, node: usize, component: usize, value: f64) {
+        debug_assert!(component < 3);
+        self.constraints
+            .push((node as u32, component as u8, value));
+    }
+
+    /// Constrains all three components of `node` to `value`.
+    pub fn fix_vector(&mut self, node: usize, value: [f64; 3]) {
+        for d in 0..3 {
+            self.fix(node, d, value[d]);
+        }
+    }
+
+    /// Marks every node selected by `pred` (on its coordinates) with the
+    /// value produced by `value`.
+    pub fn fix_where(
+        &mut self,
+        mesh: &TetMesh,
+        pred: impl Fn([f64; 3]) -> bool,
+        value: impl Fn([f64; 3]) -> [f64; 3],
+    ) {
+        for (n, &p) in mesh.coords().iter().enumerate() {
+            if pred(p) {
+                self.fix_vector(n, value(p));
+            }
+        }
+    }
+
+    /// No-slip (zero velocity) on all nodes with `z` below `z_tol`.
+    pub fn no_slip_ground(mesh: &TetMesh, z_tol: f64) -> Self {
+        let mut bc = Self::new();
+        bc.fix_where(mesh, |p| p[2] <= z_tol, |_| [0.0; 3]);
+        bc
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True when no constraint is set.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Writes the prescribed values into the field.
+    pub fn apply_to_field(&self, field: &mut VectorField) {
+        for &(node, comp, value) in &self.constraints {
+            let n = node as usize;
+            let mut v = field.get(n);
+            v[comp as usize] = value;
+            field.set(n, v);
+        }
+    }
+
+    /// Zeroes constrained entries of an assembled RHS (their equations are
+    /// replaced by the constraint).
+    pub fn zero_rhs(&self, rhs: &mut VectorField) {
+        for &(node, comp, _) in &self.constraints {
+            let n = node as usize;
+            let mut v = rhs.get(n);
+            v[comp as usize] = 0.0;
+            rhs.set(n, v);
+        }
+    }
+
+    /// Zeroes constrained nodes of a scalar RHS (pressure fixes).
+    pub fn zero_scalar_rhs(&self, rhs: &mut ScalarField) {
+        for &(node, _, _) in &self.constraints {
+            rhs.set(node as usize, 0.0);
+        }
+    }
+
+    /// Iterates over `(node, component, value)` constraints.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.constraints
+            .iter()
+            .map(|&(n, c, v)| (n as usize, c as usize, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alya_mesh::BoxMeshBuilder;
+
+    #[test]
+    fn fix_and_apply() {
+        let mut bc = DirichletBc::new();
+        bc.fix(2, 1, 5.0);
+        let mut f = VectorField::zeros(4);
+        bc.apply_to_field(&mut f);
+        assert_eq!(f.get(2), [0.0, 5.0, 0.0]);
+        assert_eq!(bc.len(), 1);
+    }
+
+    #[test]
+    fn no_slip_ground_selects_bottom_nodes() {
+        let mesh = BoxMeshBuilder::new(3, 3, 3).build();
+        let bc = DirichletBc::no_slip_ground(&mesh, 1e-9);
+        // Bottom plane of a 3×3×3-box mesh has 4×4 nodes, 3 components each.
+        assert_eq!(bc.len(), 16 * 3);
+        let mut f = VectorField::from_fn(&mesh, |_| [1.0, 1.0, 1.0]);
+        bc.apply_to_field(&mut f);
+        for (n, &p) in mesh.coords().iter().enumerate() {
+            if p[2] <= 1e-9 {
+                assert_eq!(f.get(n), [0.0, 0.0, 0.0]);
+            } else {
+                assert_eq!(f.get(n), [1.0, 1.0, 1.0]);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rhs_only_touches_constrained_components() {
+        let mut bc = DirichletBc::new();
+        bc.fix(1, 0, 9.0);
+        let mut rhs = VectorField::zeros(2);
+        rhs.set(1, [3.0, 4.0, 5.0]);
+        bc.zero_rhs(&mut rhs);
+        assert_eq!(rhs.get(1), [0.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn fix_where_with_profile() {
+        let mesh = BoxMeshBuilder::new(2, 2, 2).build();
+        let mut bc = DirichletBc::new();
+        // Inflow at x = 0 with a z-dependent profile.
+        bc.fix_where(
+            &mesh,
+            |p| p[0] <= 1e-12,
+            |p| [p[2] * 2.0, 0.0, 0.0],
+        );
+        let mut f = VectorField::zeros(mesh.num_nodes());
+        bc.apply_to_field(&mut f);
+        for (n, &p) in mesh.coords().iter().enumerate() {
+            if p[0] <= 1e-12 {
+                assert!((f.get(n)[0] - 2.0 * p[2]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_rhs_zeroing() {
+        let mut bc = DirichletBc::new();
+        bc.fix(0, 0, 1.0);
+        let mut rhs = ScalarField::from_values(vec![7.0, 8.0]);
+        bc.zero_scalar_rhs(&mut rhs);
+        assert_eq!(rhs.get(0), 0.0);
+        assert_eq!(rhs.get(1), 8.0);
+    }
+}

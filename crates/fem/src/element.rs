@@ -1,0 +1,379 @@
+//! Reference elements and shape functions.
+//!
+//! Alya's original assembly takes the element kind, node count and Gauss
+//! point count as *runtime* parameters ([`ElementKind`]); the paper's
+//! Specialization fixes them at compile time for linear tetrahedra
+//! ([`Tet4`], four nodes, four Gauss points, constant shape gradients).
+
+/// Runtime description of an element type — the generic path the paper's
+/// baseline pays for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElementKind {
+    /// Linear tetrahedron: 4 nodes, 4 Gauss points.
+    Tet4,
+    /// Trilinear hexahedron: 8 nodes, 8 Gauss points.
+    Hex8,
+    /// Linear prism (wedge): 6 nodes, 6 Gauss points.
+    Prism6,
+}
+
+impl ElementKind {
+    /// Number of nodes.
+    pub fn num_nodes(self) -> usize {
+        match self {
+            ElementKind::Tet4 => 4,
+            ElementKind::Hex8 => 8,
+            ElementKind::Prism6 => 6,
+        }
+    }
+
+    /// Number of Gauss integration points used by Alya for this element.
+    pub fn num_gauss(self) -> usize {
+        match self {
+            ElementKind::Tet4 => 4,
+            ElementKind::Hex8 => 8,
+            ElementKind::Prism6 => 6,
+        }
+    }
+
+    /// Whether shape-function gradients are constant over the element
+    /// (true only for simplices with linear shape functions).
+    pub fn constant_gradients(self) -> bool {
+        matches!(self, ElementKind::Tet4)
+    }
+
+    /// Shape-function values at Gauss point `g` (length `num_nodes`).
+    pub fn shape_values(self, g: usize) -> Vec<f64> {
+        match self {
+            ElementKind::Tet4 => {
+                let p = TET4_GAUSS[g];
+                tet4_shape(p).to_vec()
+            }
+            ElementKind::Hex8 => {
+                let p = hex8_gauss(g);
+                hex8_shape(p).to_vec()
+            }
+            ElementKind::Prism6 => {
+                let p = PRISM6_GAUSS[g];
+                prism6_shape(p).to_vec()
+            }
+        }
+    }
+
+    /// Local (reference-space) shape-function gradients at Gauss point `g`:
+    /// `num_nodes` rows of `[d/dξ, d/dη, d/dζ]`.
+    pub fn local_gradients(self, g: usize) -> Vec<[f64; 3]> {
+        match self {
+            ElementKind::Tet4 => TET4_LOCAL_GRADS.to_vec(),
+            ElementKind::Hex8 => hex8_local_grads(hex8_gauss(g)).to_vec(),
+            ElementKind::Prism6 => prism6_local_grads(PRISM6_GAUSS[g]).to_vec(),
+        }
+    }
+
+    /// Quadrature weight at Gauss point `g` (reference-element measure).
+    pub fn gauss_weight(self, g: usize) -> f64 {
+        match self {
+            ElementKind::Tet4 => 1.0 / 24.0,
+            ElementKind::Hex8 => {
+                let _ = g;
+                1.0
+            }
+            // Triangle midpoint rule (1/6 each) × 2-point Gauss in ζ (1 each).
+            ElementKind::Prism6 => 1.0 / 6.0,
+        }
+    }
+}
+
+/// Compile-time linear tetrahedron — the specialized path.
+///
+/// Everything is a `const`: node count, Gauss count, Gauss locations and
+/// weights, and the local gradients. This is what lets the S-variants keep
+/// all loop trip counts known to the compiler (the Rust analogue of the
+/// paper's Fortran `parameter` specialization).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tet4;
+
+impl Tet4 {
+    /// Nodes per element.
+    pub const NUM_NODES: usize = 4;
+    /// Gauss points per element (Alya uses the 4-point rule).
+    pub const NUM_GAUSS: usize = 4;
+    /// Quadrature weight per Gauss point (reference tet volume 1/6 over 4).
+    pub const GAUSS_WEIGHT: f64 = 1.0 / 24.0;
+
+    /// Shape values at all Gauss points: `SHAPE[g][a]`.
+    pub const SHAPE: [[f64; 4]; 4] = tet4_shape_table();
+
+    /// Local gradients (constant for P1 tets): `LOCAL_GRADS[a] = ∇ξ N_a`.
+    pub const LOCAL_GRADS: [[f64; 3]; 4] = TET4_LOCAL_GRADS;
+}
+
+/// 4-point Gauss rule on the reference tetrahedron (degree-2 exact),
+/// barycentric parameters (a, b) = ((5+3√5)/20, (5−√5)/20).
+pub const TET4_GAUSS: [[f64; 3]; 4] = {
+    const A: f64 = 0.585_410_196_624_968_5; // (5 + 3 sqrt 5)/20
+    const B: f64 = 0.138_196_601_125_010_5; // (5 - sqrt 5)/20
+    [[B, B, B], [A, B, B], [B, A, B], [B, B, A]]
+};
+
+/// P1 tet shape functions at reference point `(ξ, η, ζ)`.
+#[inline]
+pub const fn tet4_shape(p: [f64; 3]) -> [f64; 4] {
+    [1.0 - p[0] - p[1] - p[2], p[0], p[1], p[2]]
+}
+
+const fn tet4_shape_table() -> [[f64; 4]; 4] {
+    [
+        tet4_shape(TET4_GAUSS[0]),
+        tet4_shape(TET4_GAUSS[1]),
+        tet4_shape(TET4_GAUSS[2]),
+        tet4_shape(TET4_GAUSS[3]),
+    ]
+}
+
+/// Constant local gradients of the P1 tet shape functions.
+pub const TET4_LOCAL_GRADS: [[f64; 3]; 4] = [
+    [-1.0, -1.0, -1.0],
+    [1.0, 0.0, 0.0],
+    [0.0, 1.0, 0.0],
+    [0.0, 0.0, 1.0],
+];
+
+// --- Hex8 (trilinear hexahedron on [-1, 1]^3) ------------------------------
+
+/// Reference-corner signs of the 8 hex nodes.
+const HEX8_SIGNS: [[f64; 3]; 8] = [
+    [-1.0, -1.0, -1.0],
+    [1.0, -1.0, -1.0],
+    [1.0, 1.0, -1.0],
+    [-1.0, 1.0, -1.0],
+    [-1.0, -1.0, 1.0],
+    [1.0, -1.0, 1.0],
+    [1.0, 1.0, 1.0],
+    [-1.0, 1.0, 1.0],
+];
+
+/// 2×2×2 Gauss point `g` of the reference hex.
+pub fn hex8_gauss(g: usize) -> [f64; 3] {
+    let q = 1.0 / 3.0f64.sqrt();
+    [
+        if g & 1 == 0 { -q } else { q },
+        if g & 2 == 0 { -q } else { q },
+        if g & 4 == 0 { -q } else { q },
+    ]
+}
+
+/// Trilinear shape functions at `(ξ, η, ζ)`.
+pub fn hex8_shape(p: [f64; 3]) -> [f64; 8] {
+    let mut n = [0.0; 8];
+    for (a, s) in HEX8_SIGNS.iter().enumerate() {
+        n[a] = 0.125 * (1.0 + s[0] * p[0]) * (1.0 + s[1] * p[1]) * (1.0 + s[2] * p[2]);
+    }
+    n
+}
+
+/// Local gradients of the trilinear shape functions at `(ξ, η, ζ)`.
+pub fn hex8_local_grads(p: [f64; 3]) -> [[f64; 3]; 8] {
+    let mut g = [[0.0; 3]; 8];
+    for (a, s) in HEX8_SIGNS.iter().enumerate() {
+        g[a] = [
+            0.125 * s[0] * (1.0 + s[1] * p[1]) * (1.0 + s[2] * p[2]),
+            0.125 * (1.0 + s[0] * p[0]) * s[1] * (1.0 + s[2] * p[2]),
+            0.125 * (1.0 + s[0] * p[0]) * (1.0 + s[1] * p[1]) * s[2],
+        ];
+    }
+    g
+}
+
+// --- Prism6 (linear wedge: triangle × line) --------------------------------
+
+/// 6-point rule: the 3 triangle midside-ish points × 2 Gauss points in ζ.
+pub const PRISM6_GAUSS: [[f64; 3]; 6] = {
+    const Q: f64 = 0.577_350_269_189_625_8; // 1/sqrt(3)
+    [
+        [2.0 / 3.0, 1.0 / 6.0, -Q],
+        [1.0 / 6.0, 2.0 / 3.0, -Q],
+        [1.0 / 6.0, 1.0 / 6.0, -Q],
+        [2.0 / 3.0, 1.0 / 6.0, Q],
+        [1.0 / 6.0, 2.0 / 3.0, Q],
+        [1.0 / 6.0, 1.0 / 6.0, Q],
+    ]
+};
+
+/// Wedge shape functions: triangle barycentric × linear in ζ ∈ [-1, 1].
+pub fn prism6_shape(p: [f64; 3]) -> [f64; 6] {
+    let (r, s, t) = (p[0], p[1], p[2]);
+    let lam = [1.0 - r - s, r, s];
+    let lo = 0.5 * (1.0 - t);
+    let hi = 0.5 * (1.0 + t);
+    [
+        lam[0] * lo,
+        lam[1] * lo,
+        lam[2] * lo,
+        lam[0] * hi,
+        lam[1] * hi,
+        lam[2] * hi,
+    ]
+}
+
+/// Local gradients of the wedge shape functions.
+pub fn prism6_local_grads(p: [f64; 3]) -> [[f64; 3]; 6] {
+    let (r, s, t) = (p[0], p[1], p[2]);
+    let lam = [1.0 - r - s, r, s];
+    let dlam = [[-1.0, -1.0], [1.0, 0.0], [0.0, 1.0]];
+    let lo = 0.5 * (1.0 - t);
+    let hi = 0.5 * (1.0 + t);
+    let mut g = [[0.0; 3]; 6];
+    for a in 0..3 {
+        g[a] = [dlam[a][0] * lo, dlam[a][1] * lo, -0.5 * lam[a]];
+        g[a + 3] = [dlam[a][0] * hi, dlam[a][1] * hi, 0.5 * lam[a]];
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kinds() -> [ElementKind; 3] {
+        [ElementKind::Tet4, ElementKind::Hex8, ElementKind::Prism6]
+    }
+
+    #[test]
+    fn partition_of_unity_at_all_gauss_points() {
+        for kind in all_kinds() {
+            for g in 0..kind.num_gauss() {
+                let sum: f64 = kind.shape_values(g).iter().sum();
+                assert!((sum - 1.0).abs() < 1e-14, "{kind:?} gauss {g}: {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn local_gradients_sum_to_zero() {
+        for kind in all_kinds() {
+            for g in 0..kind.num_gauss() {
+                let grads = kind.local_gradients(g);
+                for d in 0..3 {
+                    let sum: f64 = grads.iter().map(|r| r[d]).sum();
+                    assert!(sum.abs() < 1e-14, "{kind:?} gauss {g} dir {d}: {sum}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gauss_weights_integrate_reference_volume() {
+        // Tet: 1/6. Hex: 8. Prism: 1 (triangle 1/2 × length 2).
+        let expect = [1.0 / 6.0, 8.0, 1.0];
+        for (kind, &v) in all_kinds().iter().zip(&expect) {
+            let total: f64 = (0..kind.num_gauss()).map(|g| kind.gauss_weight(g)).sum();
+            assert!((total - v).abs() < 1e-14, "{kind:?}: {total} != {v}");
+        }
+    }
+
+    #[test]
+    fn tet4_tables_match_runtime_path() {
+        for g in 0..4 {
+            let rt = ElementKind::Tet4.shape_values(g);
+            for a in 0..4 {
+                assert!((rt[a] - Tet4::SHAPE[g][a]).abs() < 1e-15);
+            }
+            let gr = ElementKind::Tet4.local_gradients(g);
+            assert_eq!(gr, Tet4::LOCAL_GRADS.to_vec());
+        }
+        assert_eq!(ElementKind::Tet4.gauss_weight(0), Tet4::GAUSS_WEIGHT);
+    }
+
+    #[test]
+    fn tet4_gauss_rule_integrates_linear_exactly() {
+        // ∫_T ξ dV over reference tet = 1/24; rule must hit it exactly.
+        let integral: f64 = (0..4)
+            .map(|g| Tet4::GAUSS_WEIGHT * TET4_GAUSS[g][0])
+            .sum();
+        assert!((integral - 1.0 / 24.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tet4_gauss_rule_integrates_quadratic_exactly() {
+        // ∫_T ξ² dV = 1/60 over the reference tet; 4-point rule is degree-2.
+        let integral: f64 = (0..4)
+            .map(|g| Tet4::GAUSS_WEIGHT * TET4_GAUSS[g][0] * TET4_GAUSS[g][0])
+            .sum();
+        assert!((integral - 1.0 / 60.0).abs() < 1e-15, "{integral}");
+    }
+
+    #[test]
+    fn shape_values_are_kronecker_at_nodes() {
+        // Tet nodes in reference space.
+        let nodes = [
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ];
+        for (a, &p) in nodes.iter().enumerate() {
+            let n = tet4_shape(p);
+            for b in 0..4 {
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((n[b] - expect).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn hex8_shape_kronecker_at_corners() {
+        for (a, s) in HEX8_SIGNS.iter().enumerate() {
+            let n = hex8_shape(*s);
+            for b in 0..8 {
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((n[b] - expect).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn hex8_gradients_match_finite_differences() {
+        let p = [0.3, -0.2, 0.55];
+        let g = hex8_local_grads(p);
+        let h = 1e-6;
+        for d in 0..3 {
+            let mut pp = p;
+            let mut pm = p;
+            pp[d] += h;
+            pm[d] -= h;
+            let np = hex8_shape(pp);
+            let nm = hex8_shape(pm);
+            for a in 0..8 {
+                let fd = (np[a] - nm[a]) / (2.0 * h);
+                assert!((fd - g[a][d]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn prism6_gradients_match_finite_differences() {
+        let p = [0.25, 0.3, 0.1];
+        let g = prism6_local_grads(p);
+        let h = 1e-6;
+        for d in 0..3 {
+            let mut pp = p;
+            let mut pm = p;
+            pp[d] += h;
+            pm[d] -= h;
+            let np = prism6_shape(pp);
+            let nm = prism6_shape(pm);
+            for a in 0..6 {
+                let fd = (np[a] - nm[a]) / (2.0 * h);
+                assert!((fd - g[a][d]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn only_tet4_has_constant_gradients() {
+        assert!(ElementKind::Tet4.constant_gradients());
+        assert!(!ElementKind::Hex8.constant_gradients());
+        assert!(!ElementKind::Prism6.constant_gradients());
+    }
+}

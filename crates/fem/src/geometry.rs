@@ -1,0 +1,319 @@
+//! Element geometry: Jacobians and physical shape-function gradients.
+//!
+//! The generic path maps local gradients through the inverse Jacobian at each
+//! Gauss point; the specialized tet path uses the closed-form constant
+//! gradients ([`tet4_gradients`]) that make the paper's Specialization win
+//! possible (one gradient set per element instead of one per Gauss point).
+
+use crate::element::ElementKind;
+
+/// 3×3 matrix as rows.
+pub type Mat3 = [[f64; 3]; 3];
+
+/// Determinant of a 3×3 matrix.
+#[inline]
+pub fn det3(m: &Mat3) -> f64 {
+    m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+        - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+        + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+}
+
+/// Inverse of a 3×3 matrix; returns `None` when `|det| <= tiny`.
+pub fn inv3(m: &Mat3) -> Option<Mat3> {
+    let d = det3(m);
+    if d.abs() <= f64::MIN_POSITIVE {
+        return None;
+    }
+    let inv_d = 1.0 / d;
+    Some([
+        [
+            (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_d,
+            (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_d,
+            (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_d,
+        ],
+        [
+            (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_d,
+            (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_d,
+            (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_d,
+        ],
+        [
+            (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_d,
+            (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_d,
+            (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_d,
+        ],
+    ])
+}
+
+/// Closed-form physical gradients and volume for a linear tetrahedron.
+///
+/// Returns `(grads, volume)` with `grads[a] = ∇N_a` (constant over the
+/// element) and the signed volume. This is the core of the specialized path:
+/// no Jacobian inversion per Gauss point, just one 3×3 solve per element.
+#[inline]
+pub fn tet4_gradients(coords: &[[f64; 3]; 4]) -> ([[f64; 3]; 4], f64) {
+    // Jacobian rows: edge vectors from node 0.
+    let j: Mat3 = [
+        [
+            coords[1][0] - coords[0][0],
+            coords[1][1] - coords[0][1],
+            coords[1][2] - coords[0][2],
+        ],
+        [
+            coords[2][0] - coords[0][0],
+            coords[2][1] - coords[0][1],
+            coords[2][2] - coords[0][2],
+        ],
+        [
+            coords[3][0] - coords[0][0],
+            coords[3][1] - coords[0][1],
+            coords[3][2] - coords[0][2],
+        ],
+    ];
+    let det = det3(&j);
+    let volume = det / 6.0;
+    // ∇N_a = J^{-T} ∇ξ N_a; for P1 tets ∇ξ N_{1..3} are the unit axes so the
+    // physical gradients are the columns of J^{-1}; node 0 closes the sum.
+    let inv = inv3(&j).expect("degenerate tetrahedron");
+    let mut grads = [[0.0; 3]; 4];
+    for d in 0..3 {
+        grads[1][d] = inv[d][0];
+        grads[2][d] = inv[d][1];
+        grads[3][d] = inv[d][2];
+        grads[0][d] = -(inv[d][0] + inv[d][1] + inv[d][2]);
+    }
+    (grads, volume)
+}
+
+/// Jacobian matrix at one Gauss point of a generic element:
+/// `J[d][e] = Σ_a x_a[d] · ∂N_a/∂ξ_e`.
+pub fn jacobian(coords: &[[f64; 3]], local_grads: &[[f64; 3]]) -> Mat3 {
+    let mut j = [[0.0; 3]; 3];
+    for (x, g) in coords.iter().zip(local_grads) {
+        for d in 0..3 {
+            for e in 0..3 {
+                j[d][e] += x[d] * g[e];
+            }
+        }
+    }
+    j
+}
+
+/// Physical shape gradients and integration measure at Gauss point `g` of a
+/// generic element — the per-Gauss-point work the baseline path performs.
+///
+/// Returns `(grads, jac_det)`; the integration weight is
+/// `kind.gauss_weight(g) * jac_det`.
+pub fn physical_gradients(
+    kind: ElementKind,
+    g: usize,
+    coords: &[[f64; 3]],
+) -> (Vec<[f64; 3]>, f64) {
+    let local = kind.local_gradients(g);
+    let j = jacobian(coords, &local);
+    let det = det3(&j);
+    let inv = inv3(&j).expect("degenerate element");
+    let mut grads = vec![[0.0; 3]; kind.num_nodes()];
+    for (a, lg) in local.iter().enumerate() {
+        for d in 0..3 {
+            // ∇N_a = J^{-T} ∇ξ N_a  (inv indexed as inv[row][col] of J^{-1}).
+            grads[a][d] = inv[0][d] * lg[0] + inv[1][d] * lg[1] + inv[2][d] * lg[2];
+        }
+    }
+    (grads, det)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIT_TET: [[f64; 3]; 4] = [
+        [0.0, 0.0, 0.0],
+        [1.0, 0.0, 0.0],
+        [0.0, 1.0, 0.0],
+        [0.0, 0.0, 1.0],
+    ];
+
+    fn random_tet(seed: u64) -> [[f64; 3]; 4] {
+        // Cheap deterministic scrambling, guaranteed positive volume by
+        // construction (perturbed unit tet).
+        let mut s = seed;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 0.4
+        };
+        let mut t = UNIT_TET;
+        for p in &mut t {
+            for d in 0..3 {
+                p[d] += next();
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn det_and_inv_roundtrip() {
+        let m: Mat3 = [[2.0, 1.0, 0.5], [0.1, 3.0, 0.2], [0.4, 0.3, 1.5]];
+        let inv = inv3(&m).unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                let id: f64 = (0..3).map(|k| m[r][k] * inv[k][c]).sum();
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!((id - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn inv3_rejects_singular() {
+        let m: Mat3 = [[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 1.0, 0.0]];
+        assert!(inv3(&m).is_none());
+    }
+
+    #[test]
+    fn unit_tet_gradients() {
+        let (g, v) = tet4_gradients(&UNIT_TET);
+        assert!((v - 1.0 / 6.0).abs() < 1e-15);
+        assert_eq!(g[1], [1.0, 0.0, 0.0]);
+        assert_eq!(g[2], [0.0, 1.0, 0.0]);
+        assert_eq!(g[3], [0.0, 0.0, 1.0]);
+        assert_eq!(g[0], [-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn gradients_reproduce_linear_fields_exactly() {
+        // For u(x) = a·x + b, Σ_a u(x_a) ∇N_a must equal a.
+        let coef = [0.7, -1.3, 2.1];
+        for seed in 0..10 {
+            let t = random_tet(seed);
+            let (g, v) = tet4_gradients(&t);
+            assert!(v > 0.0, "seed {seed} inverted");
+            let mut grad_u = [0.0; 3];
+            for a in 0..4 {
+                let u = coef[0] * t[a][0] + coef[1] * t[a][1] + coef[2] * t[a][2] + 0.5;
+                for d in 0..3 {
+                    grad_u[d] += u * g[a][d];
+                }
+            }
+            for d in 0..3 {
+                assert!((grad_u[d] - coef[d]).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        for seed in 0..10 {
+            let (g, _) = tet4_gradients(&random_tet(seed));
+            for d in 0..3 {
+                let s: f64 = (0..4).map(|a| g[a][d]).sum();
+                assert!(s.abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn generic_path_matches_specialized_on_tets() {
+        for seed in 0..5 {
+            let t = random_tet(seed);
+            let (gs, v) = tet4_gradients(&t);
+            for g in 0..4 {
+                let (gg, det) = physical_gradients(ElementKind::Tet4, g, &t);
+                assert!((det / 6.0 - v).abs() < 1e-12);
+                for a in 0..4 {
+                    for d in 0..3 {
+                        assert!(
+                            (gg[a][d] - gs[a][d]).abs() < 1e-10,
+                            "seed {seed} gauss {g} node {a} dir {d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hex_jacobian_of_unit_cube() {
+        // Unit cube [0,1]^3 maps from [-1,1]^3 with J = I/2, det = 1/8.
+        let corners: Vec<[f64; 3]> = (0..8)
+            .map(|i| {
+                [
+                    (i & 1) as f64,
+                    ((i >> 1) & 1) as f64,
+                    ((i >> 2) & 1) as f64,
+                ]
+            })
+            .collect();
+        // Reorder to hex convention (0,1,2,3 bottom loop; 4..7 top loop).
+        let hex = [
+            corners[0], corners[1], corners[3], corners[2], corners[4], corners[5], corners[7],
+            corners[6],
+        ];
+        for g in 0..8 {
+            let (_, det) = physical_gradients(ElementKind::Hex8, g, &hex);
+            assert!((det - 0.125).abs() < 1e-13);
+        }
+        // Total integrated volume = Σ_g w_g det = 8 × 1 × 1/8 = 1.
+        let vol: f64 = (0..8)
+            .map(|g| {
+                let (_, det) = physical_gradients(ElementKind::Hex8, g, &hex);
+                ElementKind::Hex8.gauss_weight(g) * det
+            })
+            .sum();
+        assert!((vol - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn hex_gradients_reproduce_linear_field() {
+        let hex = [
+            [0.0, 0.0, 0.0],
+            [1.1, 0.0, 0.1],
+            [1.2, 1.0, 0.0],
+            [0.1, 1.1, 0.0],
+            [0.0, 0.1, 1.0],
+            [1.0, 0.0, 1.2],
+            [1.1, 1.0, 1.1],
+            [0.0, 1.0, 1.0],
+        ];
+        let coef = [0.3, -0.8, 1.4];
+        for g in 0..8 {
+            let (grads, _) = physical_gradients(ElementKind::Hex8, g, &hex);
+            let mut grad_u = [0.0; 3];
+            for a in 0..8 {
+                let u = coef[0] * hex[a][0] + coef[1] * hex[a][1] + coef[2] * hex[a][2] + 2.0;
+                for d in 0..3 {
+                    grad_u[d] += u * grads[a][d];
+                }
+            }
+            for d in 0..3 {
+                assert!((grad_u[d] - coef[d]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn prism_gradients_reproduce_linear_field() {
+        let prism = [
+            [0.0, 0.0, 0.0],
+            [1.0, 0.1, 0.0],
+            [0.0, 1.0, 0.1],
+            [0.1, 0.0, 1.0],
+            [1.1, 0.0, 1.1],
+            [0.0, 1.1, 1.0],
+        ];
+        let coef = [1.0, 0.5, -0.25];
+        for g in 0..6 {
+            let (grads, det) = physical_gradients(ElementKind::Prism6, g, &prism);
+            assert!(det > 0.0);
+            let mut grad_u = [0.0; 3];
+            for a in 0..6 {
+                let u = coef[0] * prism[a][0] + coef[1] * prism[a][1] + coef[2] * prism[a][2];
+                for d in 0..3 {
+                    grad_u[d] += u * grads[a][d];
+                }
+            }
+            for d in 0..3 {
+                assert!((grad_u[d] - coef[d]).abs() < 1e-10);
+            }
+        }
+    }
+}

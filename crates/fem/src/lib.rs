@@ -1,0 +1,52 @@
+//! # alya-fem — finite-element substrate
+//!
+//! Everything the Navier–Stokes RHS assembly consumes: reference elements and
+//! shape functions, Gauss quadrature, element geometry (Jacobians and
+//! physical shape-function gradients), nodal field containers, the Vreman
+//! eddy-viscosity LES model, constitutive (density/viscosity) models, and
+//! Dirichlet boundary conditions.
+//!
+//! Two parallel APIs mirror the paper's *Specialization* axis:
+//!
+//! * a **generic** path — runtime element kinds ([`element::ElementKind`]),
+//!   per-Gauss-point shape gradients, constitutive models evaluated through
+//!   [`material::ConstitutiveModel`], turbulence evaluated per Gauss point —
+//!   this is what the **B**aseline assembly variant uses, paying the paper's
+//!   "generality tax";
+//! * a **specialized** path — compile-time linear tetrahedra
+//!   ([`element::Tet4`]) with constant shape gradients
+//!   ([`geometry::tet4_gradients`]), constant material properties, and the
+//!   per-element Vreman evaluation ([`turbulence::vreman_nu_t`]) — what the
+//!   **S** variants use.
+//!
+//! ```
+//! use alya_fem::geometry::tet4_gradients;
+//!
+//! let coords = [
+//!     [0.0, 0.0, 0.0],
+//!     [1.0, 0.0, 0.0],
+//!     [0.0, 1.0, 0.0],
+//!     [0.0, 0.0, 1.0],
+//! ];
+//! let (grads, volume) = tet4_gradients(&coords);
+//! assert!((volume - 1.0 / 6.0).abs() < 1e-14);
+//! // Shape-gradient rows sum to zero (partition of unity differentiated).
+//! for d in 0..3 {
+//!     let s: f64 = (0..4).map(|a| grads[a][d]).sum();
+//!     assert!(s.abs() < 1e-12);
+//! }
+//! ```
+
+pub mod bc;
+pub mod element;
+pub mod fields;
+pub mod geometry;
+pub mod material;
+pub mod quadrature;
+pub mod turbulence;
+
+pub use element::{ElementKind, Tet4};
+pub use fields::{ScalarField, VectorField};
+pub use geometry::tet4_gradients;
+pub use material::{ConstantProperties, ConstitutiveModel};
+pub use turbulence::VremanModel;

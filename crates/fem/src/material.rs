@@ -1,0 +1,196 @@
+//! Constitutive (density / viscosity) models.
+//!
+//! Alya's default assembly supports property laws that depend on other
+//! unknowns (e.g. temperature), evaluated by dedicated subroutines selected
+//! from the input file at run time. The paper's Specialization replaces this
+//! with compile-time constants. Both paths exist here:
+//!
+//! * [`ConstitutiveModel`] — the runtime-dispatched generality the baseline
+//!   **B** variant drags through the assembly;
+//! * [`ConstantProperties`] — the specialized constants the **S** variants
+//!   bake in.
+
+/// Runtime-selected property law, evaluated per Gauss point.
+pub trait ConstitutiveModel: Send + Sync {
+    /// Density at the given temperature.
+    fn density(&self, temperature: f64) -> f64;
+    /// Dynamic viscosity at the given temperature.
+    fn viscosity(&self, temperature: f64) -> f64;
+
+    /// True when the law ignores the temperature (lets callers hoist).
+    fn is_constant(&self) -> bool {
+        false
+    }
+}
+
+/// Constant density and viscosity — the overwhelmingly common case the paper
+/// specializes for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantProperties {
+    /// Density ρ.
+    pub density: f64,
+    /// Dynamic viscosity μ.
+    pub viscosity: f64,
+}
+
+impl ConstantProperties {
+    /// Air-like defaults (ρ = 1.2 kg/m³, μ = 1.8e-5 Pa·s), the Bolund
+    /// atmospheric-boundary-layer setting.
+    pub const AIR: Self = Self {
+        density: 1.2,
+        viscosity: 1.8e-5,
+    };
+
+    /// Water-like properties.
+    pub const WATER: Self = Self {
+        density: 1000.0,
+        viscosity: 1.0e-3,
+    };
+
+    /// Unit properties (useful in tests).
+    pub const UNIT: Self = Self {
+        density: 1.0,
+        viscosity: 1.0,
+    };
+
+    /// Kinematic viscosity ν = μ/ρ.
+    pub fn kinematic_viscosity(&self) -> f64 {
+        self.viscosity / self.density
+    }
+}
+
+impl ConstitutiveModel for ConstantProperties {
+    fn density(&self, _temperature: f64) -> f64 {
+        self.density
+    }
+
+    fn viscosity(&self, _temperature: f64) -> f64 {
+        self.viscosity
+    }
+
+    fn is_constant(&self) -> bool {
+        true
+    }
+}
+
+/// Ideal-gas density with Sutherland viscosity — a representative
+/// temperature-dependent law exercising the generic path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SutherlandAir {
+    /// Reference pressure over the gas constant, `p / R` (so ρ = pR⁻¹ / T).
+    pub p_over_r: f64,
+    /// Sutherland reference viscosity μ₀ at T₀.
+    pub mu0: f64,
+    /// Sutherland reference temperature T₀.
+    pub t0: f64,
+    /// Sutherland constant S.
+    pub s: f64,
+}
+
+impl SutherlandAir {
+    /// Standard air coefficients at atmospheric pressure.
+    pub fn standard() -> Self {
+        Self {
+            p_over_r: 101_325.0 / 287.05,
+            mu0: 1.716e-5,
+            t0: 273.15,
+            s: 110.4,
+        }
+    }
+}
+
+impl ConstitutiveModel for SutherlandAir {
+    fn density(&self, temperature: f64) -> f64 {
+        self.p_over_r / temperature
+    }
+
+    fn viscosity(&self, temperature: f64) -> f64 {
+        self.mu0 * (temperature / self.t0).powf(1.5) * (self.t0 + self.s) / (temperature + self.s)
+    }
+}
+
+/// Linear-in-temperature law (Boussinesq-style), another generic-path case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearTemperature {
+    /// Density at the reference temperature.
+    pub rho_ref: f64,
+    /// Viscosity at the reference temperature.
+    pub mu_ref: f64,
+    /// Reference temperature.
+    pub t_ref: f64,
+    /// Thermal expansion coefficient β (ρ = ρ_ref (1 − β (T − T_ref))).
+    pub beta: f64,
+}
+
+impl ConstitutiveModel for LinearTemperature {
+    fn density(&self, temperature: f64) -> f64 {
+        self.rho_ref * (1.0 - self.beta * (temperature - self.t_ref))
+    }
+
+    fn viscosity(&self, _temperature: f64) -> f64 {
+        self.mu_ref
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_properties_ignore_temperature() {
+        let m = ConstantProperties::AIR;
+        assert_eq!(m.density(250.0), m.density(350.0));
+        assert_eq!(m.viscosity(250.0), m.viscosity(350.0));
+        assert!(m.is_constant());
+    }
+
+    #[test]
+    fn kinematic_viscosity() {
+        let m = ConstantProperties {
+            density: 2.0,
+            viscosity: 3.0,
+        };
+        assert!((m.kinematic_viscosity() - 1.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sutherland_matches_reference_point() {
+        let m = SutherlandAir::standard();
+        assert!((m.viscosity(273.15) - 1.716e-5).abs() < 1e-9);
+        // Viscosity of gases increases with temperature.
+        assert!(m.viscosity(350.0) > m.viscosity(273.15));
+        // Ideal-gas density decreases with temperature.
+        assert!(m.density(350.0) < m.density(273.15));
+        assert!(!m.is_constant());
+    }
+
+    #[test]
+    fn sutherland_air_density_near_1_2() {
+        let m = SutherlandAir::standard();
+        let rho = m.density(293.15);
+        assert!((rho - 1.204).abs() < 0.01, "rho = {rho}");
+    }
+
+    #[test]
+    fn linear_temperature_density_slope() {
+        let m = LinearTemperature {
+            rho_ref: 1000.0,
+            mu_ref: 1e-3,
+            t_ref: 300.0,
+            beta: 2e-4,
+        };
+        assert!((m.density(300.0) - 1000.0).abs() < 1e-12);
+        assert!((m.density(310.0) - 998.0).abs() < 1e-9);
+        assert_eq!(m.viscosity(500.0), 1e-3);
+    }
+
+    #[test]
+    fn trait_objects_dispatch() {
+        let models: Vec<Box<dyn ConstitutiveModel>> = vec![
+            Box::new(ConstantProperties::UNIT),
+            Box::new(SutherlandAir::standard()),
+        ];
+        assert_eq!(models[0].density(300.0), 1.0);
+        assert!(models[1].density(300.0) > 1.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Quadrature rules.
+//!
+//! The element tables in [`crate::element`] hard-wire the rules Alya uses
+//! (4-point tet, 2×2×2 hex, 6-point wedge); this module provides the general
+//! rule families those tables are drawn from, used for validation and by the
+//! pressure-Poisson assembly in `alya-solver`.
+
+/// A quadrature rule on some reference domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quadrature {
+    /// Point locations in reference coordinates.
+    pub points: Vec<[f64; 3]>,
+    /// Weights (sum to the reference-domain measure).
+    pub weights: Vec<f64>,
+}
+
+impl Quadrature {
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the rule has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Integrates `f` over the reference domain.
+    pub fn integrate(&self, mut f: impl FnMut([f64; 3]) -> f64) -> f64 {
+        self.points
+            .iter()
+            .zip(&self.weights)
+            .map(|(&p, &w)| w * f(p))
+            .sum()
+    }
+}
+
+/// Gauss–Legendre rule with `n` points on `[-1, 1]` (exact to degree 2n−1).
+/// Supports `n` in `1..=4`.
+pub fn gauss_legendre_1d(n: usize) -> (Vec<f64>, Vec<f64>) {
+    match n {
+        1 => (vec![0.0], vec![2.0]),
+        2 => {
+            let q = 1.0 / 3.0f64.sqrt();
+            (vec![-q, q], vec![1.0, 1.0])
+        }
+        3 => {
+            let q = (3.0f64 / 5.0).sqrt();
+            (vec![-q, 0.0, q], vec![5.0 / 9.0, 8.0 / 9.0, 5.0 / 9.0])
+        }
+        4 => {
+            let a = (3.0 / 7.0 - 2.0 / 7.0 * (6.0f64 / 5.0).sqrt()).sqrt();
+            let b = (3.0 / 7.0 + 2.0 / 7.0 * (6.0f64 / 5.0).sqrt()).sqrt();
+            let wa = (18.0 + 30.0f64.sqrt()) / 36.0;
+            let wb = (18.0 - 30.0f64.sqrt()) / 36.0;
+            (vec![-b, -a, a, b], vec![wb, wa, wa, wb])
+        }
+        _ => panic!("gauss_legendre_1d supports 1..=4 points, got {n}"),
+    }
+}
+
+/// Tensor-product Gauss rule on the reference hex `[-1, 1]^3`.
+pub fn hex_rule(n: usize) -> Quadrature {
+    let (x, w) = gauss_legendre_1d(n);
+    let mut points = Vec::with_capacity(n * n * n);
+    let mut weights = Vec::with_capacity(n * n * n);
+    for k in 0..n {
+        for j in 0..n {
+            for i in 0..n {
+                points.push([x[i], x[j], x[k]]);
+                weights.push(w[i] * w[j] * w[k]);
+            }
+        }
+    }
+    Quadrature { points, weights }
+}
+
+/// Symmetric rules on the reference tetrahedron (measure 1/6),
+/// exact to the given polynomial `degree` (supports 1..=3).
+pub fn tet_rule(degree: usize) -> Quadrature {
+    match degree {
+        0 | 1 => Quadrature {
+            points: vec![[0.25, 0.25, 0.25]],
+            weights: vec![1.0 / 6.0],
+        },
+        2 => {
+            let a = (5.0 + 3.0 * 5.0f64.sqrt()) / 20.0;
+            let b = (5.0 - 5.0f64.sqrt()) / 20.0;
+            Quadrature {
+                points: vec![[b, b, b], [a, b, b], [b, a, b], [b, b, a]],
+                weights: vec![1.0 / 24.0; 4],
+            }
+        }
+        3 => {
+            // 5-point rule: centroid (negative weight) + 4 symmetric points.
+            let a = 0.5;
+            let b = 1.0 / 6.0;
+            Quadrature {
+                points: vec![
+                    [0.25, 0.25, 0.25],
+                    [b, b, b],
+                    [a, b, b],
+                    [b, a, b],
+                    [b, b, a],
+                ],
+                weights: vec![
+                    -4.0 / 30.0,
+                    9.0 / 120.0,
+                    9.0 / 120.0,
+                    9.0 / 120.0,
+                    9.0 / 120.0,
+                ],
+            }
+        }
+        _ => panic!("tet_rule supports degree 1..=3, got {degree}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact monomial integrals over the reference tet:
+    /// ∫ ξ^p η^q ζ^r dV = p! q! r! / (p+q+r+3)!.
+    fn tet_monomial(p: u32, q: u32, r: u32) -> f64 {
+        fn fact(n: u32) -> f64 {
+            (1..=n).map(|k| k as f64).product()
+        }
+        fact(p) * fact(q) * fact(r) / fact(p + q + r + 3)
+    }
+
+    #[test]
+    fn gauss_legendre_integrates_polynomials() {
+        for n in 1..=4 {
+            let (x, w) = gauss_legendre_1d(n);
+            assert!((w.iter().sum::<f64>() - 2.0).abs() < 1e-14);
+            // Exact through degree 2n-1.
+            for degree in 0..(2 * n) {
+                let num: f64 = x
+                    .iter()
+                    .zip(&w)
+                    .map(|(&xi, &wi)| wi * xi.powi(degree as i32))
+                    .sum();
+                let exact = if degree % 2 == 1 {
+                    0.0
+                } else {
+                    2.0 / (degree as f64 + 1.0)
+                };
+                assert!(
+                    (num - exact).abs() < 1e-13,
+                    "n={n} degree={degree}: {num} != {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hex_rule_volume_and_counts() {
+        for n in 1..=3 {
+            let rule = hex_rule(n);
+            assert_eq!(rule.len(), n * n * n);
+            assert!((rule.weights.iter().sum::<f64>() - 8.0).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn hex_rule_integrates_mixed_polynomial() {
+        let rule = hex_rule(2);
+        // ∫ x² y² z² over [-1,1]³ = (2/3)³.
+        let val = rule.integrate(|p| p[0] * p[0] * p[1] * p[1] * p[2] * p[2]);
+        assert!((val - (2.0f64 / 3.0).powi(3)).abs() < 1e-13);
+    }
+
+    #[test]
+    fn tet_rules_exact_to_their_degree() {
+        for degree in 1..=3usize {
+            let rule = tet_rule(degree);
+            for p in 0..=degree as u32 {
+                for q in 0..=(degree as u32 - p) {
+                    for r in 0..=(degree as u32 - p - q) {
+                        let num = rule.integrate(|x| {
+                            x[0].powi(p as i32) * x[1].powi(q as i32) * x[2].powi(r as i32)
+                        });
+                        let exact = tet_monomial(p, q, r);
+                        assert!(
+                            (num - exact).abs() < 1e-14,
+                            "degree {degree} monomial ({p},{q},{r}): {num} != {exact}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degree2_tet_rule_matches_element_table() {
+        let rule = tet_rule(2);
+        assert_eq!(rule.len(), 4);
+        for (g, p) in rule.points.iter().enumerate() {
+            for d in 0..3 {
+                assert!((p[d] - crate::element::TET4_GAUSS[g][d]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "supports")]
+    fn unsupported_rule_panics() {
+        let _ = gauss_legendre_1d(9);
+    }
+}

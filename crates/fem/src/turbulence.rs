@@ -1,0 +1,325 @@
+//! Vreman eddy-viscosity LES model.
+//!
+//! Vreman (Phys. Fluids 16, 2004): with the velocity-gradient tensor
+//! `α_ij = ∂u_j / ∂x_i`, `β_ij = Δ² α_mi α_mj` and
+//! `B_β = β11 β22 − β12² + β11 β33 − β13² + β22 β33 − β23²`,
+//! the eddy viscosity is `ν_t = c √(B_β / (α_ij α_ij))`, zero for vanishing
+//! gradients. The model is algebraic and local — precisely why the paper can
+//! fold it into the assembly (compute it "on the fly") and, for linear
+//! tetrahedra with constant velocity gradients, evaluate it **once per
+//! element** instead of once per Gauss point.
+
+/// The Vreman model constant `c ≈ 2.5 C_s²` with the Smagorinsky constant
+/// `C_s ≈ 0.17`, giving the commonly used 0.07.
+pub const VREMAN_C: f64 = 0.07;
+
+/// Vreman model with configurable constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VremanModel {
+    /// Model constant `c`.
+    pub c: f64,
+}
+
+impl Default for VremanModel {
+    fn default() -> Self {
+        Self { c: VREMAN_C }
+    }
+}
+
+impl VremanModel {
+    /// Eddy viscosity from a velocity-gradient tensor `grad[i][j] = ∂u_j/∂x_i`
+    /// and filter width `delta` (cube root of the element volume in Alya).
+    pub fn nu_t(&self, grad: &[[f64; 3]; 3], delta: f64) -> f64 {
+        vreman_nu_t_with_c(grad, delta, self.c)
+    }
+}
+
+/// Free-function form with the default constant (what the specialized
+/// assembly kernels inline).
+#[inline]
+pub fn vreman_nu_t(grad: &[[f64; 3]; 3], delta: f64) -> f64 {
+    vreman_nu_t_with_c(grad, delta, VREMAN_C)
+}
+
+/// Vreman eddy viscosity with explicit model constant.
+#[inline]
+pub fn vreman_nu_t_with_c(grad: &[[f64; 3]; 3], delta: f64, c: f64) -> f64 {
+    // α_ij α_ij
+    let mut alpha2 = 0.0;
+    for row in grad {
+        for &g in row {
+            alpha2 += g * g;
+        }
+    }
+    if alpha2 <= f64::MIN_POSITIVE {
+        return 0.0;
+    }
+    // β_ij = Δ² Σ_m α_mi α_mj  (symmetric 3×3)
+    let d2 = delta * delta;
+    let mut beta = [[0.0; 3]; 3];
+    for i in 0..3 {
+        for j in i..3 {
+            let mut s = 0.0;
+            for m in grad {
+                s += m[i] * m[j];
+            }
+            beta[i][j] = d2 * s;
+            beta[j][i] = beta[i][j];
+        }
+    }
+    let b_beta = beta[0][0] * beta[1][1] - beta[0][1] * beta[0][1]
+        + beta[0][0] * beta[2][2]
+        - beta[0][2] * beta[0][2]
+        + beta[1][1] * beta[2][2]
+        - beta[1][2] * beta[1][2];
+    // Numerical noise can push B_β slightly negative; clamp.
+    if b_beta <= 0.0 {
+        return 0.0;
+    }
+    c * (b_beta / alpha2).sqrt()
+}
+
+// --- The generality catalogue -----------------------------------------------
+//
+// Alya's unspecialized assembly lets the user pick among several eddy-
+// viscosity models at run time — exactly the kind of flexibility the
+// paper's Specialization trades away (it keeps only Vreman). The other
+// common algebraic models are provided here so the generic path has a
+// catalogue to dispatch over (and so downstream users of this library are
+// not locked to one closure).
+
+/// A runtime-selectable algebraic eddy-viscosity model.
+pub trait EddyViscosityModel: Send + Sync {
+    /// ν_t from the velocity-gradient tensor (`grad[i][j] = ∂u_j/∂x_i`)
+    /// and filter width `delta`.
+    fn nu_t(&self, grad: &[[f64; 3]; 3], delta: f64) -> f64;
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+}
+
+impl EddyViscosityModel for VremanModel {
+    fn nu_t(&self, grad: &[[f64; 3]; 3], delta: f64) -> f64 {
+        VremanModel::nu_t(self, grad, delta)
+    }
+    fn name(&self) -> &'static str {
+        "Vreman"
+    }
+}
+
+/// Classic Smagorinsky: `ν_t = (C_s Δ)² |S|`, `|S| = √(2 S_ij S_ij)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Smagorinsky {
+    /// Smagorinsky constant (≈ 0.17 for isotropic turbulence).
+    pub cs: f64,
+}
+
+impl Default for Smagorinsky {
+    fn default() -> Self {
+        Self { cs: 0.17 }
+    }
+}
+
+impl EddyViscosityModel for Smagorinsky {
+    fn nu_t(&self, grad: &[[f64; 3]; 3], delta: f64) -> f64 {
+        let mut s2 = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                let s = 0.5 * (grad[i][j] + grad[j][i]);
+                s2 += s * s;
+            }
+        }
+        let s_mag = (2.0 * s2).sqrt();
+        (self.cs * delta).powi(2) * s_mag
+    }
+    fn name(&self) -> &'static str {
+        "Smagorinsky"
+    }
+}
+
+/// WALE (Wall-Adapting Local Eddy-viscosity, Nicoud & Ducros 1999):
+/// `ν_t = (C_w Δ)² (S^d:S^d)^{3/2} / ((S:S)^{5/2} + (S^d:S^d)^{5/4})`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wale {
+    /// WALE constant (≈ 0.5).
+    pub cw: f64,
+}
+
+impl Default for Wale {
+    fn default() -> Self {
+        Self { cw: 0.5 }
+    }
+}
+
+impl EddyViscosityModel for Wale {
+    fn nu_t(&self, grad: &[[f64; 3]; 3], delta: f64) -> f64 {
+        // g2 = grad · grad
+        let mut g2 = [[0.0; 3]; 3];
+        for i in 0..3 {
+            for j in 0..3 {
+                for k in 0..3 {
+                    g2[i][j] += grad[i][k] * grad[k][j];
+                }
+            }
+        }
+        let tr = (g2[0][0] + g2[1][1] + g2[2][2]) / 3.0;
+        let mut sd2 = 0.0;
+        let mut ss = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                let sd = 0.5 * (g2[i][j] + g2[j][i]) - if i == j { tr } else { 0.0 };
+                sd2 += sd * sd;
+                let s = 0.5 * (grad[i][j] + grad[j][i]);
+                ss += s * s;
+            }
+        }
+        let denom = ss.powf(2.5) + sd2.powf(1.25);
+        if denom <= f64::MIN_POSITIVE {
+            return 0.0;
+        }
+        (self.cw * delta).powi(2) * sd2.powf(1.5) / denom
+    }
+    fn name(&self) -> &'static str {
+        "WALE"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_gradient_gives_zero_viscosity() {
+        let grad = [[0.0; 3]; 3];
+        assert_eq!(vreman_nu_t(&grad, 0.1), 0.0);
+    }
+
+    /// Solid-body rotation: B_β = ω⁴Δ⁴ ≠ 0, so Vreman stays positive there
+    /// (unlike for pure shear, the model's designed zero-dissipation state).
+    #[test]
+    fn solid_body_rotation_gives_finite_viscosity() {
+        let omega = 3.0;
+        // u = ω × x with ω = (0,0,ω): u = (-ω y, ω x, 0);
+        // grad[i][j] = ∂u_j/∂x_i.
+        let grad = [[0.0, omega, 0.0], [-omega, 0.0, 0.0], [0.0, 0.0, 0.0]];
+        let delta = 0.5;
+        let nu = vreman_nu_t(&grad, delta);
+        // B_β = ω⁴Δ⁴, α² = 2ω² -> ν_t = c Δ² ω / √2.
+        let expect = VREMAN_C * delta * delta * omega / 2.0f64.sqrt();
+        assert!((nu - expect).abs() < 1e-12, "nu_t = {nu}, expect {expect}");
+    }
+
+    /// For a simple shear du/dy = S: Vreman gives ν_t = 0 (one of the model's
+    /// designed no-dissipation states for pure shear aligned flows).
+    #[test]
+    fn pure_shear_gives_zero_viscosity() {
+        let s = 2.0;
+        // u = (S y, 0, 0): grad[1][0] = S, rest 0.
+        let mut grad = [[0.0; 3]; 3];
+        grad[1][0] = s;
+        let nu = vreman_nu_t(&grad, 1.0);
+        assert!(nu.abs() < 1e-12, "nu_t = {nu}");
+    }
+
+    /// Axisymmetric strain produces positive eddy viscosity.
+    #[test]
+    fn strain_gives_positive_viscosity() {
+        let grad = [[2.0, 0.0, 0.0], [0.0, -1.0, 0.0], [0.0, 0.0, -1.0]];
+        let nu = vreman_nu_t(&grad, 0.1);
+        assert!(nu > 0.0);
+    }
+
+    #[test]
+    fn nu_t_scales_with_delta() {
+        let grad = [[2.0, 0.3, 0.0], [0.1, -1.0, 0.2], [0.0, 0.4, -1.0]];
+        let nu1 = vreman_nu_t(&grad, 0.1);
+        let nu2 = vreman_nu_t(&grad, 0.2);
+        // β ∝ Δ², B_β ∝ Δ⁴, ν_t ∝ Δ².
+        assert!((nu2 / nu1 - 4.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn nu_t_is_scale_invariant_in_strain_times_delta_squared() {
+        // ν_t(k·grad, Δ) = k · ν_t(grad, Δ): B_β ∝ k⁴, α² ∝ k².
+        let grad = [[1.0, 0.5, 0.0], [0.2, -0.7, 0.1], [0.3, 0.0, -0.3]];
+        let scaled = grad.map(|r| r.map(|v| 3.0 * v));
+        let a = vreman_nu_t(&grad, 0.25);
+        let b = vreman_nu_t(&scaled, 0.25);
+        assert!((b / a - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn custom_constant_scales_linearly() {
+        let grad = [[2.0, 0.0, 0.0], [0.0, -1.0, 0.0], [0.0, 0.0, -1.0]];
+        let a = vreman_nu_t_with_c(&grad, 0.1, 0.07);
+        let b = vreman_nu_t_with_c(&grad, 0.1, 0.14);
+        assert!((b / a - 2.0).abs() < 1e-12);
+        let model = VremanModel { c: 0.14 };
+        assert!((model.nu_t(&grad, 0.1) - b).abs() < 1e-15);
+    }
+
+    #[test]
+    fn default_model_uses_standard_constant() {
+        assert_eq!(VremanModel::default().c, VREMAN_C);
+    }
+
+    // --- the generality catalogue ---
+
+    fn all_models() -> Vec<Box<dyn EddyViscosityModel>> {
+        vec![
+            Box::new(VremanModel::default()),
+            Box::new(Smagorinsky::default()),
+            Box::new(Wale::default()),
+        ]
+    }
+
+    #[test]
+    fn all_models_vanish_at_rest_and_are_nonnegative() {
+        let zero = [[0.0; 3]; 3];
+        let strained = [[2.0, 0.3, 0.0], [0.1, -1.0, 0.2], [0.0, 0.4, -1.0]];
+        for m in all_models() {
+            assert_eq!(m.nu_t(&zero, 0.1), 0.0, "{} at rest", m.name());
+            assert!(m.nu_t(&strained, 0.1) >= 0.0, "{} negative", m.name());
+        }
+    }
+
+    #[test]
+    fn smagorinsky_matches_closed_form_on_pure_shear() {
+        // du/dy = S: |S| = S, nu_t = (Cs d)^2 S. (Smagorinsky does NOT
+        // vanish in pure shear — the defect Vreman and WALE fix.)
+        let s = 2.0;
+        let mut grad = [[0.0; 3]; 3];
+        grad[1][0] = s;
+        let m = Smagorinsky { cs: 0.17 };
+        let expect = (0.17f64 * 0.1).powi(2) * s;
+        assert!((m.nu_t(&grad, 0.1) - expect).abs() < 1e-14);
+        // Vreman vanishes there.
+        assert!(VremanModel::default().nu_t(&grad, 0.1).abs() < 1e-14);
+    }
+
+    #[test]
+    fn wale_vanishes_in_pure_shear() {
+        // WALE's wall-adapting property: S^d = 0 for pure shear.
+        let mut grad = [[0.0; 3]; 3];
+        grad[1][0] = 3.0;
+        let nu = Wale::default().nu_t(&grad, 0.2);
+        assert!(nu.abs() < 1e-14, "WALE in pure shear: {nu}");
+    }
+
+    #[test]
+    fn wale_active_under_rotation_plus_strain() {
+        let grad = [[1.0, 2.0, 0.0], [-2.0, -0.5, 0.3], [0.1, 0.0, -0.5]];
+        assert!(Wale::default().nu_t(&grad, 0.1) > 0.0);
+    }
+
+    #[test]
+    fn all_models_scale_as_delta_squared() {
+        let grad = [[2.0, 0.3, 0.1], [0.1, -1.0, 0.2], [0.3, 0.4, -1.0]];
+        for m in all_models() {
+            let a = m.nu_t(&grad, 0.1);
+            let b = m.nu_t(&grad, 0.2);
+            if a > 0.0 {
+                assert!((b / a - 4.0).abs() < 1e-10, "{}: {}", m.name(), b / a);
+            }
+        }
+    }
+}

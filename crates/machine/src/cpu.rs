@@ -1,0 +1,380 @@
+//! CPU execution model (Table I, Figure 2).
+//!
+//! One core runs the vectorized assembly over packs of `VECTOR_DIM`
+//! elements; its 8-byte lane operations stream through a private
+//! L1/L2 + socket-shared L3 simulation. Timing follows the empirical
+//! behaviour the paper's three CPU variants share: for this latency-bound
+//! FEM code the per-element cycle count tracks the executed instruction
+//! count (SIMD ops ÷ lane width at ~1 sustained IPC), floored by the
+//! load/store-port and FMA throughput limits, plus the DRAM transfer term.
+//!
+//! Multi-core scaling (Figure 2): the work is perfectly parallel (one mesh
+//! partition per worker), so time scales as `1/n` — modulated by the turbo
+//! frequency bin for `n` active cores and floored by the socket DRAM
+//! bandwidth shared by that socket's workers.
+
+use crate::cache::{AccessKind, CacheSim};
+use crate::spec::CpuSpec;
+use crate::trace::{Event, TraceCounts};
+
+/// Table I for one kernel variant, per-element where applicable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuReport {
+    /// Variant label.
+    pub label: String,
+    /// Load/store lane operations per element.
+    pub ldst_ops: f64,
+    /// Floating-point operations per element (1 FMA = 2).
+    pub flops: f64,
+    /// L1 volume per element in bytes (8 × lane load/store ops).
+    pub l1_volume: f64,
+    /// Fraction of L1 traffic served by L1.
+    pub l1_effectiveness: f64,
+    /// Combined L2/L3 volume per element in bytes.
+    pub l23_volume: f64,
+    /// Fraction of L2/L3 traffic served within L2+L3.
+    pub l23_effectiveness: f64,
+    /// DRAM volume per element in bytes.
+    pub dram_volume: f64,
+    /// Predicted single-core cycles per element.
+    pub cycles_per_elem: f64,
+    /// Predicted single-core runtime for `num_elements`, seconds.
+    pub runtime_1c: f64,
+    /// Single-core GFlop/s.
+    pub gflops_1c: f64,
+    /// Single-core DRAM bandwidth, B/s.
+    pub dram_bw_1c: f64,
+}
+
+/// Single-core CPU model.
+#[derive(Debug, Clone)]
+pub struct CpuModel {
+    /// Hardware description.
+    pub spec: CpuSpec,
+    /// Packs simulated for the cache study (default 256; the stream loops
+    /// over a window of the mesh large enough to exceed L2).
+    pub sample_packs: usize,
+}
+
+impl CpuModel {
+    /// Model over `spec` with default sampling.
+    pub fn new(spec: CpuSpec) -> Self {
+        Self {
+            spec,
+            sample_packs: 256,
+        }
+    }
+
+    /// Runs the single-core simulation.
+    ///
+    /// * `num_elements` — full problem size runtimes are scaled to;
+    /// * `vector_dim` — elements per pack;
+    /// * `pack_trace(p)` — the lane-level event stream of pack `p`
+    ///   (`Def`/`Use` already lowered by the register allocator).
+    pub fn execute(
+        &self,
+        label: &str,
+        num_elements: usize,
+        vector_dim: usize,
+        mut pack_trace: impl FnMut(usize) -> Vec<Event>,
+    ) -> CpuReport {
+        let spec = &self.spec;
+        let mut l1 = CacheSim::new(spec.l1_bytes, spec.line_bytes, spec.l1_assoc);
+        let mut l2 = CacheSim::new(spec.l2_bytes, spec.line_bytes, spec.l2_assoc);
+        let mut l3 = CacheSim::new(spec.l3_bytes, spec.line_bytes, spec.l3_assoc);
+
+        let mut dram_bytes = 0u64;
+        let mut l23_accesses = 0u64; // line-granularity traffic into L2
+        let mut l23_misses = 0u64; // ... that fell through L3
+        let mut counts = TraceCounts::default();
+
+        // The per-core stack/spill frame: slot -> fixed address. Reused for
+        // every pack, exactly like a Fortran routine's local arrays.
+        let stack_base = 1u64 << 40;
+
+        let line_of = |addr: u64| addr / spec.line_bytes as u64 * spec.line_bytes as u64;
+        let mut elems = 0usize;
+
+        for p in 0..self.sample_packs {
+            let trace = pack_trace(p);
+            let c = TraceCounts::from_events(&trace);
+            assert_eq!(c.defs, 0, "CPU model received unlowered Def/Use");
+            counts.global_loads += c.global_loads;
+            counts.global_stores += c.global_stores;
+            counts.local_loads += c.local_loads;
+            counts.local_stores += c.local_stores;
+            counts.plain_flops += c.plain_flops;
+            counts.fmas += c.fmas;
+            elems += vector_dim;
+
+            for e in &trace {
+                let (addr, kind) = match *e {
+                    Event::GLoad(a) => (a, AccessKind::Load),
+                    Event::GStore(a) => (a, AccessKind::Store),
+                    Event::LLoad(slot) => (stack_base + slot as u64 * 8, AccessKind::Load),
+                    Event::LStore(slot) => (stack_base + slot as u64 * 8, AccessKind::Store),
+                    _ => continue,
+                };
+                let line = line_of(addr);
+                let out1 = l1.access(line, kind, None);
+                // Dirty evictions ripple down.
+                if let Some(wb) = out1.writeback {
+                    l23_accesses += 1;
+                    let o2 = l2.access(wb, AccessKind::Store, None);
+                    if let Some(wb2) = o2.writeback {
+                        let o3 = l3.access(wb2, AccessKind::Store, None);
+                        if o3.writeback.is_some() {
+                            dram_bytes += spec.line_bytes as u64;
+                        }
+                    }
+                    if !o2.hit {
+                        let o3 = l3.access(wb, AccessKind::Store, None);
+                        if o3.writeback.is_some() {
+                            dram_bytes += spec.line_bytes as u64;
+                        }
+                        if !o3.hit {
+                            l23_misses += 1;
+                            // CPU caches do read-for-ownership on stores.
+                            dram_bytes += spec.line_bytes as u64;
+                        }
+                    }
+                }
+                if !out1.hit {
+                    l23_accesses += 1;
+                    let o2 = l2.access(line, kind, None);
+                    if let Some(wb2) = o2.writeback {
+                        let o3 = l3.access(wb2, AccessKind::Store, None);
+                        if o3.writeback.is_some() {
+                            dram_bytes += spec.line_bytes as u64;
+                        }
+                    }
+                    if !o2.hit {
+                        let o3 = l3.access(line, kind, None);
+                        if let Some(_wb3) = o3.writeback {
+                            dram_bytes += spec.line_bytes as u64;
+                        }
+                        if !o3.hit {
+                            l23_misses += 1;
+                            dram_bytes += spec.line_bytes as u64;
+                        }
+                    }
+                }
+            }
+        }
+        // End-of-run accounting: whatever is still dirty eventually reaches
+        // DRAM once (RHS results etc.).
+        let mut l2_flush = l2.flush();
+        for wb in l1.flush() {
+            l2_flush.push(wb);
+        }
+        for wb in l2_flush {
+            let o3 = l3.access(wb, AccessKind::Store, None);
+            if o3.writeback.is_some() {
+                dram_bytes += spec.line_bytes as u64;
+            }
+        }
+        dram_bytes += l3.flush().len() as u64 * spec.line_bytes as u64;
+
+        let elems_f = elems.max(1) as f64;
+        let per = |x: u64| x as f64 / elems_f;
+
+        let ldst_ops = per(counts.global_ldst() + counts.local_ldst());
+        let flops = per(counts.flops());
+        let l1_stats = l1.stats();
+        let l1_volume = ldst_ops * 8.0;
+        let l1_eff = l1_stats.effectiveness();
+        let l23_volume = per(l23_accesses * spec.line_bytes as u64);
+        let l23_eff = if l23_accesses == 0 {
+            0.0
+        } else {
+            1.0 - l23_misses as f64 / l23_accesses as f64
+        };
+        let dram_volume = per(dram_bytes);
+
+        // ---- Timing (per element, single core) ----
+        let lanes = spec.simd_lanes as f64;
+        let fp_instr = per(counts.fp_instructions()) / lanes;
+        let ld_instr = per(counts.global_loads + counts.local_loads) / lanes;
+        let st_instr = per(counts.global_stores + counts.local_stores) / lanes;
+        // Sustained-IPC issue model (latency-bound FEM code).
+        let t_issue = (fp_instr + ld_instr + st_instr) / spec.sustained_ipc;
+        // Port throughput floors.
+        let t_ports = (fp_instr / spec.fma_units as f64)
+            .max(ld_instr / spec.load_ports as f64)
+            .max(st_instr / spec.store_ports as f64);
+        // L2 refill throughput.
+        let t_l2 = (l23_volume) / spec.l2_bytes_per_cycle;
+        let clock_1c = spec.clock_for(1);
+        let cycles = t_issue.max(t_ports).max(t_l2);
+        let t_dram = dram_volume / spec.core_dram_bw; // seconds
+        let time_per_elem = cycles / clock_1c + t_dram;
+
+        let n = num_elements as f64;
+        let runtime_1c = time_per_elem * n;
+
+        CpuReport {
+            label: label.to_string(),
+            ldst_ops,
+            flops,
+            l1_volume,
+            l1_effectiveness: l1_eff,
+            l23_volume,
+            l23_effectiveness: l23_eff,
+            dram_volume,
+            cycles_per_elem: time_per_elem * clock_1c,
+            runtime_1c,
+            gflops_1c: flops * n / runtime_1c,
+            dram_bw_1c: dram_volume * n / runtime_1c,
+        }
+    }
+
+    /// Figure-2 strong scaling: runtime with `workers` active cores spread
+    /// evenly over the sockets, starting from a single-core report.
+    pub fn scale(&self, report: &CpuReport, num_elements: usize, workers: u32) -> f64 {
+        assert!(workers >= 1);
+        let spec = &self.spec;
+        let clock_1c = spec.clock_for(1);
+        let clock_n = spec.clock_for(workers);
+        // Frequency-scaled compute time, perfectly parallel.
+        let n = num_elements as f64;
+        let t_dram_1c = report.dram_volume / spec.core_dram_bw * n;
+        let t_cpu_1c = report.runtime_1c - t_dram_1c;
+        let t_compute = t_cpu_1c * (clock_1c / clock_n) / workers as f64;
+        // DRAM floor: workers share their socket's bandwidth.
+        let per_socket = workers.div_ceil(spec.sockets).max(1);
+        let socket_elems = n * per_socket as f64 / workers as f64;
+        let bw = spec
+            .socket_dram_bw
+            .min(per_socket as f64 * spec.core_dram_bw);
+        let t_dram = report.dram_volume * socket_elems / bw;
+        t_compute.max(t_dram)
+    }
+
+    /// Throughput in mega-elements per second at a worker count.
+    pub fn melems_per_s(&self, report: &CpuReport, num_elements: usize, workers: u32) -> f64 {
+        num_elements as f64 / self.scale(report, num_elements, workers) / 1.0e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CpuSpec;
+
+    fn model() -> CpuModel {
+        let mut m = CpuModel::new(CpuSpec::icelake_8360y());
+        m.sample_packs = 64;
+        m
+    }
+
+    /// Streaming pack kernel: per lane, load input, fma, store output.
+    fn stream_pack(p: usize, vector_dim: usize) -> Vec<Event> {
+        let mut ev = Vec::new();
+        for lane in 0..vector_dim {
+            let e = (p * vector_dim + lane) as u64;
+            ev.push(Event::GLoad(0x1000_0000 + e * 8));
+            ev.push(Event::Fma(2));
+            ev.push(Event::GStore(0x2000_0000 + e * 8));
+        }
+        ev
+    }
+
+    #[test]
+    fn streaming_moves_24_bytes_per_element() {
+        // 8 B read + 8 B read-for-ownership + 8 B writeback: CPU caches do
+        // RFO on store misses (no non-temporal stores modelled).
+        let m = model();
+        let r = m.execute("stream", 1 << 20, 16, |p| stream_pack(p, 16));
+        assert!((r.dram_volume - 24.0).abs() < 2.0, "dram {}", r.dram_volume);
+        assert_eq!(r.ldst_ops, 2.0);
+        assert_eq!(r.flops, 4.0);
+    }
+
+    #[test]
+    fn stack_reuse_stays_in_l1() {
+        // A kernel hammering a 1 KiB stack frame: after the first pack,
+        // everything hits L1 and DRAM stays quiet.
+        let m = model();
+        let r = m.execute("stack", 1 << 20, 16, |_| {
+            let mut ev = Vec::new();
+            for lane in 0..16u32 {
+                for slot in 0..8 {
+                    ev.push(Event::LStore(slot * 16 + lane));
+                }
+                for slot in 0..8 {
+                    ev.push(Event::LLoad(slot * 16 + lane));
+                }
+                ev.push(Event::Fma(8));
+            }
+            ev
+        });
+        assert!(r.l1_effectiveness > 0.95, "l1 eff {}", r.l1_effectiveness);
+        // Only the cold fill + final flush of the 1 KiB frame reaches DRAM.
+        assert!(r.dram_volume < 4.0, "dram {}", r.dram_volume);
+    }
+
+    #[test]
+    fn issue_model_tracks_instruction_count() {
+        let m = model();
+        let r = m.execute("stream", 1 << 20, 16, |p| stream_pack(p, 16));
+        // 3 lane ops per element (2 ldst + 1 fma): instr = 3/8 per element,
+        // plus the DRAM transfer term at the single-core bandwidth.
+        let expect_cycles = (3.0 / 8.0) + r.dram_volume / 13.0e9 * 3.4e9;
+        assert!(
+            (r.cycles_per_elem - expect_cycles).abs() < 0.5,
+            "cycles {} vs {expect_cycles}",
+            r.cycles_per_elem
+        );
+    }
+
+    #[test]
+    fn scaling_is_linear_until_turbo_bins() {
+        let m = model();
+        let n = 1 << 22;
+        let r = m.execute("stack-ish", n, 16, |_| {
+            // Compute-heavy kernel so DRAM never floors the scaling.
+            let mut ev = Vec::new();
+            for _ in 0..16 {
+                ev.push(Event::Fma(64));
+            }
+            ev
+        });
+        let t1 = m.scale(&r, n, 1);
+        let t17 = m.scale(&r, n, 17);
+        let t18 = m.scale(&r, n, 18);
+        // Linear to 17 at the same clock.
+        assert!((t1 / t17 - 17.0).abs() < 0.2, "speedup {}", t1 / t17);
+        // The 18th worker drops the clock to 3.1 GHz: speedup < 18.
+        let s18 = t1 / t18;
+        assert!(s18 < 17.5, "speedup at 18 cores {s18}");
+        assert!(s18 > 15.0, "speedup at 18 cores {s18}");
+    }
+
+    #[test]
+    fn memory_bound_kernel_hits_socket_bandwidth_floor() {
+        let m = model();
+        let n = 1 << 22;
+        let r = m.execute("stream", n, 16, |p| stream_pack(p, 16));
+        // With all 72 cores, per-socket BW limits: t >= bytes/socket / bw.
+        let t72 = m.scale(&r, n, 72);
+        let bytes_per_socket = r.dram_volume * (n as f64) / 2.0;
+        assert!(t72 >= bytes_per_socket / m.spec.socket_dram_bw * 0.99);
+    }
+
+    #[test]
+    fn melems_metric_matches_scale() {
+        let m = model();
+        let n = 1 << 20;
+        let r = m.execute("stream", n, 16, |p| stream_pack(p, 16));
+        let me = m.melems_per_s(&r, n, 4);
+        let t = m.scale(&r, n, 4);
+        assert!((me - n as f64 / t / 1e6).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unlowered")]
+    fn unlowered_defs_panic() {
+        let m = model();
+        let _ = m.execute("bad", 16, 16, |_| vec![Event::Def(0)]);
+    }
+}

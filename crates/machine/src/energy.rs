@@ -1,0 +1,73 @@
+//! Energy-per-assembly estimates (Section VI).
+//!
+//! The paper estimates power from the TOP500 entries of the two systems by
+//! dividing the total system power by the GPU count (Alex) or node count
+//! (Fritz): 421 W per A100 including its host share, 683 W per Fritz node.
+//! Energy is simply power × kernel runtime; the headline result is the ~4×
+//! GPU advantage for the optimized variants — and the *inversion* of that
+//! advantage for the baseline, where the GPU was 4–5× slower.
+
+/// Per-device power figures from the TOP500-based estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSpec {
+    /// Watts drawn by one A100 including its host-system share.
+    pub gpu_watts: f64,
+    /// Watts drawn by one dual-socket CPU node.
+    pub cpu_node_watts: f64,
+}
+
+impl PowerSpec {
+    /// The paper's Alex / Fritz estimates.
+    pub fn alex_fritz() -> Self {
+        Self {
+            gpu_watts: 421.0,
+            cpu_node_watts: 683.0,
+        }
+    }
+}
+
+/// Energy consumed by a kernel of duration `runtime_s` on the GPU, joules.
+pub fn gpu_energy(spec: &PowerSpec, runtime_s: f64) -> f64 {
+    spec.gpu_watts * runtime_s
+}
+
+/// Energy consumed by a kernel of duration `runtime_s` on the CPU node.
+pub fn cpu_energy(spec: &PowerSpec, runtime_s: f64) -> f64 {
+    spec.cpu_node_watts * runtime_s
+}
+
+/// Energy-efficiency ratio CPU/GPU (> 1 means the GPU wins).
+pub fn efficiency_ratio(spec: &PowerSpec, gpu_runtime_s: f64, cpu_runtime_s: f64) -> f64 {
+    cpu_energy(spec, cpu_runtime_s) / gpu_energy(spec, gpu_runtime_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_numbers() {
+        // 51 ms GPU at 421 W -> ~21 J; 122 ms node at 683 W -> ~83 J.
+        let p = PowerSpec::alex_fritz();
+        let gpu_j = gpu_energy(&p, 0.051);
+        let cpu_j = cpu_energy(&p, 0.122);
+        assert!((gpu_j - 21.5).abs() < 0.5, "gpu {gpu_j} J");
+        assert!((cpu_j - 83.3).abs() < 0.5, "cpu {cpu_j} J");
+        let ratio = efficiency_ratio(&p, 0.051, 0.122);
+        assert!(ratio > 3.5 && ratio < 4.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn baseline_inverts_the_advantage() {
+        // B: 3773 ms GPU vs 785 ms CPU node — CPU is the efficient option.
+        let p = PowerSpec::alex_fritz();
+        let ratio = efficiency_ratio(&p, 3.773, 0.785);
+        assert!(ratio < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn energy_scales_linearly_with_time() {
+        let p = PowerSpec::alex_fritz();
+        assert!((gpu_energy(&p, 2.0) - 2.0 * gpu_energy(&p, 1.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,47 @@
+//! # alya-machine — performance-machine substrate
+//!
+//! The paper measures the Alya RHS assembly with hardware performance
+//! counters on an NVIDIA A100 GPU (Nsight Compute) and a dual-socket Intel
+//! Icelake node (LIKWID). Neither the hardware nor the directive-based
+//! compilers exist in this Rust reproduction, so this crate rebuilds the
+//! measurement apparatus as an explicit, testable model:
+//!
+//! * [`trace`] — the instruction/memory event stream emitted by the
+//!   instrumented assembly kernels in `alya-core` (the software stand-in for
+//!   the hardware counters), plus stream analyses such as the memory-level
+//!   parallelism estimate;
+//! * [`cache`] — set-associative write-allocate/write-back cache simulation
+//!   with the GPU's *local memory* semantics (lines owned by retired thread
+//!   blocks are invalidated without write-back — the mechanism behind the
+//!   paper's Table III);
+//! * [`regalloc`] — register allocation over recorded value lifetimes,
+//!   reproducing the compiler behaviour that decides which privatized
+//!   intermediates live in registers and which spill to local memory;
+//! * [`gpu`] — the SIMT execution model: warp-interleaved cache simulation,
+//!   occupancy from register pressure, and a Little's-law latency/bandwidth
+//!   timing model (Table II, Figure 3);
+//! * [`cpu`] — the per-core execution model plus the multi-core scaling
+//!   model with Intel turbo-frequency bins (Table I, Figure 2);
+//! * [`roofline`] — arithmetic-intensity/roofline bookkeeping (Figure 3);
+//! * [`energy`] — the Section VI energy-per-assembly estimates;
+//! * [`spec`] — machine descriptions with presets for the paper's two
+//!   systems (A100-40GB "Alex" GPU, Xeon 8360Y "Fritz" node).
+//!
+//! The models are calibrated with public spec-sheet data only; the
+//! reproduction targets the paper's *shape* (variant orderings, speedup
+//! factors, roofline migration), not its absolute milliseconds.
+
+pub mod cache;
+pub mod cpu;
+pub mod energy;
+pub mod gpu;
+pub mod regalloc;
+pub mod reuse;
+pub mod roofline;
+pub mod spec;
+pub mod trace;
+
+pub use cache::{AccessKind, CacheSim, CacheStats};
+pub use regalloc::{RegAllocResult, RegisterAllocator};
+pub use spec::{CpuSpec, GpuSpec};
+pub use trace::{Event, NoRecord, Recorder, Space, TraceRecorder};

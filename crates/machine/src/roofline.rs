@@ -1,0 +1,187 @@
+//! Roofline model bookkeeping (Figure 3).
+//!
+//! The paper plots each GPU variant at its DRAM and L2 arithmetic
+//! intensities against four roofs: FP64 peak (9.7 TFlop/s), an
+//! instruction-mix roof (7.4 TFlop/s — the FP rate achievable with the
+//! kernel's FMA fraction), DRAM bandwidth (1381 GB/s) and L2 bandwidth.
+//! This module computes intensities, bounds, classifications and the plot
+//! series the `fig3` reproduction binary prints.
+
+/// Memory-bound vs compute-bound, per Williams et al.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RooflineClass {
+    /// Code intensity below the machine knee: bandwidth limits performance.
+    MemoryBound,
+    /// Code intensity above the knee: compute limits performance.
+    ComputeBound,
+}
+
+/// A roofline chart: one compute roof (optionally with a lower
+/// instruction-mix roof) and one bandwidth roof per memory level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Roofline {
+    /// Peak floating-point rate in Flop/s (all-FMA).
+    pub peak_flops: f64,
+    /// Lower compute roof from the application instruction mix, Flop/s.
+    pub mix_roof: f64,
+    /// DRAM bandwidth in B/s.
+    pub dram_bw: f64,
+    /// L2 bandwidth in B/s.
+    pub l2_bw: f64,
+}
+
+/// One measured kernel placed on the chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePoint {
+    /// Variant label ("B", "P", "RS", "RSP", "RSPR").
+    pub label: String,
+    /// Flop per DRAM byte.
+    pub dram_intensity: f64,
+    /// Flop per L2 byte.
+    pub l2_intensity: f64,
+    /// Achieved floating-point rate in Flop/s.
+    pub flops: f64,
+}
+
+impl Roofline {
+    /// Builds the A100 chart used in the paper's Figure 3.
+    pub fn a100(spec: &crate::spec::GpuSpec) -> Self {
+        Self {
+            peak_flops: spec.peak_fp64,
+            // Paper: "a lower roof of 7.4 TFlop/s due to the application
+            // instruction mix".
+            mix_roof: 7.4e12,
+            dram_bw: spec.dram_bw,
+            l2_bw: spec.l2_bw,
+        }
+    }
+
+    /// The DRAM knee: the intensity where bandwidth and compute roofs meet.
+    pub fn dram_knee(&self) -> f64 {
+        self.mix_roof / self.dram_bw
+    }
+
+    /// Attainable Flop/s at a DRAM intensity.
+    pub fn dram_bound(&self, intensity: f64) -> f64 {
+        (intensity * self.dram_bw).min(self.mix_roof)
+    }
+
+    /// Attainable Flop/s at an L2 intensity.
+    pub fn l2_bound(&self, intensity: f64) -> f64 {
+        (intensity * self.l2_bw).min(self.mix_roof)
+    }
+
+    /// Classification against the DRAM roof.
+    pub fn classify(&self, intensity: f64) -> RooflineClass {
+        if intensity < self.dram_knee() {
+            RooflineClass::MemoryBound
+        } else {
+            RooflineClass::ComputeBound
+        }
+    }
+
+    /// Fraction of the applicable DRAM-roofline bound actually achieved.
+    pub fn dram_roof_fraction(&self, point: &RooflinePoint) -> f64 {
+        point.flops / self.dram_bound(point.dram_intensity)
+    }
+
+    /// Sampled `(intensity, bound)` series for plotting the DRAM roof on a
+    /// log-log chart between `lo` and `hi` Flop/B.
+    pub fn dram_series(&self, lo: f64, hi: f64, samples: usize) -> Vec<(f64, f64)> {
+        assert!(lo > 0.0 && hi > lo && samples >= 2);
+        let step = (hi / lo).powf(1.0 / (samples - 1) as f64);
+        (0..samples)
+            .map(|i| {
+                let ai = lo * step.powi(i as i32);
+                (ai, self.dram_bound(ai))
+            })
+            .collect()
+    }
+}
+
+/// Builds a point from per-element counters.
+pub fn point_from_counters(
+    label: &str,
+    flops_per_elem: f64,
+    dram_bytes_per_elem: f64,
+    l2_bytes_per_elem: f64,
+    achieved_flops: f64,
+) -> RooflinePoint {
+    RooflinePoint {
+        label: label.to_string(),
+        dram_intensity: flops_per_elem / dram_bytes_per_elem.max(1.0e-30),
+        l2_intensity: flops_per_elem / l2_bytes_per_elem.max(1.0e-30),
+        flops: achieved_flops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GpuSpec;
+
+    fn chart() -> Roofline {
+        Roofline::a100(&GpuSpec::a100_40gb())
+    }
+
+    #[test]
+    fn knee_matches_machine_intensity() {
+        let r = chart();
+        // Knee with the mix roof: 7.4e12 / 1381e9 ≈ 5.36 Flop/B.
+        assert!((r.dram_knee() - 5.36).abs() < 0.05);
+    }
+
+    #[test]
+    fn bound_is_linear_then_flat() {
+        let r = chart();
+        assert!((r.dram_bound(1.0) - 1381.0e9).abs() < 1.0);
+        assert_eq!(r.dram_bound(100.0), 7.4e12);
+    }
+
+    #[test]
+    fn baseline_variant_is_memory_bound() {
+        // Paper: B has ~1/3.7 Flop/B — far below the knee.
+        let r = chart();
+        assert_eq!(r.classify(6293.0 / 23331.0), RooflineClass::MemoryBound);
+    }
+
+    #[test]
+    fn final_variant_is_past_the_knee() {
+        // Paper: RSPR reaches 1333/150 ≈ 8.9 Flop/B, past the knee.
+        let r = chart();
+        assert_eq!(r.classify(1333.0 / 150.0), RooflineClass::ComputeBound);
+    }
+
+    #[test]
+    fn roof_fraction_of_paper_rspr() {
+        // RSPR: 2575 GF/s at compute-bound intensity -> ~35% of mix roof.
+        let r = chart();
+        let p = point_from_counters("RSPR", 1333.0, 150.0, 968.0, 2.575e12);
+        let frac = r.dram_roof_fraction(&p);
+        assert!(frac > 0.3 && frac < 0.4, "fraction {frac}");
+    }
+
+    #[test]
+    fn l2_bound_uses_l2_bandwidth() {
+        let r = chart();
+        assert!((r.l2_bound(0.5) - 0.5 * r.l2_bw).abs() < 1.0);
+    }
+
+    #[test]
+    fn series_is_monotone_and_bounded() {
+        let r = chart();
+        let s = r.dram_series(0.1, 100.0, 50);
+        assert_eq!(s.len(), 50);
+        for w in s.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!(s.last().unwrap().1 <= r.mix_roof + 1.0);
+    }
+
+    #[test]
+    fn point_guards_zero_bytes() {
+        let p = point_from_counters("X", 100.0, 0.0, 0.0, 1.0);
+        assert!(p.dram_intensity.is_finite());
+    }
+}

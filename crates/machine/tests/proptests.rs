@@ -1,0 +1,182 @@
+//! Property-based tests of the performance-machine substrate.
+
+use alya_machine::cache::{AccessKind, CacheSim, Replacement};
+use alya_machine::trace::estimate_mlp;
+use alya_machine::{Event, RegisterAllocator};
+use proptest::prelude::*;
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    prop::collection::vec((0u64..4096, any::<bool>()), 1..600)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cache_stats_are_conserved(stream in arb_stream(), assoc in 1usize..8) {
+        let mut c = CacheSim::new(64 * assoc * 4, 64, assoc);
+        let mut writebacks_seen = 0u64;
+        for &(addr, is_store) in &stream {
+            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+            let out = c.access(addr * 8, kind, None);
+            if out.writeback.is_some() {
+                writebacks_seen += 1;
+            }
+            // A hit never fills or writes back.
+            if out.hit {
+                prop_assert!(out.fill.is_none() && out.writeback.is_none());
+            } else {
+                prop_assert!(out.fill.is_some());
+            }
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses(), stream.len() as u64);
+        prop_assert_eq!(s.hits() + s.misses(), stream.len() as u64);
+        prop_assert_eq!(s.fills, s.misses());
+        prop_assert_eq!(s.writebacks, writebacks_seen);
+        // Flushing returns each remaining dirty line exactly once.
+        let dirty = c.flush();
+        let mut uniq = dirty.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), dirty.len());
+    }
+
+    #[test]
+    fn fully_associative_lru_is_inclusion_monotone(stream in arb_stream()) {
+        // Bigger fully-associative LRU caches never miss more.
+        let mut prev = u64::MAX;
+        for ways in [4usize, 8, 16, 32] {
+            let mut c = CacheSim::new(64 * ways, 64, ways);
+            for &(addr, _) in &stream {
+                c.access(addr * 8, AccessKind::Load, None);
+            }
+            let misses = c.stats().misses();
+            prop_assert!(misses <= prev, "ways {}: {} > {}", ways, misses, prev);
+            prev = misses;
+        }
+    }
+
+    #[test]
+    fn cold_misses_lower_bound(stream in arb_stream()) {
+        // Any cache must miss at least once per distinct line.
+        let mut c = CacheSim::new(1 << 16, 64, 8);
+        let mut lines: Vec<u64> = stream.iter().map(|&(a, _)| a * 8 / 64).collect();
+        for &(addr, _) in &stream {
+            c.access(addr * 8, AccessKind::Load, None);
+        }
+        lines.sort_unstable();
+        lines.dedup();
+        prop_assert!(c.stats().misses() >= lines.len() as u64);
+    }
+
+    #[test]
+    fn random_replacement_preserves_conservation(stream in arb_stream()) {
+        let mut c = CacheSim::new(2048, 64, 4).with_replacement(Replacement::Random);
+        for &(addr, is_store) in &stream {
+            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+            c.access(addr * 8, kind, None);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits() + s.misses(), stream.len() as u64);
+    }
+
+    #[test]
+    fn owner_invalidation_never_writes_back(
+        stream in prop::collection::vec((0u64..512, 0u32..4), 1..200),
+    ) {
+        let mut c = CacheSim::new(1 << 16, 64, 8);
+        for &(slot, owner) in &stream {
+            // Give each owner a disjoint address range.
+            let addr = ((owner as u64) << 20) | (slot * 64);
+            c.access(addr, AccessKind::Store, Some(owner));
+        }
+        let wb_before = c.stats().writebacks;
+        for owner in 0..4 {
+            c.invalidate_owner(owner);
+        }
+        prop_assert_eq!(c.stats().writebacks, wb_before);
+        // Everything local is gone: flush returns nothing dirty.
+        prop_assert!(c.flush().is_empty());
+    }
+
+    #[test]
+    fn regalloc_never_spills_under_budget(
+        n_values in 1u32..40,
+        uses_per_value in 1usize..4,
+    ) {
+        // Sequential, non-overlapping lifetimes: pressure 1.
+        let mut events = Vec::new();
+        for v in 0..n_values {
+            events.push(Event::Def(v));
+            for _ in 0..uses_per_value {
+                events.push(Event::Use(v));
+            }
+        }
+        let r = RegisterAllocator::new(2).allocate(&events);
+        prop_assert_eq!(r.max_pressure, 1);
+        prop_assert_eq!(r.spilled_values, 0);
+        prop_assert!(r.events.is_empty());
+    }
+
+    #[test]
+    fn regalloc_pressure_capped_by_budget(
+        live in 2u32..64,
+        budget in 1u32..32,
+    ) {
+        // `live` simultaneously-live values.
+        let mut events = Vec::new();
+        for v in 0..live {
+            events.push(Event::Def(v));
+        }
+        for v in 0..live {
+            events.push(Event::Use(v));
+        }
+        let r = RegisterAllocator::new(budget).allocate(&events);
+        prop_assert!(r.max_pressure <= budget.max(1));
+        let expected_spills = live.saturating_sub(budget);
+        prop_assert_eq!(r.spilled_values, expected_spills);
+        // The rewritten stream has only local traffic left.
+        prop_assert!(r.events.iter().all(|e| matches!(e, Event::LLoad(_) | Event::LStore(_))));
+        prop_assert_eq!(r.spill_stores, expected_spills as u64);
+    }
+
+    #[test]
+    fn regalloc_is_deterministic(events_raw in prop::collection::vec((0u32..16, any::<bool>()), 0..100)) {
+        let events: Vec<Event> = events_raw
+            .iter()
+            .map(|&(v, d)| if d { Event::Def(v) } else { Event::Use(v) })
+            .collect();
+        let a = RegisterAllocator::new(4).allocate(&events);
+        let b = RegisterAllocator::new(4).allocate(&events);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.spilled_values, b.spilled_values);
+    }
+
+    #[test]
+    fn mlp_estimate_is_bounded(events_raw in prop::collection::vec(0u8..5, 0..300)) {
+        // Random mix of loads, stores and flops.
+        let mut events = Vec::new();
+        let mut max_run = 1u64;
+        let mut run = 0u64;
+        for (i, &k) in events_raw.iter().enumerate() {
+            match k {
+                0 => {
+                    events.push(Event::GLoad(i as u64 * 8 + (1 << 30)));
+                    run += 1;
+                    max_run = max_run.max(run);
+                }
+                1 => {
+                    events.push(Event::GStore(i as u64 * 8));
+                }
+                _ => {
+                    events.push(Event::Fma(1));
+                    run = 0;
+                }
+            }
+        }
+        let mlp = estimate_mlp(&events);
+        prop_assert!(mlp >= 1.0 - 1e-12);
+        prop_assert!(mlp <= max_run as f64 + 1e-12, "mlp {} max_run {}", mlp, max_run);
+    }
+}

@@ -1,0 +1,348 @@
+//! Synthetic mesh generators.
+//!
+//! The Bolund benchmark mesh used in the paper is not redistributable, so the
+//! experiments run on synthetic tetrahedral meshes with the same structural
+//! characteristics: unstructured 4-node gather/scatter with an average of
+//! 5–6 elements sharing each interior node.
+//!
+//! * [`BoxMeshBuilder`] — a structured `nx × ny × nz` grid of boxes, each
+//!   decomposed into six tetrahedra (Kuhn decomposition, conforming across
+//!   box faces).
+//! * [`TerrainMeshBuilder`] — the same grid deformed by a terrain-following
+//!   map with a Gaussian hill and a smoothed escarpment, a stand-in for the
+//!   Bolund cliff geometry.
+
+use rand::Rng;
+
+use crate::tet::TetMesh;
+
+/// Kuhn decomposition of the unit cube into six tetrahedra.
+///
+/// Corner indexing: bit 0 = +x, bit 1 = +y, bit 2 = +z, i.e. corner `0b101`
+/// is `(1, 0, 1)`. Each tet walks from corner 0 to corner 7 adding one axis
+/// at a time; the six axis orders give six tets that share the main diagonal
+/// and tile the cube conformally.
+const KUHN_TETS: [[usize; 4]; 6] = [
+    [0, 0b001, 0b011, 0b111],
+    [0, 0b001, 0b101, 0b111],
+    [0, 0b010, 0b011, 0b111],
+    [0, 0b010, 0b110, 0b111],
+    [0, 0b100, 0b101, 0b111],
+    [0, 0b100, 0b110, 0b111],
+];
+
+/// Builder for structured box meshes decomposed into tetrahedra.
+///
+/// ```
+/// use alya_mesh::BoxMeshBuilder;
+/// let mesh = BoxMeshBuilder::new(4, 3, 2).build();
+/// assert_eq!(mesh.num_nodes(), 5 * 4 * 3);
+/// assert_eq!(mesh.num_elements(), 4 * 3 * 2 * 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BoxMeshBuilder {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    lx: f64,
+    ly: f64,
+    lz: f64,
+    jitter: f64,
+    seed: u64,
+}
+
+impl BoxMeshBuilder {
+    /// A grid of `nx × ny × nz` boxes (so `6·nx·ny·nz` tets) over the unit
+    /// extent. All counts must be at least 1.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx >= 1 && ny >= 1 && nz >= 1, "box counts must be >= 1");
+        Self {
+            nx,
+            ny,
+            nz,
+            lx: 1.0,
+            ly: 1.0,
+            lz: 1.0,
+            jitter: 0.0,
+            seed: 0x414c5941, // "ALYA"
+        }
+    }
+
+    /// Physical extent of the domain.
+    pub fn extent(mut self, lx: f64, ly: f64, lz: f64) -> Self {
+        assert!(lx > 0.0 && ly > 0.0 && lz > 0.0, "extent must be positive");
+        self.lx = lx;
+        self.ly = ly;
+        self.lz = lz;
+        self
+    }
+
+    /// Random interior-node jitter as a fraction of the local grid spacing
+    /// (0.0 = structured, up to ~0.3 stays valid). Boundary nodes are kept.
+    pub fn jitter(mut self, amount: f64) -> Self {
+        assert!((0.0..0.5).contains(&amount), "jitter must be in [0, 0.5)");
+        self.jitter = amount;
+        self
+    }
+
+    /// Seed for the jitter RNG (deterministic by default).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Chooses `nx, ny, nz` so the element count is close to `target_elems`
+    /// with a 2:2:1 aspect, mimicking the flat Bolund domain.
+    pub fn with_approx_elements(target_elems: usize) -> Self {
+        // elems = 6 * nx * ny * nz with nx = ny = 2 nz  =>  elems = 24 nz^3.
+        let nz = ((target_elems as f64 / 24.0).cbrt().round() as usize).max(1);
+        Self::new(2 * nz, 2 * nz, nz)
+    }
+
+    /// Generates the mesh.
+    pub fn build(&self) -> TetMesh {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        let (px, py, pz) = (nx + 1, ny + 1, nz + 1);
+        let node_id = |i: usize, j: usize, k: usize| -> u32 { ((k * py + j) * px + i) as u32 };
+
+        let mut coords = Vec::with_capacity(px * py * pz);
+        let mut rng = seeded_rng(self.seed);
+        let (hx, hy, hz) = (self.lx / nx as f64, self.ly / ny as f64, self.lz / nz as f64);
+        for k in 0..pz {
+            for j in 0..py {
+                for i in 0..px {
+                    let mut p = [i as f64 * hx, j as f64 * hy, k as f64 * hz];
+                    if self.jitter > 0.0 {
+                        let interior =
+                            i > 0 && i < px - 1 && j > 0 && j < py - 1 && k > 0 && k < pz - 1;
+                        if interior {
+                            p[0] += rng.gen_range(-self.jitter..self.jitter) * hx;
+                            p[1] += rng.gen_range(-self.jitter..self.jitter) * hy;
+                            p[2] += rng.gen_range(-self.jitter..self.jitter) * hz;
+                        }
+                    }
+                    coords.push(p);
+                }
+            }
+        }
+
+        let mut connectivity = Vec::with_capacity(nx * ny * nz * 6);
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let corner = |bits: usize| {
+                        node_id(i + (bits & 1), j + ((bits >> 1) & 1), k + ((bits >> 2) & 1))
+                    };
+                    for tet in &KUHN_TETS {
+                        connectivity.push([
+                            corner(tet[0]),
+                            corner(tet[1]),
+                            corner(tet[2]),
+                            corner(tet[3]),
+                        ]);
+                    }
+                }
+            }
+        }
+
+        let mut mesh = TetMesh::from_raw(coords, connectivity);
+        mesh.orient_positive();
+        debug_assert!(mesh.validate().is_ok());
+        mesh
+    }
+}
+
+/// Terrain description for [`TerrainMeshBuilder`]: a Gaussian hill plus a
+/// smoothed escarpment, echoing the Bolund cliff (a steep-sided low hill).
+#[derive(Debug, Clone, Copy)]
+pub struct TerrainProfile {
+    /// Peak height of the Gaussian hill.
+    pub hill_height: f64,
+    /// Hill center in `(x, y)`.
+    pub hill_center: (f64, f64),
+    /// Hill standard deviation.
+    pub hill_sigma: f64,
+    /// Height of the escarpment step.
+    pub cliff_height: f64,
+    /// `x`-position of the escarpment.
+    pub cliff_x: f64,
+    /// Horizontal smoothing length of the escarpment.
+    pub cliff_width: f64,
+}
+
+impl TerrainProfile {
+    /// Ground elevation at `(x, y)`.
+    pub fn height(&self, x: f64, y: f64) -> f64 {
+        let (cx, cy) = self.hill_center;
+        let r2 = (x - cx).powi(2) + (y - cy).powi(2);
+        let hill = self.hill_height * (-r2 / (2.0 * self.hill_sigma * self.hill_sigma)).exp();
+        // Logistic step: 0 upstream of the cliff, `cliff_height` downstream.
+        let step = self.cliff_height / (1.0 + (-(x - self.cliff_x) / self.cliff_width).exp());
+        hill + step
+    }
+}
+
+/// Builder for the Bolund-like terrain mesh: a box mesh whose nodes are
+/// shifted vertically by a terrain-following map, so the ground follows the
+/// cliff profile and the deformation decays to zero at the domain top.
+///
+/// ```
+/// use alya_mesh::TerrainMeshBuilder;
+/// let mesh = TerrainMeshBuilder::new(8, 8, 4).build();
+/// assert!(mesh.validate().is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TerrainMeshBuilder {
+    base: BoxMeshBuilder,
+    profile: TerrainProfile,
+}
+
+impl TerrainMeshBuilder {
+    /// Terrain mesh over an `nx × ny × nz` grid with default Bolund-like
+    /// proportions (domain 2 × 2 × 1, hill+cliff heights ~12% of the domain
+    /// height).
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        Self {
+            base: BoxMeshBuilder::new(nx, ny, nz).extent(2.0, 2.0, 1.0),
+            profile: TerrainProfile {
+                hill_height: 0.12,
+                hill_center: (1.0, 1.0),
+                hill_sigma: 0.25,
+                cliff_height: 0.06,
+                cliff_x: 0.7,
+                cliff_width: 0.05,
+            },
+        }
+    }
+
+    /// Chooses grid sizes for approximately `target_elems` tetrahedra.
+    pub fn with_approx_elements(target_elems: usize) -> Self {
+        let nz = ((target_elems as f64 / 24.0).cbrt().round() as usize).max(2);
+        Self::new(2 * nz, 2 * nz, nz)
+    }
+
+    /// Overrides the terrain profile.
+    pub fn profile(mut self, profile: TerrainProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Overrides the domain extent.
+    pub fn extent(mut self, lx: f64, ly: f64, lz: f64) -> Self {
+        self.base = self.base.extent(lx, ly, lz);
+        self
+    }
+
+    /// Generates the mesh.
+    pub fn build(&self) -> TetMesh {
+        let mut mesh = self.base.build();
+        let lz = self.base.lz;
+        for p in mesh.coords_mut() {
+            let h = self.profile.height(p[0], p[1]);
+            // Terrain-following: full shift at the ground, zero at the top.
+            let blend = 1.0 - p[2] / lz;
+            p[2] += h * blend;
+        }
+        mesh.orient_positive();
+        debug_assert!(mesh.validate().is_ok());
+        mesh
+    }
+}
+
+fn seeded_rng(seed: u64) -> impl Rng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn box_mesh_counts() {
+        let mesh = BoxMeshBuilder::new(3, 4, 5).build();
+        assert_eq!(mesh.num_nodes(), 4 * 5 * 6);
+        assert_eq!(mesh.num_elements(), 3 * 4 * 5 * 6);
+    }
+
+    #[test]
+    fn box_mesh_is_valid() {
+        let mesh = BoxMeshBuilder::new(4, 4, 4).build();
+        assert!(mesh.validate().is_ok());
+    }
+
+    #[test]
+    fn box_mesh_volume_matches_domain() {
+        let mesh = BoxMeshBuilder::new(5, 4, 3).extent(2.0, 3.0, 0.5).build();
+        assert!((mesh.total_volume() - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn kuhn_tets_tile_unit_cube() {
+        let mesh = BoxMeshBuilder::new(1, 1, 1).build();
+        assert_eq!(mesh.num_elements(), 6);
+        assert!((mesh.total_volume() - 1.0).abs() < 1e-14);
+        for e in 0..6 {
+            assert!((mesh.element_volume(e) - 1.0 / 6.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn jittered_mesh_stays_valid() {
+        let mesh = BoxMeshBuilder::new(6, 6, 6).jitter(0.2).seed(7).build();
+        assert!(mesh.validate().is_ok());
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed() {
+        let a = BoxMeshBuilder::new(4, 4, 4).jitter(0.2).seed(3).build();
+        let b = BoxMeshBuilder::new(4, 4, 4).jitter(0.2).seed(3).build();
+        let c = BoxMeshBuilder::new(4, 4, 4).jitter(0.2).seed(4).build();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn approx_elements_is_close() {
+        let mesh = BoxMeshBuilder::with_approx_elements(50_000).build();
+        let n = mesh.num_elements() as f64;
+        assert!(n > 25_000.0 && n < 100_000.0, "got {n}");
+    }
+
+    #[test]
+    fn terrain_mesh_is_valid_and_raised() {
+        let flat = BoxMeshBuilder::new(8, 8, 4).extent(2.0, 2.0, 1.0).build();
+        let terrain = TerrainMeshBuilder::new(8, 8, 4).build();
+        assert!(terrain.validate().is_ok());
+        // The terrain-following map keeps the top fixed and raises the ground,
+        // carving the hill/cliff out of the fluid domain: volume shrinks but
+        // by no more than the terrain bump could displace.
+        assert!(terrain.total_volume() <= flat.total_volume() + 1e-12);
+        assert!(terrain.total_volume() > 0.8 * flat.total_volume());
+        // Ground nodes above the hill must be elevated.
+        let (lo, _) = terrain.bounding_box().unwrap();
+        // Far-field ground stays essentially at z = 0 (Gaussian/logistic tails).
+        assert!(lo[2].abs() < 1e-3, "far-field ground at {}", lo[2]);
+        let elevated = terrain
+            .coords()
+            .iter()
+            .any(|p| p[2] > 0.05 && p[2] < 0.2 && (p[0] - 1.0).abs() < 0.3);
+        assert!(elevated);
+    }
+
+    #[test]
+    fn terrain_profile_cliff_step() {
+        let t = TerrainMeshBuilder::new(2, 2, 2).profile(TerrainProfile {
+            hill_height: 0.0,
+            hill_center: (0.0, 0.0),
+            hill_sigma: 1.0,
+            cliff_height: 0.1,
+            cliff_x: 1.0,
+            cliff_width: 0.01,
+        });
+        let upstream = t.profile.height(0.0, 0.0);
+        let downstream = t.profile.height(2.0, 0.0);
+        assert!(upstream < 1e-6);
+        assert!((downstream - 0.1).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,242 @@
+//! Recursive-coordinate-bisection (RCB) element partitioning.
+//!
+//! Alya parallelizes with one MPI rank per core plus a master process; the
+//! Figure-2 scaling experiment runs 1–71 workers. [`Partition`] reproduces
+//! that decomposition: elements are split into balanced parts by recursively
+//! bisecting along the longest coordinate axis of their centroids. The same
+//! partition also drives the owner-computes parallel scatter in `alya-core`
+//! (each part scatters only to nodes it owns; shared-boundary contributions
+//! are reduced afterwards).
+
+use crate::tet::TetMesh;
+
+/// A disjoint partition of mesh elements into `num_parts` parts.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    part_of: Vec<u32>,
+    /// Elements of each part, concatenated; `offsets` delimits parts.
+    elements: Vec<u32>,
+    offsets: Vec<u32>,
+}
+
+impl Partition {
+    /// Partitions the mesh into `num_parts` parts by recursive coordinate
+    /// bisection of element centroids. Part sizes differ by at most one when
+    /// `num_parts` divides recursively; in general they are balanced to
+    /// within a few elements.
+    pub fn rcb(mesh: &TetMesh, num_parts: usize) -> Self {
+        assert!(num_parts >= 1, "need at least one part");
+        let ne = mesh.num_elements();
+        let centroids: Vec<[f64; 3]> = (0..ne).map(|e| mesh.element_centroid(e)).collect();
+        let mut ids: Vec<u32> = (0..ne as u32).collect();
+        let mut part_of = vec![0u32; ne];
+        let mut next_part = 0u32;
+        bisect(&centroids, &mut ids, num_parts, &mut part_of, &mut next_part);
+        // Empty subsets collapse their subtree into one part id, so at most
+        // `num_parts` ids are handed out (exactly `num_parts` when ne >= parts).
+        debug_assert!(next_part as usize <= num_parts);
+
+        let actual_parts = num_parts;
+        let mut counts = vec![0u32; actual_parts + 1];
+        for &p in &part_of {
+            counts[p as usize + 1] += 1;
+        }
+        for i in 0..actual_parts {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut elements = vec![0u32; ne];
+        for (e, &p) in part_of.iter().enumerate() {
+            let slot = &mut cursor[p as usize];
+            elements[*slot as usize] = e as u32;
+            *slot += 1;
+        }
+        Self {
+            part_of,
+            elements,
+            offsets,
+        }
+    }
+
+    /// Number of parts.
+    #[inline]
+    pub fn num_parts(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Part owning element `e`.
+    #[inline]
+    pub fn part_of(&self, e: usize) -> u32 {
+        self.part_of[e]
+    }
+
+    /// Elements of part `p`.
+    #[inline]
+    pub fn part(&self, p: usize) -> &[u32] {
+        let lo = self.offsets[p] as usize;
+        let hi = self.offsets[p + 1] as usize;
+        &self.elements[lo..hi]
+    }
+
+    /// Iterates over all parts.
+    pub fn parts(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.num_parts()).map(move |p| self.part(p))
+    }
+
+    /// Size of the largest part divided by the mean size — 1.0 is perfect.
+    pub fn imbalance(&self) -> f64 {
+        let ne: usize = self.elements.len();
+        if ne == 0 {
+            return 1.0;
+        }
+        let mean = ne as f64 / self.num_parts() as f64;
+        let max = (0..self.num_parts())
+            .map(|p| self.part(p).len())
+            .max()
+            .unwrap_or(0);
+        max as f64 / mean
+    }
+
+    /// Number of nodes shared by more than one part (halo size indicator).
+    pub fn num_interface_nodes(&self, mesh: &TetMesh) -> usize {
+        let mut owner = vec![u32::MAX; mesh.num_nodes()];
+        let mut shared = vec![false; mesh.num_nodes()];
+        for (e, conn) in mesh.connectivity().iter().enumerate() {
+            let p = self.part_of[e];
+            for &node in conn {
+                let o = &mut owner[node as usize];
+                if *o == u32::MAX {
+                    *o = p;
+                } else if *o != p {
+                    shared[node as usize] = true;
+                }
+            }
+        }
+        shared.iter().filter(|&&s| s).count()
+    }
+}
+
+/// Recursively assigns the element ids in `ids` to `num_parts` parts.
+fn bisect(
+    centroids: &[[f64; 3]],
+    ids: &mut [u32],
+    num_parts: usize,
+    part_of: &mut [u32],
+    next_part: &mut u32,
+) {
+    if num_parts == 1 || ids.is_empty() {
+        let p = *next_part;
+        *next_part += 1;
+        for &e in ids.iter() {
+            part_of[e as usize] = p;
+        }
+        return;
+    }
+    // Split proportionally so odd part counts stay balanced.
+    let left_parts = num_parts / 2;
+    let right_parts = num_parts - left_parts;
+    let split = ids.len() * left_parts / num_parts;
+
+    // Bisect along the longest extent of this subset's centroids.
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for &e in ids.iter() {
+        let c = centroids[e as usize];
+        for d in 0..3 {
+            lo[d] = lo[d].min(c[d]);
+            hi[d] = hi[d].max(c[d]);
+        }
+    }
+    let axis = (0..3)
+        .max_by(|&a, &b| (hi[a] - lo[a]).total_cmp(&(hi[b] - lo[b])))
+        .unwrap();
+
+    ids.select_nth_unstable_by(split.min(ids.len().saturating_sub(1)), |&a, &b| {
+        centroids[a as usize][axis].total_cmp(&centroids[b as usize][axis])
+    });
+    let (left, right) = ids.split_at_mut(split);
+    bisect(centroids, left, left_parts, part_of, next_part);
+    bisect(centroids, right, right_parts, part_of, next_part);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{BoxMeshBuilder, TerrainMeshBuilder};
+
+    #[test]
+    fn partition_covers_all_elements_once() {
+        let mesh = BoxMeshBuilder::new(4, 4, 2).build();
+        let part = Partition::rcb(&mesh, 7);
+        let mut seen = vec![false; mesh.num_elements()];
+        for p in part.parts() {
+            for &e in p {
+                assert!(!seen[e as usize]);
+                seen[e as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        let mesh = BoxMeshBuilder::new(6, 6, 4).build();
+        for parts in [2, 3, 8, 17, 71] {
+            let part = Partition::rcb(&mesh, parts);
+            assert_eq!(part.num_parts(), parts);
+            assert!(
+                part.imbalance() < 1.10,
+                "{parts} parts imbalance {}",
+                part.imbalance()
+            );
+        }
+    }
+
+    #[test]
+    fn part_of_matches_part_lists() {
+        let mesh = BoxMeshBuilder::new(3, 3, 3).build();
+        let part = Partition::rcb(&mesh, 5);
+        for p in 0..part.num_parts() {
+            for &e in part.part(p) {
+                assert_eq!(part.part_of(e as usize), p as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn single_part_owns_everything() {
+        let mesh = BoxMeshBuilder::new(2, 2, 2).build();
+        let part = Partition::rcb(&mesh, 1);
+        assert_eq!(part.num_parts(), 1);
+        assert_eq!(part.part(0).len(), mesh.num_elements());
+        assert!((part.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interface_nodes_grow_with_parts_but_stay_small() {
+        let mesh = TerrainMeshBuilder::new(12, 12, 6).build();
+        let p2 = Partition::rcb(&mesh, 2).num_interface_nodes(&mesh);
+        let p16 = Partition::rcb(&mesh, 16).num_interface_nodes(&mesh);
+        assert!(p2 > 0);
+        assert!(p16 > p2);
+        // Surface-to-volume: interfaces must stay a minority of all nodes.
+        assert!(p16 < mesh.num_nodes() / 2);
+    }
+
+    #[test]
+    fn rcb_separates_spatially() {
+        // Two parts of a long box should split along x.
+        let mesh = BoxMeshBuilder::new(8, 2, 2).extent(8.0, 1.0, 1.0).build();
+        let part = Partition::rcb(&mesh, 2);
+        let mean_x = |p: usize| -> f64 {
+            let elems = part.part(p);
+            elems
+                .iter()
+                .map(|&e| mesh.element_centroid(e as usize)[0])
+                .sum::<f64>()
+                / elems.len() as f64
+        };
+        assert!((mean_x(0) - mean_x(1)).abs() > 2.0);
+    }
+}

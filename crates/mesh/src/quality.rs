@@ -1,0 +1,163 @@
+//! Element quality metrics.
+//!
+//! The assembly kernels divide by element volumes and invert Jacobians, so
+//! mesh quality matters for the numerics (and the generators' jitter option
+//! needs a guard rail). Metrics follow the usual FEM definitions.
+
+use crate::tet::{signed_volume, Point3, TetMesh};
+
+/// Quality report of a single tetrahedron.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TetQuality {
+    /// Signed volume (positive for valid orientation).
+    pub volume: f64,
+    /// Longest edge length.
+    pub max_edge: f64,
+    /// Shortest edge length.
+    pub min_edge: f64,
+    /// Normalized shape quality in `(0, 1]`: `12 (3V)^{2/3} / Σ l_i^2`,
+    /// which is 1 for the regular tetrahedron and → 0 for slivers.
+    pub shape: f64,
+}
+
+/// Computes quality metrics for the tetrahedron `p`.
+pub fn tet_quality(p: &[Point3; 4]) -> TetQuality {
+    let volume = signed_volume(p);
+    let mut sum_l2 = 0.0;
+    let mut max_edge: f64 = 0.0;
+    let mut min_edge = f64::INFINITY;
+    for i in 0..4 {
+        for j in (i + 1)..4 {
+            let dx = p[i][0] - p[j][0];
+            let dy = p[i][1] - p[j][1];
+            let dz = p[i][2] - p[j][2];
+            let l2 = dx * dx + dy * dy + dz * dz;
+            sum_l2 += l2;
+            max_edge = max_edge.max(l2.sqrt());
+            min_edge = min_edge.min(l2.sqrt());
+        }
+    }
+    let shape = if volume > 0.0 && sum_l2 > 0.0 {
+        12.0 * (3.0 * volume).powf(2.0 / 3.0) / sum_l2
+    } else {
+        0.0
+    };
+    TetQuality {
+        volume,
+        max_edge,
+        min_edge,
+        shape,
+    }
+}
+
+/// Mesh-wide quality summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Minimum shape quality over all elements.
+    pub min_shape: f64,
+    /// Mean shape quality.
+    pub mean_shape: f64,
+    /// Minimum element volume.
+    pub min_volume: f64,
+    /// Number of inverted (non-positive-volume) elements.
+    pub num_inverted: usize,
+}
+
+/// Scans the whole mesh.
+pub fn mesh_quality(mesh: &TetMesh) -> QualityReport {
+    let ne = mesh.num_elements();
+    let mut min_shape = f64::INFINITY;
+    let mut sum_shape = 0.0;
+    let mut min_volume = f64::INFINITY;
+    let mut num_inverted = 0;
+    for e in 0..ne {
+        let q = tet_quality(&mesh.element_coords(e));
+        min_shape = min_shape.min(q.shape);
+        sum_shape += q.shape;
+        min_volume = min_volume.min(q.volume);
+        if q.volume <= 0.0 {
+            num_inverted += 1;
+        }
+    }
+    QualityReport {
+        min_shape: if ne == 0 { 0.0 } else { min_shape },
+        mean_shape: if ne == 0 { 0.0 } else { sum_shape / ne as f64 },
+        min_volume: if ne == 0 { 0.0 } else { min_volume },
+        num_inverted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{BoxMeshBuilder, TerrainMeshBuilder};
+
+    /// Regular tetrahedron with unit edges.
+    fn regular_tet() -> [Point3; 4] {
+        let s = 1.0 / (2.0f64).sqrt();
+        [
+            [-1.0, 0.0, -s],
+            [1.0, 0.0, -s],
+            [0.0, 1.0, s],
+            [0.0, -1.0, s],
+        ]
+        .map(|p| [p[0] * 0.5, p[1] * 0.5, p[2] * 0.5])
+    }
+
+    #[test]
+    fn regular_tet_has_shape_one() {
+        let q = tet_quality(&regular_tet());
+        assert!(q.volume > 0.0);
+        assert!((q.shape - 1.0).abs() < 1e-12, "shape = {}", q.shape);
+        assert!((q.max_edge - q.min_edge).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sliver_has_low_shape() {
+        // Nearly coplanar tet.
+        let p = [
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.5, 0.5, 1e-6],
+        ];
+        let q = tet_quality(&p);
+        assert!(q.shape < 1e-3);
+    }
+
+    #[test]
+    fn inverted_tet_has_zero_shape() {
+        let p = [
+            [1.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ];
+        let q = tet_quality(&p);
+        assert!(q.volume < 0.0);
+        assert_eq!(q.shape, 0.0);
+    }
+
+    #[test]
+    fn generated_meshes_have_decent_quality() {
+        for mesh in [
+            BoxMeshBuilder::new(4, 4, 4).build(),
+            TerrainMeshBuilder::new(8, 8, 4).build(),
+            BoxMeshBuilder::new(5, 5, 5).jitter(0.15).build(),
+        ] {
+            let report = mesh_quality(&mesh);
+            assert_eq!(report.num_inverted, 0);
+            assert!(report.min_shape > 0.05, "min shape {}", report.min_shape);
+            assert!(report.mean_shape > 0.4, "mean shape {}", report.mean_shape);
+        }
+    }
+
+    #[test]
+    fn shape_is_scale_invariant() {
+        let p = regular_tet();
+        let scaled = p.map(|v| [v[0] * 7.5, v[1] * 7.5, v[2] * 7.5]);
+        let a = tet_quality(&p).shape;
+        let b = tet_quality(&scaled).shape;
+        assert!((a - b).abs() < 1e-10);
+    }
+}

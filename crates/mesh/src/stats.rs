@@ -1,0 +1,73 @@
+//! Mesh summary statistics for reporting in the benchmark harness.
+
+use crate::adjacency::NodeToElements;
+use crate::quality::{mesh_quality, QualityReport};
+use crate::tet::TetMesh;
+
+/// Aggregate statistics of a mesh, as printed by the reproduction binaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeshStats {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of tetrahedra.
+    pub num_elements: usize,
+    /// Mean elements sharing a node (node-reuse factor).
+    pub mean_elements_per_node: f64,
+    /// Total mesh volume.
+    pub total_volume: f64,
+    /// Quality summary.
+    pub quality: QualityReport,
+}
+
+impl MeshStats {
+    /// Gathers statistics (builds a transient node→element map).
+    pub fn gather(mesh: &TetMesh) -> Self {
+        let n2e = NodeToElements::build(mesh);
+        Self {
+            num_nodes: mesh.num_nodes(),
+            num_elements: mesh.num_elements(),
+            mean_elements_per_node: n2e.mean_elements_per_node(),
+            total_volume: mesh.total_volume(),
+            quality: mesh_quality(mesh),
+        }
+    }
+}
+
+impl std::fmt::Display for MeshStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "mesh: {} nodes, {} tets ({:.2} elems/node), volume {:.4}",
+            self.num_nodes, self.num_elements, self.mean_elements_per_node, self.total_volume
+        )?;
+        write!(
+            f,
+            "quality: min shape {:.3}, mean shape {:.3}, {} inverted",
+            self.quality.min_shape, self.quality.mean_shape, self.quality.num_inverted
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::BoxMeshBuilder;
+
+    #[test]
+    fn stats_match_mesh() {
+        let mesh = BoxMeshBuilder::new(4, 3, 2).build();
+        let stats = MeshStats::gather(&mesh);
+        assert_eq!(stats.num_nodes, mesh.num_nodes());
+        assert_eq!(stats.num_elements, mesh.num_elements());
+        assert!((stats.total_volume - mesh.total_volume()).abs() < 1e-12);
+        assert_eq!(stats.quality.num_inverted, 0);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let mesh = BoxMeshBuilder::new(2, 2, 2).build();
+        let text = MeshStats::gather(&mesh).to_string();
+        assert!(text.contains("48 tets"));
+        assert!(text.contains("27 nodes"));
+    }
+}

@@ -1,0 +1,318 @@
+//! Core tetrahedral mesh container.
+//!
+//! Nodes are stored as an array-of-points, connectivity as `[u32; 4]` per
+//! element. The layout is deliberately simple and contiguous: the assembly
+//! kernels gather nodal data through the connectivity exactly as Alya's
+//! Fortran kernels do through `lnods`.
+
+/// A point in 3-space.
+pub type Point3 = [f64; 3];
+
+/// Nodes per linear tetrahedron.
+pub const NODES_PER_TET: usize = 4;
+
+/// An unstructured mesh of linear tetrahedra.
+///
+/// Invariants (checked by [`TetMesh::validate`]):
+/// * every connectivity entry indexes a valid node,
+/// * every element has strictly positive signed volume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TetMesh {
+    coords: Vec<Point3>,
+    connectivity: Vec<[u32; NODES_PER_TET]>,
+}
+
+/// Errors produced by [`TetMesh::validate`] and mesh constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// Element `elem` references node `node`, which is out of range.
+    NodeOutOfRange { elem: usize, node: u32 },
+    /// Element `elem` has non-positive signed volume.
+    NonPositiveVolume { elem: usize },
+    /// Element `elem` repeats a node (degenerate connectivity).
+    RepeatedNode { elem: usize },
+}
+
+impl std::fmt::Display for MeshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeshError::NodeOutOfRange { elem, node } => {
+                write!(f, "element {elem} references out-of-range node {node}")
+            }
+            MeshError::NonPositiveVolume { elem } => {
+                write!(f, "element {elem} has non-positive volume")
+            }
+            MeshError::RepeatedNode { elem } => {
+                write!(f, "element {elem} repeats a node")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+impl TetMesh {
+    /// Builds a mesh from raw parts without validity checks.
+    ///
+    /// Prefer [`TetMesh::new`] unless the inputs are known-good (e.g. produced
+    /// by the generators in this crate).
+    pub fn from_raw(coords: Vec<Point3>, connectivity: Vec<[u32; NODES_PER_TET]>) -> Self {
+        Self {
+            coords,
+            connectivity,
+        }
+    }
+
+    /// Builds a mesh and validates it.
+    pub fn new(
+        coords: Vec<Point3>,
+        connectivity: Vec<[u32; NODES_PER_TET]>,
+    ) -> Result<Self, MeshError> {
+        let mesh = Self::from_raw(coords, connectivity);
+        mesh.validate()?;
+        Ok(mesh)
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of tetrahedra.
+    #[inline]
+    pub fn num_elements(&self) -> usize {
+        self.connectivity.len()
+    }
+
+    /// Node coordinates.
+    #[inline]
+    pub fn coords(&self) -> &[Point3] {
+        &self.coords
+    }
+
+    /// Mutable node coordinates (used by mesh deformation).
+    #[inline]
+    pub fn coords_mut(&mut self) -> &mut [Point3] {
+        &mut self.coords
+    }
+
+    /// Element connectivity.
+    #[inline]
+    pub fn connectivity(&self) -> &[[u32; NODES_PER_TET]] {
+        &self.connectivity
+    }
+
+    /// The four node indices of element `e`.
+    #[inline]
+    pub fn element(&self, e: usize) -> [u32; NODES_PER_TET] {
+        self.connectivity[e]
+    }
+
+    /// The coordinates of the four nodes of element `e`.
+    #[inline]
+    pub fn element_coords(&self, e: usize) -> [Point3; NODES_PER_TET] {
+        let c = self.connectivity[e];
+        [
+            self.coords[c[0] as usize],
+            self.coords[c[1] as usize],
+            self.coords[c[2] as usize],
+            self.coords[c[3] as usize],
+        ]
+    }
+
+    /// Signed volume of element `e` (positive for correctly oriented tets).
+    pub fn element_volume(&self, e: usize) -> f64 {
+        signed_volume(&self.element_coords(e))
+    }
+
+    /// Centroid of element `e`.
+    pub fn element_centroid(&self, e: usize) -> Point3 {
+        let p = self.element_coords(e);
+        [
+            (p[0][0] + p[1][0] + p[2][0] + p[3][0]) * 0.25,
+            (p[0][1] + p[1][1] + p[2][1] + p[3][1]) * 0.25,
+            (p[0][2] + p[1][2] + p[2][2] + p[3][2]) * 0.25,
+        ]
+    }
+
+    /// Sum of all element volumes.
+    pub fn total_volume(&self) -> f64 {
+        (0..self.num_elements())
+            .map(|e| self.element_volume(e))
+            .sum()
+    }
+
+    /// Axis-aligned bounding box `(min, max)` over all nodes.
+    ///
+    /// Returns `None` for an empty mesh.
+    pub fn bounding_box(&self) -> Option<(Point3, Point3)> {
+        let first = *self.coords.first()?;
+        let mut lo = first;
+        let mut hi = first;
+        for p in &self.coords {
+            for d in 0..3 {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// Checks all mesh invariants.
+    pub fn validate(&self) -> Result<(), MeshError> {
+        let n = self.coords.len() as u32;
+        for (e, conn) in self.connectivity.iter().enumerate() {
+            for &node in conn {
+                if node >= n {
+                    return Err(MeshError::NodeOutOfRange { elem: e, node });
+                }
+            }
+            for i in 0..NODES_PER_TET {
+                for j in (i + 1)..NODES_PER_TET {
+                    if conn[i] == conn[j] {
+                        return Err(MeshError::RepeatedNode { elem: e });
+                    }
+                }
+            }
+            if self.element_volume(e) <= 0.0 {
+                return Err(MeshError::NonPositiveVolume { elem: e });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fixes element orientation in place: any element with negative signed
+    /// volume gets two nodes swapped. Returns the number of flipped elements.
+    pub fn orient_positive(&mut self) -> usize {
+        let mut flipped = 0;
+        for e in 0..self.connectivity.len() {
+            if self.element_volume(e) < 0.0 {
+                self.connectivity[e].swap(2, 3);
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+}
+
+/// Signed volume of a tetrahedron given its four vertices.
+///
+/// `V = det(p1-p0, p2-p0, p3-p0) / 6`.
+#[inline]
+pub fn signed_volume(p: &[Point3; 4]) -> f64 {
+    let a = sub(p[1], p[0]);
+    let b = sub(p[2], p[0]);
+    let c = sub(p[3], p[0]);
+    det3(a, b, c) / 6.0
+}
+
+#[inline]
+fn sub(a: Point3, b: Point3) -> Point3 {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+#[inline]
+fn det3(a: Point3, b: Point3, c: Point3) -> f64 {
+    a[0] * (b[1] * c[2] - b[2] * c[1]) - a[1] * (b[0] * c[2] - b[2] * c[0])
+        + a[2] * (b[0] * c[1] - b[1] * c[0])
+}
+
+/// The canonical unit tetrahedron (vertices at the origin and unit axes).
+pub fn unit_tet() -> TetMesh {
+    TetMesh::from_raw(
+        vec![
+            [0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ],
+        vec![[0, 1, 2, 3]],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_tet_volume() {
+        let mesh = unit_tet();
+        assert!((mesh.element_volume(0) - 1.0 / 6.0).abs() < 1e-15);
+        assert!(mesh.validate().is_ok());
+    }
+
+    #[test]
+    fn unit_tet_centroid() {
+        let mesh = unit_tet();
+        let c = mesh.element_centroid(0);
+        for d in 0..3 {
+            assert!((c[d] - 0.25).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn validate_catches_out_of_range_node() {
+        let mut mesh = unit_tet();
+        mesh.connectivity[0][3] = 99;
+        assert_eq!(
+            mesh.validate(),
+            Err(MeshError::NodeOutOfRange { elem: 0, node: 99 })
+        );
+    }
+
+    #[test]
+    fn validate_catches_repeated_node() {
+        let mut mesh = unit_tet();
+        mesh.connectivity[0][3] = 0;
+        assert_eq!(mesh.validate(), Err(MeshError::RepeatedNode { elem: 0 }));
+    }
+
+    #[test]
+    fn validate_catches_inverted_element() {
+        let mut mesh = unit_tet();
+        mesh.connectivity[0].swap(0, 1);
+        assert_eq!(
+            mesh.validate(),
+            Err(MeshError::NonPositiveVolume { elem: 0 })
+        );
+    }
+
+    #[test]
+    fn orient_positive_repairs_inverted_element() {
+        let mut mesh = unit_tet();
+        mesh.connectivity[0].swap(0, 1);
+        assert_eq!(mesh.orient_positive(), 1);
+        assert!(mesh.validate().is_ok());
+        // A second pass is a no-op.
+        assert_eq!(mesh.orient_positive(), 0);
+    }
+
+    #[test]
+    fn bounding_box_of_unit_tet() {
+        let mesh = unit_tet();
+        let (lo, hi) = mesh.bounding_box().unwrap();
+        assert_eq!(lo, [0.0, 0.0, 0.0]);
+        assert_eq!(hi, [1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn bounding_box_empty_mesh_is_none() {
+        let mesh = TetMesh::from_raw(vec![], vec![]);
+        assert!(mesh.bounding_box().is_none());
+    }
+
+    #[test]
+    fn signed_volume_is_antisymmetric_under_swap() {
+        let p = [
+            [0.1, 0.2, 0.3],
+            [1.3, 0.1, 0.2],
+            [0.2, 1.1, 0.4],
+            [0.3, 0.2, 1.5],
+        ];
+        let v = signed_volume(&p);
+        let mut q = p;
+        q.swap(1, 2);
+        assert!((signed_volume(&q) + v).abs() < 1e-14);
+    }
+}

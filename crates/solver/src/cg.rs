@@ -1,0 +1,217 @@
+//! Jacobi-preconditioned conjugate gradients.
+//!
+//! The pressure Poisson system is symmetric positive (semi-)definite; CG
+//! with diagonal preconditioning is the classic workhorse (the paper's
+//! production setting points at AMG-preconditioned solvers as future work —
+//! Jacobi-PCG is the honest laptop-scale stand-in).
+
+use crate::csr::CsrMatrix;
+
+/// A symmetric positive (semi-)definite linear operator.
+pub trait LinOp {
+    /// `y = A x`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+    /// Problem size.
+    fn dim(&self) -> usize;
+    /// Approximate diagonal for Jacobi preconditioning (ones disable it).
+    fn precond_diagonal(&self) -> Vec<f64>;
+}
+
+impl LinOp for CsrMatrix {
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.par_spmv(x, y);
+    }
+
+    fn dim(&self) -> usize {
+        self.num_rows()
+    }
+
+    fn precond_diagonal(&self) -> Vec<f64> {
+        self.diagonal()
+    }
+}
+
+/// Convergence report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgResult {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual 2-norm.
+    pub residual: f64,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Solves `A x = b` in place of `x` (the initial guess).
+///
+/// Stops when `‖r‖₂ ≤ rel_tol · ‖b‖₂ + 1e-300` or after `max_iters`.
+pub fn solve_cg(
+    a: &impl LinOp,
+    b: &[f64],
+    x: &mut [f64],
+    rel_tol: f64,
+    max_iters: usize,
+) -> CgResult {
+    let n = b.len();
+    assert_eq!(a.dim(), n);
+    assert_eq!(x.len(), n);
+
+    let diag = a.precond_diagonal();
+    let precond = |r: &[f64], z: &mut [f64]| {
+        for i in 0..n {
+            z[i] = if diag[i].abs() > 0.0 { r[i] / diag[i] } else { r[i] };
+        }
+    };
+
+    let norm_b = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let tol = rel_tol * norm_b + 1e-300;
+
+    let mut r = vec![0.0; n];
+    a.apply(x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let mut z = vec![0.0; n];
+    precond(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+    let mut ap = vec![0.0; n];
+
+    let mut residual = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if residual <= tol {
+        return CgResult {
+            iterations: 0,
+            residual,
+            converged: true,
+        };
+    }
+
+    for it in 1..=max_iters {
+        a.apply(&p, &mut ap);
+        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        if pap.abs() < 1e-300 {
+            return CgResult {
+                iterations: it,
+                residual,
+                converged: false,
+            };
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        residual = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if residual <= tol {
+            return CgResult {
+                iterations: it,
+                residual,
+                converged: true,
+            };
+        }
+        precond(&r, &mut z);
+        let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+
+    CgResult {
+        iterations: max_iters,
+        residual,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1D Laplacian tridiagonal SPD matrix.
+    fn laplacian_1d(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n as u32 {
+            t.push((i, i, 2.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+            }
+            if (i as usize) < n - 1 {
+                t.push((i, i + 1, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, t)
+    }
+
+    #[test]
+    fn solves_small_spd_system() {
+        let a = CsrMatrix::from_triplets(
+            2,
+            2,
+            vec![(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)],
+        );
+        let b = [1.0, 2.0];
+        let mut x = [0.0, 0.0];
+        let res = solve_cg(&a, &b, &mut x, 1e-12, 100);
+        assert!(res.converged);
+        // Exact: x = (1/11, 7/11).
+        assert!((x[0] - 1.0 / 11.0).abs() < 1e-10);
+        assert!((x[1] - 7.0 / 11.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solves_laplacian_to_tolerance() {
+        let n = 200;
+        let a = laplacian_1d(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&x_true, &mut b);
+        let mut x = vec![0.0; n];
+        let res = solve_cg(&a, &b, &mut x, 1e-10, 2000);
+        assert!(res.converged, "residual {}", res.residual);
+        let err = x
+            .iter()
+            .zip(&x_true)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(err < 1e-6, "error {err}");
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let a = laplacian_1d(10);
+        let b = vec![0.0; 10];
+        let mut x = vec![0.0; 10];
+        let res = solve_cg(&a, &b, &mut x, 1e-10, 100);
+        assert!(res.converged);
+        assert_eq!(res.iterations, 0);
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let n = 100;
+        let a = laplacian_1d(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).cos()).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&x_true, &mut b);
+        let mut cold = vec![0.0; n];
+        let cold_res = solve_cg(&a, &b, &mut cold, 1e-10, 2000);
+        let mut warm = x_true.clone();
+        for w in &mut warm {
+            *w += 1e-6;
+        }
+        let warm_res = solve_cg(&a, &b, &mut warm, 1e-10, 2000);
+        assert!(warm_res.iterations < cold_res.iterations);
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let a = laplacian_1d(500);
+        let b = vec![1.0; 500];
+        let mut x = vec![0.0; 500];
+        let res = solve_cg(&a, &b, &mut x, 1e-14, 3);
+        assert!(!res.converged);
+        assert_eq!(res.iterations, 3);
+    }
+}

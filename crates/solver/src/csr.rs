@@ -1,0 +1,226 @@
+//! Compressed-sparse-row matrices.
+
+use rayon::prelude::*;
+
+/// A CSR matrix over `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    num_rows: usize,
+    num_cols: usize,
+    row_offsets: Vec<u32>,
+    col_indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds from (row, col, value) triplets; duplicate entries are summed.
+    pub fn from_triplets(
+        num_rows: usize,
+        num_cols: usize,
+        triplets: impl IntoIterator<Item = (u32, u32, f64)>,
+    ) -> Self {
+        let mut items: Vec<(u32, u32, f64)> = triplets.into_iter().collect();
+        items.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_offsets = Vec::with_capacity(num_rows + 1);
+        let mut col_indices = Vec::new();
+        let mut values = Vec::new();
+        row_offsets.push(0u32);
+        let mut it = items.into_iter().peekable();
+        for r in 0..num_rows as u32 {
+            while let Some(&(ri, c, v)) = it.peek() {
+                if ri != r {
+                    break;
+                }
+                assert!((c as usize) < num_cols, "column {c} out of range");
+                let row_start = *row_offsets.last().unwrap() as usize;
+                if col_indices.len() > row_start && *col_indices.last().unwrap() == c {
+                    *values.last_mut().unwrap() += v; // merge duplicate
+                } else {
+                    col_indices.push(c);
+                    values.push(v);
+                }
+                it.next();
+            }
+            row_offsets.push(col_indices.len() as u32);
+        }
+        assert!(it.peek().is_none(), "row index out of range");
+        Self {
+            num_rows,
+            num_cols,
+            row_offsets,
+            col_indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(columns, values)` of row `r`.
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_offsets[r] as usize;
+        let hi = self.row_offsets[r + 1] as usize;
+        (&self.col_indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Entry `(r, c)`, zero when not stored.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&(c as u32)) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Serial matrix-vector product `y = A x`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.num_cols);
+        assert_eq!(y.len(), self.num_rows);
+        for r in 0..self.num_rows {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c as usize];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Rayon-parallel matrix-vector product.
+    pub fn par_spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.num_cols);
+        assert_eq!(y.len(), self.num_rows);
+        y.par_iter_mut().enumerate().for_each(|(r, out)| {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c as usize];
+            }
+            *out = acc;
+        });
+    }
+
+    /// The main diagonal.
+    pub fn diagonal(&self) -> Vec<f64> {
+        (0..self.num_rows.min(self.num_cols))
+            .map(|r| self.get(r, r))
+            .collect()
+    }
+
+    /// Maximum asymmetry `|A - Aᵀ|∞` (cheap structural check for tests).
+    pub fn max_asymmetry(&self) -> f64 {
+        let mut worst = 0.0f64;
+        for r in 0..self.num_rows {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                worst = worst.max((v - self.get(*c as usize, r)).abs());
+            }
+        }
+        worst
+    }
+
+    /// Replaces row `r` by the identity row (Dirichlet elimination; the
+    /// symmetric column sweep is the caller's business).
+    pub fn set_identity_row(&mut self, r: usize) {
+        let lo = self.row_offsets[r] as usize;
+        let hi = self.row_offsets[r + 1] as usize;
+        for i in lo..hi {
+            self.values[i] = if self.col_indices[i] as usize == r {
+                1.0
+            } else {
+                0.0
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [2 1 0]
+        // [1 3 1]
+        // [0 1 4]
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            vec![
+                (0, 0, 2.0),
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 1, 3.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (2, 2, 4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn build_and_query() {
+        let a = small();
+        assert_eq!(a.num_rows(), 3);
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.get(1, 2), 1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+        assert_eq!(a.diagonal(), vec![2.0, 3.0, 4.0]);
+        assert_eq!(a.max_asymmetry(), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let a = CsrMatrix::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 0, 2.5), (1, 1, 1.0)]);
+        assert_eq!(a.get(0, 0), 3.5);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let a = CsrMatrix::from_triplets(4, 4, vec![(0, 0, 1.0), (3, 3, 2.0)]);
+        assert_eq!(a.row(1).0.len(), 0);
+        assert_eq!(a.row(2).0.len(), 0);
+        assert_eq!(a.get(3, 3), 2.0);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        a.spmv(&x, &mut y);
+        assert_eq!(y, [4.0, 10.0, 14.0]);
+        let mut yp = [0.0; 3];
+        a.par_spmv(&x, &mut yp);
+        assert_eq!(y, yp);
+    }
+
+    #[test]
+    fn identity_row_elimination() {
+        let mut a = small();
+        a.set_identity_row(1);
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        a.spmv(&x, &mut y);
+        assert_eq!(y[1], 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_triplet_panics() {
+        let _ = CsrMatrix::from_triplets(2, 2, vec![(5, 0, 1.0)]);
+    }
+}

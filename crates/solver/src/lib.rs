@@ -1,0 +1,40 @@
+//! # alya-solver — fractional-step incompressible-flow substrate
+//!
+//! The paper's kernel lives inside an explicit fractional-step LES solver:
+//! the momentum RHS assembly (the optimized kernel, `alya-core`) plus a
+//! pressure-Poisson solve (which the paper delegates to external libraries
+//! and names as future work). This crate supplies the rest of that loop so
+//! the examples can run an actual simulation end to end:
+//!
+//! * [`csr`] — compressed sparse row matrices with rayon-parallel SpMV;
+//! * [`cg`] — Jacobi-preconditioned conjugate gradients;
+//! * [`poisson`] — the pressure-Poisson operator (P1 Laplacian), lumped
+//!   mass matrix, and weak divergence/gradient operators;
+//! * [`step`] — the fractional-step integrator: explicit momentum
+//!   prediction with the assembly variant of your choice, pressure
+//!   projection, velocity correction.
+//!
+//! ```
+//! use alya_solver::step::{FractionalStep, StepConfig};
+//! use alya_core::Variant;
+//! use alya_mesh::BoxMeshBuilder;
+//!
+//! let mesh = BoxMeshBuilder::new(4, 4, 4).build();
+//! let mut solver = FractionalStep::new(&mesh, StepConfig::default());
+//! solver.set_velocity(|p| [0.1 * p[2], 0.0, 0.0]);
+//! let stats = solver.step(Variant::Rsp);
+//! assert!(stats.divergence_after <= stats.divergence_before + 1e-12);
+//! ```
+
+pub mod cg;
+pub mod csr;
+pub mod halo;
+pub mod multigrid;
+pub mod poisson;
+pub mod step;
+pub mod vtk;
+
+pub use cg::{solve_cg, CgResult};
+pub use csr::CsrMatrix;
+pub use step::{FractionalStep, StepConfig, StepStats};
+pub use vtk::VtkWriter;

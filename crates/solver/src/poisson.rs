@@ -1,0 +1,248 @@
+//! Pressure-Poisson operator and companion FEM operators on P1 tets.
+//!
+//! * [`laplacian`] — the stiffness matrix `L[a][b] = Σ_e V_e ∇N_a·∇N_b`;
+//! * [`lumped_mass`] — row-sum lumped mass (`V_e/4` per node);
+//! * [`weak_divergence`] — `b_a = ∫ N_a ∇·u` (constant per element);
+//! * [`nodal_gradient`] — lumped-mass-weighted nodal pressure gradient,
+//!   the correction operator of the fractional step.
+
+use alya_fem::geometry::tet4_gradients;
+use alya_fem::{ScalarField, VectorField};
+use alya_mesh::TetMesh;
+
+use crate::csr::CsrMatrix;
+
+/// Assembles the P1 Laplacian (stiffness) matrix.
+pub fn laplacian(mesh: &TetMesh) -> CsrMatrix {
+    let n = mesh.num_nodes();
+    let mut triplets = Vec::with_capacity(mesh.num_elements() * 16);
+    for e in 0..mesh.num_elements() {
+        let conn = mesh.element(e);
+        let (grads, vol) = tet4_gradients(&mesh.element_coords(e));
+        for a in 0..4 {
+            for b in 0..4 {
+                let k = vol
+                    * (grads[a][0] * grads[b][0]
+                        + grads[a][1] * grads[b][1]
+                        + grads[a][2] * grads[b][2]);
+                triplets.push((conn[a], conn[b], k));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(n, n, triplets)
+}
+
+/// Lumped mass: `m_a = Σ_e V_e / 4` over elements containing `a`.
+pub fn lumped_mass(mesh: &TetMesh) -> Vec<f64> {
+    let mut m = vec![0.0; mesh.num_nodes()];
+    for e in 0..mesh.num_elements() {
+        let vol = mesh.element_volume(e);
+        for &n in &mesh.element(e) {
+            m[n as usize] += vol * 0.25;
+        }
+    }
+    m
+}
+
+/// Weak divergence of a velocity field: `b_a = ∫ N_a (∇·u) dV`
+/// (`∇·u` is constant per P1 element, `∫ N_a = V/4`).
+pub fn weak_divergence(mesh: &TetMesh, u: &VectorField) -> ScalarField {
+    let mut b = ScalarField::zeros(mesh.num_nodes());
+    for e in 0..mesh.num_elements() {
+        let conn = mesh.element(e);
+        let (grads, vol) = tet4_gradients(&mesh.element_coords(e));
+        let mut div = 0.0;
+        for (a, &n) in conn.iter().enumerate() {
+            let v = u.get(n as usize);
+            div += grads[a][0] * v[0] + grads[a][1] * v[1] + grads[a][2] * v[2];
+        }
+        let w = vol * 0.25 * div;
+        for &n in &conn {
+            b.set(n as usize, b.get(n as usize) + w);
+        }
+    }
+    b
+}
+
+/// L2 norm of the elementwise divergence, `√(Σ_e V_e (∇·u)²)`.
+pub fn divergence_norm(mesh: &TetMesh, u: &VectorField) -> f64 {
+    let mut acc = 0.0;
+    for e in 0..mesh.num_elements() {
+        let conn = mesh.element(e);
+        let (grads, vol) = tet4_gradients(&mesh.element_coords(e));
+        let mut div = 0.0;
+        for (a, &n) in conn.iter().enumerate() {
+            let v = u.get(n as usize);
+            div += grads[a][0] * v[0] + grads[a][1] * v[1] + grads[a][2] * v[2];
+        }
+        acc += vol * div * div;
+    }
+    acc.sqrt()
+}
+
+/// Lumped nodal gradient of a scalar field:
+/// `g_a = (Σ_e V_e/4 … ∇p|_e) / m_a` with `∇p` constant per element.
+pub fn nodal_gradient(mesh: &TetMesh, p: &ScalarField, mass: &[f64]) -> VectorField {
+    let mut g = VectorField::zeros(mesh.num_nodes());
+    for e in 0..mesh.num_elements() {
+        let conn = mesh.element(e);
+        let (grads, vol) = tet4_gradients(&mesh.element_coords(e));
+        let mut gp = [0.0; 3];
+        for (a, &n) in conn.iter().enumerate() {
+            let pv = p.get(n as usize);
+            for d in 0..3 {
+                gp[d] += grads[a][d] * pv;
+            }
+        }
+        let w = vol * 0.25;
+        for &n in &conn {
+            g.add(n as usize, [w * gp[0], w * gp[1], w * gp[2]]);
+        }
+    }
+    for n in 0..mesh.num_nodes() {
+        let m = mass[n].max(1e-300);
+        let v = g.get(n);
+        g.set(n, [v[0] / m, v[1] / m, v[2] / m]);
+    }
+    g
+}
+
+/// The exact transpose of the weak divergence:
+/// `(Dᵀ p)_a = Σ_e V_e p̄_e ∇N_a` with `p̄` the element-mean pressure —
+/// i.e. the weak pressure force `∫ p ∇N_a` (which differs from `∫ N_a ∇p`
+/// by the boundary term).
+pub fn weak_gradient_adjoint(mesh: &TetMesh, p: &[f64]) -> VectorField {
+    let mut g = VectorField::zeros(mesh.num_nodes());
+    for e in 0..mesh.num_elements() {
+        let conn = mesh.element(e);
+        let (grads, vol) = tet4_gradients(&mesh.element_coords(e));
+        let mut pbar = 0.0;
+        for &n in &conn {
+            pbar += p[n as usize];
+        }
+        pbar *= 0.25;
+        let w = vol * pbar;
+        for (a, &n) in conn.iter().enumerate() {
+            g.add(n as usize, [w * grads[a][0], w * grads[a][1], w * grads[a][2]]);
+        }
+    }
+    g
+}
+
+/// The compatible discrete projection operator `A = D M⁻¹ Dᵀ`
+/// (weak divergence ∘ lumped-mass inverse ∘ weak gradient) — symmetric
+/// positive semidefinite with the constant null space, and *exactly* the
+/// operator whose solve makes the velocity correction annihilate the weak
+/// divergence.
+pub struct ProjectionOp<'a> {
+    /// The mesh.
+    pub mesh: &'a TetMesh,
+    /// Lumped mass.
+    pub mass: &'a [f64],
+    /// Preconditioner diagonal (typically the stiffness diagonal).
+    pub diag: Vec<f64>,
+}
+
+impl<'a> ProjectionOp<'a> {
+    /// Builds the operator (uses the P1 stiffness diagonal as Jacobi
+    /// preconditioner — spectrally equivalent).
+    pub fn new(mesh: &'a TetMesh, mass: &'a [f64]) -> Self {
+        let diag = laplacian(mesh).diagonal();
+        Self { mesh, mass, diag }
+    }
+}
+
+impl crate::cg::LinOp for ProjectionOp<'_> {
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let mut g = weak_gradient_adjoint(self.mesh, x);
+        for n in 0..self.mesh.num_nodes() {
+            let m = self.mass[n].max(1e-300);
+            let v = g.get(n);
+            g.set(n, [v[0] / m, v[1] / m, v[2] / m]);
+        }
+        let div = weak_divergence(self.mesh, &g);
+        y.copy_from_slice(div.as_slice());
+    }
+
+    fn dim(&self) -> usize {
+        self.mesh.num_nodes()
+    }
+
+    fn precond_diagonal(&self) -> Vec<f64> {
+        self.diag.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alya_mesh::BoxMeshBuilder;
+
+    #[test]
+    fn laplacian_is_symmetric_with_zero_row_sums() {
+        let mesh = BoxMeshBuilder::new(3, 3, 3).jitter(0.1).seed(5).build();
+        let l = laplacian(&mesh);
+        assert!(l.max_asymmetry() < 1e-12);
+        // Row sums vanish: L * 1 = 0 (constants in the null space).
+        let ones = vec![1.0; mesh.num_nodes()];
+        let mut y = vec![0.0; mesh.num_nodes()];
+        l.spmv(&ones, &mut y);
+        assert!(y.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn laplacian_diag_positive() {
+        let mesh = BoxMeshBuilder::new(2, 2, 2).build();
+        let l = laplacian(&mesh);
+        assert!(l.diagonal().iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn lumped_mass_sums_to_volume() {
+        let mesh = BoxMeshBuilder::new(3, 2, 4).extent(2.0, 1.0, 1.0).build();
+        let m = lumped_mass(&mesh);
+        let total: f64 = m.iter().sum();
+        assert!((total - mesh.total_volume()).abs() < 1e-12);
+        assert!(m.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn divergence_of_solenoidal_field_is_zero() {
+        let mesh = BoxMeshBuilder::new(3, 3, 3).build();
+        // u = (y, z, x) is divergence-free and linear (exact for P1).
+        let u = VectorField::from_fn(&mesh, |p| [p[1], p[2], p[0]]);
+        assert!(divergence_norm(&mesh, &u) < 1e-12);
+        let b = weak_divergence(&mesh, &u);
+        assert!(b.max_abs() < 1e-13);
+    }
+
+    #[test]
+    fn divergence_of_linear_expansion_matches() {
+        let mesh = BoxMeshBuilder::new(3, 3, 3).build();
+        // u = (x, y, z): div = 3 everywhere.
+        let u = VectorField::from_fn(&mesh, |p| [p[0], p[1], p[2]]);
+        let norm = divergence_norm(&mesh, &u);
+        // sqrt(sum_e V * 9) = 3 sqrt(volume).
+        assert!((norm - 3.0 * mesh.total_volume().sqrt()).abs() < 1e-12);
+        // Weak divergence integrates to 3 * V in total.
+        let b = weak_divergence(&mesh, &u);
+        let total: f64 = b.as_slice().iter().sum();
+        assert!((total - 3.0 * mesh.total_volume()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nodal_gradient_of_linear_field_is_exact_inside() {
+        let mesh = BoxMeshBuilder::new(4, 4, 4).build();
+        let p = ScalarField::from_fn(&mesh, |q| 2.0 * q[0] - q[1] + 0.5 * q[2]);
+        let mass = lumped_mass(&mesh);
+        let g = nodal_gradient(&mesh, &p, &mass);
+        // Exact gradient everywhere (it is constant and the lumped average
+        // of a constant is that constant).
+        for n in 0..mesh.num_nodes() {
+            let v = g.get(n);
+            assert!((v[0] - 2.0).abs() < 1e-11, "node {n}: {v:?}");
+            assert!((v[1] + 1.0).abs() < 1e-11);
+            assert!((v[2] - 0.5).abs() < 1e-11);
+        }
+    }
+}

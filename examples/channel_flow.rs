@@ -1,0 +1,105 @@
+//! Body-force-driven channel (plane Poiseuille) flow: no-slip plates at
+//! z = 0 and z = H, a uniform streamwise body force, and the laminar
+//! steady state `u(z) = (f/2ν) z (H − z)` to converge to — an analytic
+//! end-to-end check that convection, diffusion, forcing and the
+//! projection cooperate over hundreds of time steps.
+//!
+//! Run with: `cargo run --release --example channel_flow [n] [steps]`
+
+use alya_core::Variant;
+use alya_fem::bc::DirichletBc;
+use alya_fem::material::ConstantProperties;
+use alya_mesh::BoxMeshBuilder;
+use alya_solver::step::{FractionalStep, StepConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
+    let steps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(150);
+
+    let h = 1.0; // channel height
+    let nu = 0.2;
+    let f = 1.0; // body force per unit mass
+    let mesh = BoxMeshBuilder::new(n, n, n).extent(1.0, 1.0, h).build();
+    println!(
+        "plane Poiseuille channel: {}^3 boxes, nu = {nu}, f = {f}",
+        n
+    );
+
+    let mut config = StepConfig::default();
+    config.dt = 0.02;
+    config.props = ConstantProperties {
+        density: 1.0,
+        viscosity: nu,
+    };
+    config.body_force = [f, 0.0, 0.0];
+    config.vreman_c = 0.0; // laminar
+    let mut solver = FractionalStep::new(&mesh, config);
+
+    let eps = 1e-9;
+    let mut bc = DirichletBc::new();
+    // No-slip plates.
+    bc.fix_where(&mesh, move |p| p[2] <= eps || p[2] >= h - eps, |_| [0.0; 3]);
+    // Impermeable lateral walls (normal components only), so the flow is
+    // effectively 1-D in z without periodic BCs.
+    for (node, p) in mesh.coords().iter().enumerate() {
+        if p[1] <= eps || p[1] >= 1.0 - eps {
+            bc.fix(node, 1, 0.0);
+        }
+        if p[0] <= eps || p[0] >= 1.0 - eps {
+            // Leave u_x free on the x faces: the force drives through them.
+            bc.fix(node, 2, 0.0);
+        }
+    }
+    solver.set_bc(bc);
+    solver.set_velocity(|_| [0.0; 3]);
+
+    let exact = |z: f64| f / (2.0 * nu) * z * (h - z);
+    let u_max_exact = exact(h / 2.0);
+
+    println!("\nstep    u(center)   exact    ratio");
+    #[allow(unused_assignments)]
+    let mut center = 0.0;
+    let center_node = mesh
+        .coords()
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            let da = (a[0] - 0.5).powi(2) + (a[1] - 0.5).powi(2) + (a[2] - 0.5).powi(2);
+            let db = (b[0] - 0.5).powi(2) + (b[1] - 0.5).powi(2) + (b[2] - 0.5).powi(2);
+            da.total_cmp(&db)
+        })
+        .map(|(i, _)| i)
+        .unwrap();
+    for step in 1..=steps {
+        let stats = solver.step(Variant::Rsp);
+        assert!(stats.kinetic_energy.is_finite(), "diverged at step {step}");
+        center = solver.velocity().get(center_node)[0];
+        if step % (steps / 8).max(1) == 0 {
+            println!(
+                "{step:4}  {center:9.4}  {u_max_exact:7.4}  {:6.3}",
+                center / u_max_exact
+            );
+        }
+    }
+
+    // Profile check across the channel height at the domain center.
+    println!("\n   z     u(z) sim    u(z) exact");
+    let mut worst: f64 = 0.0;
+    for (node, p) in mesh.coords().iter().enumerate() {
+        if (p[0] - 0.5).abs() < 1e-9 && (p[1] - 0.5).abs() < 1e-9 {
+            let sim = solver.velocity().get(node)[0];
+            let ex = exact(p[2]);
+            println!("{:5.2}  {sim:9.4}  {ex:10.4}", p[2]);
+            if ex > 1e-9 {
+                worst = worst.max((sim - ex).abs() / u_max_exact);
+            }
+        }
+    }
+    println!("\nworst profile error (rel. to centerline): {worst:.2}");
+    assert!(
+        worst < 0.15,
+        "Poiseuille profile off by {worst:.1} of centerline"
+    );
+    println!("PASS: parabolic profile recovered within 15%");
+}

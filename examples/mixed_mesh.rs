@@ -1,0 +1,60 @@
+//! Mixed-element meshes through the tetrahedral pipeline.
+//!
+//! The paper restricts its specialized kernels to linear tetrahedra,
+//! arguing that "mixed meshes can easily be partitioned to contain only
+//! tetrahedral elements with commercially available meshing tools". This
+//! example *is* that workflow: build a genuinely mixed mesh (hexahedral
+//! lower half, prismatic upper half), decompose it to tets, and run the
+//! specialized RSPR assembly on the result — checking the physics
+//! invariants hold across the conversion.
+//!
+//! Run with: `cargo run --release --example mixed_mesh`
+
+use alya_core::{assemble_serial, AssemblyInput, Variant};
+use alya_fem::{ConstantProperties, ScalarField, VectorField};
+use alya_mesh::mixed::{mixed_box, CellKind};
+use alya_mesh::MeshStats;
+
+fn main() {
+    // 1. A mixed mesh: hex bricks below, prisms above, conforming interface.
+    let mixed = mixed_box(8, 8, 4, [1.0, 1.0, 1.0]);
+    let hexes = mixed.blocks()[0].len();
+    let prisms = mixed.blocks()[1].len();
+    println!(
+        "mixed mesh: {hexes} hexahedra + {prisms} prisms over {} nodes, volume {:.6}",
+        mixed.num_nodes(),
+        mixed.total_volume()
+    );
+
+    // 2. Partition to tetrahedra (the paper's premise).
+    let tets = mixed.to_tets();
+    println!(
+        "decomposed: {} tets (expected {} = 6/hex + 3/prism)",
+        tets.num_elements(),
+        hexes * CellKind::Hex8.tets_per_cell() + prisms * CellKind::Prism6.tets_per_cell()
+    );
+    assert!(tets.validate().is_ok());
+    assert!((tets.total_volume() - mixed.total_volume()).abs() < 1e-12);
+    println!("{}", MeshStats::gather(&tets));
+
+    // 3. Specialized assembly on the decomposition.
+    let velocity = VectorField::from_fn(&tets, |p| [p[2] * p[2], 0.3 * p[0], 0.0]);
+    let pressure = ScalarField::from_fn(&tets, |p| p[0] + 0.5 * p[1]);
+    let temperature = ScalarField::zeros(tets.num_nodes());
+    let input = AssemblyInput::new(&tets, &velocity, &pressure, &temperature)
+        .props(ConstantProperties::AIR);
+    let rhs = assemble_serial(Variant::Rspr, &input);
+    println!("\nassembled RHS on the decomposed mesh: |rhs| = {:.6e}", rhs.norm());
+    assert!(rhs.norm() > 0.0 && rhs.as_slice().iter().all(|v| v.is_finite()));
+
+    // 4. Invariant: rigid translation still produces zero RHS.
+    let rigid = VectorField::from_fn(&tets, |_| [1.0, -2.0, 0.5]);
+    let zero_p = ScalarField::zeros(tets.num_nodes());
+    let input0 = AssemblyInput::new(&tets, &rigid, &zero_p, &temperature);
+    let rhs0 = assemble_serial(Variant::Rspr, &input0);
+    assert!(
+        rhs0.max_abs() < 1e-11,
+        "rigid translation produced forces on the mixed-derived mesh"
+    );
+    println!("rigid-translation invariant holds on the decomposition: PASS");
+}

@@ -1,0 +1,79 @@
+//! The paper's optimization story in one run: for each variant B → RSPR,
+//! real host wall-clock, modelled GPU and CPU counters, and the roofline
+//! position — the "waterfall" the paper builds across its sections.
+//!
+//! Run with: `cargo run --release --example performance_study [elems]`
+
+use std::time::Instant;
+
+use alya_bench::case::Case;
+use alya_bench::profile::{cpu_report, gpu_report};
+use alya_bench::{CALLS_PER_RUNTIME, PAPER_ELEMS};
+use alya_core::nut::compute_nu_t;
+use alya_core::{assemble_serial, Variant};
+use alya_machine::cpu::CpuModel;
+use alya_machine::gpu::GpuModel;
+use alya_machine::roofline::{Roofline, RooflineClass};
+use alya_machine::spec::{CpuSpec, GpuSpec};
+
+fn main() {
+    let elems: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30_000);
+
+    println!("building the Bolund-like case (~{elems} tets)...");
+    let case = Case::bolund(elems);
+    let nut = compute_nu_t(&case.input());
+    let mut input = case.input();
+    input.nu_t = Some(&nut);
+    let ne = case.mesh.num_elements() as f64;
+
+    let gpu_model = GpuModel::new(GpuSpec::a100_40gb());
+    let mut cpu_model = CpuModel::new(CpuSpec::icelake_8360y());
+    cpu_model.sample_packs = 64;
+    let chart = Roofline::a100(&gpu_model.spec);
+
+    println!("\n=== the optimization waterfall ===\n");
+    let mut base_wall = 0.0;
+    for variant in Variant::ALL {
+        // Real execution on this host.
+        let t0 = Instant::now();
+        let rhs = assemble_serial(variant, &input);
+        let wall = t0.elapsed().as_secs_f64();
+        if variant == Variant::B {
+            base_wall = wall;
+        }
+        // Modelled execution on the paper's machines.
+        let g = gpu_report(variant, &input, &gpu_model, PAPER_ELEMS);
+        let c = cpu_report(variant, &input, &cpu_model, PAPER_ELEMS);
+        let class = match chart.classify(g.flops / g.dram_volume.max(1e-30)) {
+            RooflineClass::MemoryBound => "memory-bound",
+            RooflineClass::ComputeBound => "compute-bound",
+        };
+
+        println!("{} — {}", variant.name(), variant.description());
+        println!(
+            "  host wall-clock : {:8.1} ms  ({:.2} Melem/s, {:.2}x vs B)  |rhs| = {:.4e}",
+            wall * 1e3,
+            ne / wall / 1e6,
+            base_wall / wall,
+            rhs.norm()
+        );
+        println!(
+            "  modelled A100   : {:8.1} ms  ({:5.0} GF/s, {} regs, {:.0}% occupancy, {})",
+            g.runtime * CALLS_PER_RUNTIME * 1e3,
+            g.gflops / 1e9,
+            g.registers,
+            g.occupancy * 100.0,
+            class
+        );
+        println!(
+            "  modelled Icelake: {:8.1} ms single-core, {:6.1} ms at 71 workers",
+            c.runtime_1c * CALLS_PER_RUNTIME * 1e3,
+            cpu_model.scale(&c, PAPER_ELEMS, 71) * CALLS_PER_RUNTIME * 1e3
+        );
+        println!();
+    }
+    println!("(modelled runtimes are for the paper's 32M-element mesh, 3 RHS sweeps)");
+}

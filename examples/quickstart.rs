@@ -1,0 +1,40 @@
+//! Quickstart: assemble the Navier–Stokes momentum RHS on a box mesh with
+//! each of the paper's kernel variants and verify they agree.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use alya_core::{assemble_serial, AssemblyInput, Variant};
+use alya_fem::{ConstantProperties, ScalarField, VectorField};
+use alya_mesh::{BoxMeshBuilder, MeshStats};
+
+fn main() {
+    // 1. A mesh: 16x16x16 boxes, six tets each.
+    let mesh = BoxMeshBuilder::new(16, 16, 16).build();
+    println!("{}", MeshStats::gather(&mesh));
+
+    // 2. Fields: a sheared velocity, a linear pressure, constant properties.
+    let velocity = VectorField::from_fn(&mesh, |p| [p[2] * p[2], 0.1 * p[0], 0.0]);
+    let pressure = ScalarField::from_fn(&mesh, |p| 1.0 - 0.2 * p[0]);
+    let temperature = ScalarField::zeros(mesh.num_nodes());
+
+    let input = AssemblyInput::new(&mesh, &velocity, &pressure, &temperature)
+        .props(ConstantProperties::AIR)
+        .body_force([0.0, 0.0, -9.81 * 1.2]);
+
+    // 3. Assemble with every variant; same physics, different code shape.
+    println!("\nvariant  description                                          |rhs|");
+    let reference = assemble_serial(Variant::Rspr, &input);
+    for variant in Variant::ALL {
+        let rhs = assemble_serial(variant, &input);
+        let dev = rhs.max_abs_diff(&reference);
+        println!(
+            "{:7}  {:51}  {:.6e}  (max dev vs RSPR: {:.1e})",
+            variant.name(),
+            variant.description(),
+            rhs.norm(),
+            dev
+        );
+        assert!(dev < 1e-9, "variants must agree");
+    }
+    println!("\nAll five variants produced the same RHS — the paper's invariant.");
+}

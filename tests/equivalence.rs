@@ -1,0 +1,121 @@
+//! Property-based cross-variant equivalence: on random meshes, random
+//! smooth fields and random physical parameters, all five kernel variants
+//! (and all parallel scatter strategies) produce the same RHS.
+
+use alya_core::{assemble_parallel, assemble_serial, AssemblyInput, ParallelStrategy, Variant};
+use alya_fem::material::ConstantProperties;
+use alya_fem::{ScalarField, VectorField};
+use alya_mesh::BoxMeshBuilder;
+use proptest::prelude::*;
+
+/// A random smooth vector field from a small trigonometric basis.
+fn field_from_coeffs(mesh: &alya_mesh::TetMesh, c: &[f64; 9]) -> VectorField {
+    VectorField::from_fn(mesh, |p| {
+        [
+            c[0] * p[2] * p[2] + c[1] * (2.0 * p[1]).sin() + c[2],
+            c[3] * p[0] + c[4] * (3.0 * p[2]).cos() + c[5] * p[1] * p[0],
+            c[6] * p[1] + c[7] * (p[0] * p[1]) + c[8],
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn variants_agree_on_random_inputs(
+        nx in 2usize..4,
+        nz in 2usize..4,
+        jitter in 0.0f64..0.2,
+        seed in 0u64..1000,
+        coeffs in prop::array::uniform9(-1.0f64..1.0),
+        rho in 0.5f64..2.0,
+        mu in 1e-4f64..1e-1,
+        fz in -1.0f64..1.0,
+    ) {
+        let mesh = BoxMeshBuilder::new(nx, 3, nz).jitter(jitter).seed(seed).build();
+        let velocity = field_from_coeffs(&mesh, &coeffs);
+        let pressure = ScalarField::from_fn(&mesh, |p| coeffs[0] * p[0] - coeffs[3] * p[1] * p[2]);
+        let temperature = ScalarField::zeros(mesh.num_nodes());
+        let input = AssemblyInput::new(&mesh, &velocity, &pressure, &temperature)
+            .props(ConstantProperties { density: rho, viscosity: mu })
+            .body_force([0.0, 0.1, fz]);
+
+        let reference = assemble_serial(Variant::Rsp, &input);
+        let scale = reference.max_abs().max(1e-12);
+        for variant in Variant::ALL {
+            let rhs = assemble_serial(variant, &input);
+            let dev = rhs.max_abs_diff(&reference) / scale;
+            prop_assert!(dev < 1e-10, "{variant} deviates by {dev}");
+        }
+    }
+
+    #[test]
+    fn parallel_strategies_agree_on_random_inputs(
+        seed in 0u64..1000,
+        coeffs in prop::array::uniform9(-1.0f64..1.0),
+        parts in 2usize..9,
+    ) {
+        let mesh = BoxMeshBuilder::new(3, 3, 3).jitter(0.1).seed(seed).build();
+        let velocity = field_from_coeffs(&mesh, &coeffs);
+        let pressure = ScalarField::from_fn(&mesh, |p| p[0] + p[1] * p[2]);
+        let temperature = ScalarField::zeros(mesh.num_nodes());
+        let input = AssemblyInput::new(&mesh, &velocity, &pressure, &temperature)
+            .props(ConstantProperties::AIR);
+
+        let reference = assemble_serial(Variant::Rspr, &input);
+        let scale = reference.max_abs().max(1e-12);
+        for strategy in [
+            ParallelStrategy::TwoPhase,
+            ParallelStrategy::colored(&mesh),
+            ParallelStrategy::partitioned(&mesh, parts),
+        ] {
+            let rhs = assemble_parallel(Variant::Rspr, &input, &strategy);
+            let dev = rhs.max_abs_diff(&reference) / scale;
+            prop_assert!(dev < 1e-10, "deviation {dev}");
+        }
+    }
+
+    #[test]
+    fn rigid_translation_always_yields_zero_rhs(
+        ux in -2.0f64..2.0,
+        uy in -2.0f64..2.0,
+        uz in -2.0f64..2.0,
+        seed in 0u64..100,
+    ) {
+        // Constant velocity, no pressure, no forcing: every term of the
+        // momentum RHS vanishes identically, on any mesh.
+        let mesh = BoxMeshBuilder::new(3, 2, 3).jitter(0.15).seed(seed).build();
+        let velocity = VectorField::from_fn(&mesh, |_| [ux, uy, uz]);
+        let pressure = ScalarField::zeros(mesh.num_nodes());
+        let temperature = ScalarField::zeros(mesh.num_nodes());
+        let input = AssemblyInput::new(&mesh, &velocity, &pressure, &temperature);
+        for variant in Variant::ALL {
+            let rhs = assemble_serial(variant, &input);
+            prop_assert!(rhs.max_abs() < 1e-11, "{variant}: {}", rhs.max_abs());
+        }
+    }
+
+    #[test]
+    fn rhs_is_linear_in_body_force(
+        f in prop::array::uniform3(-5.0f64..5.0),
+        alpha in 0.1f64..3.0,
+    ) {
+        // With zero velocity and pressure the RHS is exactly linear in f.
+        let mesh = BoxMeshBuilder::new(2, 2, 2).build();
+        let velocity = VectorField::zeros(mesh.num_nodes());
+        let pressure = ScalarField::zeros(mesh.num_nodes());
+        let temperature = ScalarField::zeros(mesh.num_nodes());
+        let base = AssemblyInput::new(&mesh, &velocity, &pressure, &temperature);
+        let r1 = assemble_serial(Variant::Rsp, &base.body_force(f));
+        let scaled = [alpha * f[0], alpha * f[1], alpha * f[2]];
+        let r2 = assemble_serial(Variant::Rsp, &base.body_force(scaled));
+        for n in 0..mesh.num_nodes() {
+            for d in 0..3 {
+                let a = alpha * r1.get(n)[d];
+                let b = r2.get(n)[d];
+                prop_assert!((a - b).abs() < 1e-10 * (1.0 + a.abs()));
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: mesh → FEM → assembly → solver,
+//! end to end.
+
+use alya_core::{assemble_parallel, assemble_serial, ParallelStrategy, Variant};
+use alya_fem::bc::DirichletBc;
+use alya_fem::material::ConstantProperties;
+use alya_fem::{ScalarField, VectorField};
+use alya_mesh::{BoxMeshBuilder, TerrainMeshBuilder};
+use alya_solver::poisson;
+use alya_solver::step::{FractionalStep, StepConfig};
+
+#[test]
+fn terrain_mesh_through_full_pipeline() {
+    let mesh = TerrainMeshBuilder::new(10, 10, 5).build();
+    let velocity = VectorField::from_fn(&mesh, |p| [p[2], 0.1 * p[0], -0.05 * p[1]]);
+    let pressure = ScalarField::from_fn(&mesh, |p| p[0] * p[1]);
+    let temperature = ScalarField::zeros(mesh.num_nodes());
+    let input = alya_core::AssemblyInput::new(&mesh, &velocity, &pressure, &temperature)
+        .props(ConstantProperties::AIR);
+
+    let serial = assemble_serial(Variant::Rspr, &input);
+    let parallel = assemble_parallel(
+        Variant::Rspr,
+        &input,
+        &ParallelStrategy::colored(&mesh),
+    );
+    assert!(serial.norm() > 0.0);
+    let dev = serial.max_abs_diff(&parallel) / serial.max_abs();
+    assert!(dev < 1e-12, "serial/parallel deviation {dev}");
+}
+
+#[test]
+fn les_time_loop_conserves_sanity() {
+    let mesh = BoxMeshBuilder::new(6, 6, 6).build();
+    let mut config = StepConfig::default();
+    config.dt = 1e-3;
+    config.props = ConstantProperties {
+        density: 1.0,
+        viscosity: 1e-3,
+    };
+    let mut solver = FractionalStep::new(&mesh, config);
+    solver.set_bc(DirichletBc::no_slip_ground(&mesh, 1e-9));
+    solver.set_velocity(|p| {
+        [
+            0.2 * (std::f64::consts::PI * p[2]).sin(),
+            0.1 * (std::f64::consts::PI * p[0]).sin(),
+            0.0,
+        ]
+    });
+    let mut last_div = f64::INFINITY;
+    for _ in 0..5 {
+        let s = solver.step(Variant::Rsp);
+        assert!(s.cg.converged, "pressure solve failed");
+        assert!(s.kinetic_energy.is_finite());
+        last_div = s.divergence_after;
+    }
+    // After a few projections the velocity is (weakly) divergence-free.
+    assert!(last_div < 1e-4, "divergence {last_div}");
+}
+
+#[test]
+fn every_variant_drives_the_solver_identically() {
+    let mesh = BoxMeshBuilder::new(4, 4, 4).build();
+    let mut kes = Vec::new();
+    for variant in Variant::ALL {
+        let mut solver = FractionalStep::new(&mesh, StepConfig::default());
+        solver.set_velocity(|p| [0.1 * p[2] * p[2], -0.05 * p[0], 0.0]);
+        let s = solver.run(variant, 3).unwrap();
+        kes.push(s.kinetic_energy);
+    }
+    for w in kes.windows(2) {
+        let rel = (w[0] - w[1]).abs() / w[0].max(1e-30);
+        assert!(rel < 1e-10, "trajectories diverged: {kes:?}");
+    }
+}
+
+#[test]
+fn dirichlet_bcs_survive_the_step() {
+    let mesh = BoxMeshBuilder::new(5, 5, 5).build();
+    let mut solver = FractionalStep::new(&mesh, StepConfig::default());
+    let bc = DirichletBc::no_slip_ground(&mesh, 1e-9);
+    solver.set_bc(bc);
+    solver.set_velocity(|p| [p[2], 0.0, 0.0]);
+    solver.step(Variant::Rs);
+    for (n, p) in mesh.coords().iter().enumerate() {
+        if p[2] <= 1e-9 {
+            assert_eq!(solver.velocity().get(n), [0.0; 3], "node {n} slipped");
+        }
+    }
+}
+
+#[test]
+fn nut_pass_and_inline_vreman_agree_through_assembly() {
+    // The baseline (nut pass) and specialized (inline) paths must inject
+    // the same turbulent viscosity into the physics.
+    let mesh = TerrainMeshBuilder::new(6, 6, 3).build();
+    let velocity = VectorField::from_fn(&mesh, |p| [p[2] * p[2], p[0] * p[1] * 0.1, 0.0]);
+    let pressure = ScalarField::zeros(mesh.num_nodes());
+    let temperature = ScalarField::zeros(mesh.num_nodes());
+    let input = alya_core::AssemblyInput::new(&mesh, &velocity, &pressure, &temperature);
+    let b = assemble_serial(Variant::B, &input); // runs the nut pass inside
+    let rs = assemble_serial(Variant::Rs, &input); // inline Vreman
+    let dev = b.max_abs_diff(&rs) / rs.max_abs();
+    assert!(dev < 1e-11, "nu_t paths disagree: {dev}");
+}
+
+#[test]
+fn laplacian_consistent_with_assembly_diffusion() {
+    // Pure-diffusion assembly equals -mu * L u (component-wise) when
+    // convection, pressure, forcing and turbulence are off.
+    let mesh = BoxMeshBuilder::new(3, 3, 3).jitter(0.1).seed(3).build();
+    let velocity = VectorField::from_fn(&mesh, |p| [p[0] * p[2], p[1], p[0] + p[2]]);
+    let pressure = ScalarField::zeros(mesh.num_nodes());
+    let temperature = ScalarField::zeros(mesh.num_nodes());
+    let mu = 0.7;
+    let input = alya_core::AssemblyInput::new(&mesh, &velocity, &pressure, &temperature)
+        .props(ConstantProperties {
+            density: 0.0, // kills convection, forcing and rho*nut
+            viscosity: mu,
+        });
+    let rhs = assemble_serial(Variant::Rsp, &input);
+
+    let lap = poisson::laplacian(&mesh);
+    for d in 0..3 {
+        let mut lu = vec![0.0; mesh.num_nodes()];
+        lap.spmv(velocity.component(d), &mut lu);
+        for n in 0..mesh.num_nodes() {
+            let expect = -mu * lu[n];
+            let got = rhs.get(n)[d];
+            assert!(
+                (got - expect).abs() < 1e-11,
+                "node {n} comp {d}: {got} vs {expect}"
+            );
+        }
+    }
+}
