@@ -1,0 +1,94 @@
+//! # alya-analyze — static verification of the kernel contracts
+//!
+//! The instrumented kernels in `alya-core` don't just feed the performance
+//! models — their event streams, the modelled address-space layout, and
+//! the coloring infrastructure together make the paper's optimization
+//! claims *mechanically checkable*. This crate runs three passes:
+//!
+//! 1. **Contract checker** ([`contracts`]) — per variant, captures one
+//!    element's trace and verifies it against the declarative
+//!    [`alya_core::KernelContract`]: exact FP-op totals, exact traffic per
+//!    address region (RSP/RSPR: zero global intermediate stores besides
+//!    the RHS scatter), the baseline's closed-form workspace counts, and
+//!    the register story at the 128-register budget (RSPR: zero spills;
+//!    RSP: must spill).
+//! 2. **Race detector** ([`races`]) — proves the coloring invariant the
+//!    `unsafe impl Send/Sync` of the colored scatter rests on: no two
+//!    same-color elements share a node.
+//! 3. **Source lints** ([`sources`]) — `#![forbid(unsafe_code)]` in every
+//!    crate except `alya-core`, exactly three sanctioned unsafe lines
+//!    there, and workspace-lint opt-in in every manifest.
+//!
+//! Run all three via the audit binary:
+//!
+//! ```text
+//! cargo run -p alya-bench --bin audit
+//! ```
+//!
+//! or programmatically with [`run_audit`]. The passes also run as ordinary
+//! `cargo test` tests of this crate.
+#![forbid(unsafe_code)]
+
+pub mod contracts;
+pub mod fixture;
+pub mod races;
+pub mod sources;
+
+pub use fixture::Fixture;
+
+use std::path::Path;
+
+/// Combined result of all three passes.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// Kernel-contract violations (pass 1).
+    pub contract_violations: Vec<contracts::Violation>,
+    /// Race report of the production coloring on the fixture mesh (pass 2).
+    pub races: races::RaceReport,
+    /// Source-policy violations (pass 3); empty when no root was given.
+    pub source_violations: Vec<sources::SourceViolation>,
+}
+
+impl AuditReport {
+    /// Whether every pass came back clean.
+    pub fn is_clean(&self) -> bool {
+        self.contract_violations.is_empty()
+            && self.races.is_race_free()
+            && self.source_violations.is_empty()
+    }
+
+    /// Total violation count (a race counts once).
+    pub fn num_violations(&self) -> usize {
+        self.contract_violations.len()
+            + usize::from(!self.races.is_race_free())
+            + self.source_violations.len()
+    }
+}
+
+/// Runs all passes on the canonical fixture. `workspace_root` enables the
+/// source pass (pass it `None` when the sources aren't on disk, e.g. from
+/// an installed binary).
+pub fn run_audit(workspace_root: Option<&Path>) -> AuditReport {
+    let fx = Fixture::new();
+    let input = fx.input();
+    AuditReport {
+        contract_violations: contracts::check_all(&input),
+        races: races::check_mesh(&fx.mesh),
+        source_violations: workspace_root
+            .map(sources::check_workspace)
+            .unwrap_or_default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_audit_of_this_workspace_is_clean() {
+        let root = sources::workspace_root_from(env!("CARGO_MANIFEST_DIR"));
+        let report = run_audit(Some(&root));
+        assert!(report.is_clean(), "{report:#?}");
+        assert_eq!(report.num_violations(), 0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Pass 2 — the scatter race detector.
+//!
+//! The colored parallel driver in `alya-core::drivers` scatters elemental
+//! contributions through raw pointers (`SharedRhs`), and its `unsafe impl
+//! Send/Sync` rests on exactly one invariant: **no two elements of one
+//! color class share a node**, so concurrently processed elements write
+//! disjoint RHS slots. This pass proves that invariant statically for a
+//! given mesh + coloring by a per-node stamp sweep
+//! ([`alya_mesh::Coloring::find_conflict`]) — O(4·ne), independent of the
+//! element adjacency graph, so it also catches bugs *in* the graph
+//! construction that a graph-level properness check would inherit.
+
+use alya_mesh::{Coloring, ColoringConflict, TetMesh};
+
+/// Outcome of the race check for one mesh/coloring pair.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// Elements checked.
+    pub num_elements: usize,
+    /// Color classes checked.
+    pub num_colors: usize,
+    /// The first conflict found, if any: two same-color elements sharing a
+    /// node — a data race in the colored scatter.
+    pub conflict: Option<ColoringConflict>,
+}
+
+impl RaceReport {
+    /// Whether the coloring is safe to scatter in parallel.
+    pub fn is_race_free(&self) -> bool {
+        self.conflict.is_none()
+    }
+}
+
+impl std::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.conflict {
+            None => write!(
+                f,
+                "race-free: {} elements in {} color classes, no shared node within any class",
+                self.num_elements, self.num_colors
+            ),
+            Some(c) => write!(f, "RACE: {c}"),
+        }
+    }
+}
+
+/// Checks one coloring of one mesh.
+pub fn check_coloring(mesh: &TetMesh, coloring: &Coloring) -> RaceReport {
+    RaceReport {
+        num_elements: mesh.num_elements(),
+        num_colors: coloring.num_colors(),
+        conflict: coloring.find_conflict(mesh),
+    }
+}
+
+/// Builds the production greedy coloring for `mesh` (the one
+/// `ParallelStrategy::colored` uses) and checks it.
+pub fn check_mesh(mesh: &TetMesh) -> RaceReport {
+    use alya_mesh::adjacency::{ElementGraph, NodeToElements};
+    let n2e = NodeToElements::build(mesh);
+    let graph = ElementGraph::build(mesh, &n2e);
+    check_coloring(mesh, &Coloring::greedy(&graph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alya_mesh::{BoxMeshBuilder, Rng64};
+
+    #[test]
+    fn greedy_colorings_of_random_meshes_are_race_free() {
+        let mut rng = Rng64::new(0x4ACE01);
+        for _ in 0..12 {
+            let nx = rng.range_usize(1, 6);
+            let ny = rng.range_usize(1, 5);
+            let nz = rng.range_usize(1, 5);
+            let jitter = rng.range_f64(0.0, 0.25);
+            let seed = rng.next_u64() % 1000;
+            let mesh = BoxMeshBuilder::new(nx, ny, nz)
+                .jitter(jitter)
+                .seed(seed)
+                .build();
+            let report = check_mesh(&mesh);
+            assert!(report.is_race_free(), "{report}");
+            assert_eq!(report.num_elements, mesh.num_elements());
+        }
+    }
+
+    #[test]
+    fn corrupted_coloring_is_rejected_with_a_witness() {
+        let mesh = BoxMeshBuilder::new(3, 3, 3).build();
+        let report = check_mesh(&mesh);
+        assert!(report.is_race_free());
+        // Merge every class into one: neighbours now collide.
+        let all_one = Coloring::from_color_assignment(vec![0; mesh.num_elements()]);
+        let bad = check_coloring(&mesh, &all_one);
+        assert!(!bad.is_race_free());
+        let c = bad.conflict.unwrap();
+        // The witness is genuine: both elements really contain the node.
+        let conn = mesh.connectivity();
+        assert!(conn[c.first as usize].contains(&c.node));
+        assert!(conn[c.second as usize].contains(&c.node));
+        assert_eq!(c.color, 0);
+    }
+
+    #[test]
+    fn single_element_swap_is_caught() {
+        let mut rng = Rng64::new(0x4ACE02);
+        for _ in 0..8 {
+            let seed = rng.next_u64() % 100;
+            let mesh = BoxMeshBuilder::new(3, 2, 3).jitter(0.1).seed(seed).build();
+            use alya_mesh::adjacency::{ElementGraph, NodeToElements};
+            let n2e = NodeToElements::build(&mesh);
+            let graph = ElementGraph::build(&mesh, &n2e);
+            let good = Coloring::greedy(&graph);
+            // Move one element into a neighbour's class.
+            let mut color_of: Vec<u32> =
+                (0..mesh.num_elements()).map(|e| good.color_of(e)).collect();
+            let victim = rng.range_usize(0, mesh.num_elements());
+            let neighbour = graph.neighbors_of(victim)[0] as usize;
+            color_of[victim] = color_of[neighbour];
+            let bad = Coloring::from_color_assignment(color_of);
+            let report = check_coloring(&mesh, &bad);
+            assert!(
+                !report.is_race_free(),
+                "swap of element {victim} undetected"
+            );
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Pass 3 — source lint gating.
+//!
+//! Walks the workspace sources and enforces the unsafety and lint policy
+//! mechanically:
+//!
+//! * every crate's `lib.rs` carries `#![forbid(unsafe_code)]` — except
+//!   `alya-core`, which hosts the **one** sanctioned unsafe site (the
+//!   colored-scatter `SharedRhs` in `drivers.rs`, whose invariant the race
+//!   detector proves);
+//! * `alya-core` contains exactly the three sanctioned `unsafe` tokens
+//!   (`unsafe impl Send`, `unsafe impl Sync`, one `unsafe` block), all in
+//!   `drivers.rs`, and no other crate contains any;
+//! * the workspace `Cargo.toml` defines `[workspace.lints]` and every
+//!   member opts in with `[lints] workspace = true`, so clippy gating in
+//!   CI covers every crate.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One policy breach found in the sources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceViolation {
+    /// Path (workspace-relative where possible) of the offending file.
+    pub file: String,
+    /// What the policy expected.
+    pub message: String,
+}
+
+impl std::fmt::Display for SourceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.file, self.message)
+    }
+}
+
+/// The only crate allowed to contain `unsafe`.
+const UNSAFE_CRATE: &str = "core";
+/// The only file within it allowed to contain `unsafe`.
+const UNSAFE_FILE: &str = "drivers.rs";
+/// Lines of code (comments excluded) in that file that may mention
+/// `unsafe`: the two auto-trait impls and the single scatter block.
+const SANCTIONED_UNSAFE_LINES: usize = 3;
+
+fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root).unwrap_or(p).display().to_string()
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            rust_files(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    out.sort();
+}
+
+/// Whether `code` contains the standalone token `unsafe` (word-bounded, so
+/// `forbid(unsafe_code)` and identifiers like `unsafe_code_lines` don't
+/// count).
+fn has_unsafe_token(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut from = 0;
+    while let Some(i) = code[from..].find("unsafe") {
+        let start = from + i;
+        let end = start + "unsafe".len();
+        let ok_before = start == 0 || !is_word(bytes[start - 1]);
+        let ok_after = end == bytes.len() || !is_word(bytes[end]);
+        if ok_before && ok_after {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Lines with an `unsafe` token outside of `//`-comments.
+fn unsafe_code_lines(src: &str) -> usize {
+    src.lines()
+        .map(|l| l.split("//").next().unwrap_or(""))
+        .filter(|code| has_unsafe_token(code))
+        .count()
+}
+
+/// Runs the whole source audit over a workspace root.
+pub fn check_workspace(root: &Path) -> Vec<SourceViolation> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+
+    // Workspace-level lint table.
+    match fs::read_to_string(root.join("Cargo.toml")) {
+        Ok(s) if s.contains("[workspace.lints.clippy]") || s.contains("[workspace.lints]") => {}
+        Ok(_) => out.push(SourceViolation {
+            file: "Cargo.toml".into(),
+            message: "workspace manifest lacks a [workspace.lints] table".into(),
+        }),
+        Err(e) => out.push(SourceViolation {
+            file: "Cargo.toml".into(),
+            message: format!("unreadable workspace manifest: {e}"),
+        }),
+    }
+
+    let Ok(entries) = fs::read_dir(&crates_dir) else {
+        return vec![SourceViolation {
+            file: "crates/".into(),
+            message: "workspace crates directory not found".into(),
+        }];
+    };
+    let mut crate_dirs: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    for dir in &crate_dirs {
+        let name = dir
+            .file_name()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .to_string();
+
+        // Every member opts into the workspace lints.
+        let manifest = dir.join("Cargo.toml");
+        match fs::read_to_string(&manifest) {
+            Ok(s) if s.contains("[lints]") && s.contains("workspace = true") => {}
+            Ok(_) => out.push(SourceViolation {
+                file: rel(root, &manifest),
+                message: "crate does not opt into workspace lints ([lints] workspace = true)"
+                    .into(),
+            }),
+            Err(e) => out.push(SourceViolation {
+                file: rel(root, &manifest),
+                message: format!("unreadable manifest: {e}"),
+            }),
+        }
+
+        // forbid(unsafe_code) everywhere except the sanctioned crate.
+        let lib = dir.join("src/lib.rs");
+        let lib_src = fs::read_to_string(&lib).unwrap_or_default();
+        if name == UNSAFE_CRATE {
+            if lib_src.contains("#![forbid(unsafe_code)]") {
+                out.push(SourceViolation {
+                    file: rel(root, &lib),
+                    message: "alya-core hosts the sanctioned unsafe scatter; forbid(unsafe_code) here cannot compile — remove it or move the unsafe code".into(),
+                });
+            }
+        } else if !lib_src.contains("#![forbid(unsafe_code)]") {
+            out.push(SourceViolation {
+                file: rel(root, &lib),
+                message: "missing #![forbid(unsafe_code)]".into(),
+            });
+        }
+
+        // No unsafe tokens anywhere but the sanctioned file.
+        let mut files = Vec::new();
+        rust_files(&dir.join("src"), &mut files);
+        rust_files(&dir.join("tests"), &mut files);
+        rust_files(&dir.join("benches"), &mut files);
+        rust_files(&dir.join("examples"), &mut files);
+        for f in &files {
+            // The scanner necessarily names the token it hunts; don't scan
+            // this very file (it is #![forbid(unsafe_code)]-covered anyway,
+            // so the compiler enforces what the scan would).
+            if name == "analyze" && f.file_name().is_some_and(|b| b == "sources.rs") {
+                continue;
+            }
+            let src = fs::read_to_string(f).unwrap_or_default();
+            let n = unsafe_code_lines(&src);
+            let is_sanctioned =
+                name == UNSAFE_CRATE && f.file_name().is_some_and(|b| b == UNSAFE_FILE);
+            if is_sanctioned {
+                if n != SANCTIONED_UNSAFE_LINES {
+                    out.push(SourceViolation {
+                        file: rel(root, f),
+                        message: format!(
+                            "expected exactly {SANCTIONED_UNSAFE_LINES} sanctioned unsafe code lines (Send impl, Sync impl, scatter block), found {n}"
+                        ),
+                    });
+                }
+            } else if n != 0 {
+                out.push(SourceViolation {
+                    file: rel(root, f),
+                    message: format!("contains {n} unsafe code line(s); only {UNSAFE_CRATE}/src/{UNSAFE_FILE} may"),
+                });
+            }
+        }
+    }
+
+    // Top-level integration tests are covered by the bench crate's targets
+    // but live outside crates/ — sweep them too.
+    let mut top = Vec::new();
+    rust_files(&root.join("tests"), &mut top);
+    for f in &top {
+        let src = fs::read_to_string(f).unwrap_or_default();
+        let n = unsafe_code_lines(&src);
+        if n != 0 {
+            out.push(SourceViolation {
+                file: rel(root, f),
+                message: format!("contains {n} unsafe code line(s)"),
+            });
+        }
+    }
+
+    out
+}
+
+/// Locates the workspace root from a crate's manifest dir (`crates/<x>`).
+pub fn workspace_root_from(manifest_dir: &str) -> PathBuf {
+    Path::new(manifest_dir)
+        .ancestors()
+        .nth(2)
+        .expect("crates/<name> has a workspace root two levels up")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> PathBuf {
+        workspace_root_from(env!("CARGO_MANIFEST_DIR"))
+    }
+
+    #[test]
+    fn this_workspace_passes_the_source_audit() {
+        let violations = check_workspace(&root());
+        assert!(violations.is_empty(), "{violations:#?}");
+    }
+
+    #[test]
+    fn unsafe_counter_ignores_comments_and_non_tokens() {
+        assert_eq!(unsafe_code_lines("// unsafe in a comment\nlet x = 1;"), 0);
+        assert_eq!(unsafe_code_lines("unsafe { *p } // the one site"), 1);
+        assert_eq!(
+            unsafe_code_lines("unsafe impl Send for T {}\nunsafe impl Sync for T {}"),
+            2
+        );
+        // Word-bounded: the forbid attribute and identifiers don't count.
+        assert_eq!(unsafe_code_lines("#![forbid(unsafe_code)]"), 0);
+        assert_eq!(unsafe_code_lines("fn unsafe_code_lines() {}"), 0);
+        assert_eq!(unsafe_code_lines("let x = do_unsafe();"), 0);
+        assert_eq!(unsafe_code_lines("x(unsafe { y })"), 1);
+    }
+
+    #[test]
+    fn missing_lint_table_is_reported() {
+        // A fabricated empty root: everything is missing, nothing panics.
+        let tmp = std::env::temp_dir().join("alya-analyze-empty-root");
+        let _ = fs::create_dir_all(tmp.join("crates"));
+        let violations = check_workspace(&tmp);
+        assert!(violations.iter().any(|v| v.file == "Cargo.toml"));
+        let _ = fs::remove_dir_all(&tmp);
+    }
+}

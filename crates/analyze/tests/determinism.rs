@@ -1,0 +1,66 @@
+//! Trace determinism: the instrumented kernels are pure functions of
+//! (variant, input, element, layout) — tracing the same element twice must
+//! produce byte-identical event streams. The machine models and the
+//! contract checker both replay traces and silently assume this; here it
+//! is pinned for every variant, both layout conventions, and the pack
+//! tracer.
+
+use alya_analyze::Fixture;
+use alya_core::drivers::{trace_element, trace_pack};
+use alya_core::layout::Layout;
+use alya_core::Variant;
+
+#[test]
+fn element_traces_are_deterministic_for_every_variant() {
+    let fx = Fixture::new();
+    let input = fx.input();
+    let ne = fx.mesh.num_elements();
+    let nn = fx.mesh.num_nodes();
+    for variant in Variant::ALL {
+        for e in [0, 7, ne - 1] {
+            let lay = Layout::gpu(e, ne, nn);
+            let a = trace_element(variant, &input, e, &lay);
+            let b = trace_element(variant, &input, e, &lay);
+            assert_eq!(
+                a.events, b.events,
+                "{variant} element {e}: GPU-layout trace not reproducible"
+            );
+            assert!(!a.events.is_empty());
+
+            let lay = Layout::cpu(e, 16, nn);
+            let a = trace_element(variant, &input, e, &lay);
+            let b = trace_element(variant, &input, e, &lay);
+            assert_eq!(
+                a.events, b.events,
+                "{variant} element {e}: CPU-layout trace not reproducible"
+            );
+        }
+    }
+}
+
+#[test]
+fn pack_traces_are_deterministic_for_every_variant() {
+    let fx = Fixture::new();
+    let input = fx.input();
+    for variant in Variant::ALL {
+        let a = trace_pack(variant, &input, 3);
+        let b = trace_pack(variant, &input, 3);
+        assert_eq!(a.events, b.events, "{variant}: pack trace not reproducible");
+    }
+}
+
+#[test]
+fn distinct_elements_trace_to_distinct_streams() {
+    // Determinism is not degeneracy: different elements touch different
+    // addresses, so their streams must differ (same counts, though).
+    let fx = Fixture::new();
+    let input = fx.input();
+    let ne = fx.mesh.num_elements();
+    let nn = fx.mesh.num_nodes();
+    for variant in Variant::ALL {
+        let a = trace_element(variant, &input, 0, &Layout::gpu(0, ne, nn));
+        let b = trace_element(variant, &input, 1, &Layout::gpu(1, ne, nn));
+        assert_ne!(a.events, b.events, "{variant}");
+        assert_eq!(a.counts(), b.counts(), "{variant}");
+    }
+}

@@ -1,8 +1,9 @@
-//! Wall-clock criterion benchmark of the five assembly variants (serial),
+//! Wall-clock benchmark of the five assembly variants (serial),
 //! the native companion to the modelled Table I/II: the same B → RSPR
 //! ordering must show up in real execution on the host.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use alya_bench::harness::{BenchmarkId, Criterion, Throughput};
+use alya_bench::{criterion_group, criterion_main};
 
 use alya_bench::case::Case;
 use alya_core::nut::compute_nu_t;

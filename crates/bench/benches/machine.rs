@@ -2,7 +2,8 @@
 //! and register-allocation speed — these bound how large a sampled GPU/CPU
 //! simulation stays practical.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use alya_bench::harness::{Criterion, Throughput};
+use alya_bench::{criterion_group, criterion_main};
 
 use alya_machine::cache::{AccessKind, CacheSim, Replacement};
 use alya_machine::{Event, RegisterAllocator};
@@ -24,13 +25,12 @@ fn bench_machine(c: &mut Criterion) {
     for (name, policy) in [("lru", Replacement::Lru), ("random", Replacement::Random)] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let mut cache =
-                    CacheSim::new(1 << 20, 32, 16).with_replacement(policy);
+                let mut cache = CacheSim::new(1 << 20, 32, 16).with_replacement(policy);
                 for &a in &stream {
                     cache.access(a, AccessKind::Load, None);
                 }
                 cache.stats().misses()
-            })
+            });
         });
     }
     group.finish();
@@ -52,7 +52,7 @@ fn bench_machine(c: &mut Criterion) {
     group.throughput(Throughput::Elements(events.len() as u64));
     group.sample_size(20);
     group.bench_function("linear_scan", |b| {
-        b.iter(|| RegisterAllocator::new(32).allocate(&events).spilled_values)
+        b.iter(|| RegisterAllocator::new(32).allocate(&events).spilled_values);
     });
     group.finish();
 }

@@ -1,7 +1,8 @@
 //! Parallel scatter-strategy ablation: two-phase vs colored vs
 //! owner-computes partitions (all race-free by construction).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use alya_bench::harness::{BenchmarkId, Criterion, Throughput};
+use alya_bench::{criterion_group, criterion_main};
 
 use alya_bench::case::Case;
 use alya_core::nut::compute_nu_t;
@@ -25,7 +26,7 @@ fn bench_scatter(c: &mut Criterion) {
     group.sample_size(10);
     for (name, strategy) in &strategies {
         group.bench_with_input(BenchmarkId::from_parameter(name), strategy, |b, s| {
-            b.iter(|| assemble_parallel(Variant::Rsp, &input, s))
+            b.iter(|| assemble_parallel(Variant::Rsp, &input, s));
         });
     }
     group.finish();

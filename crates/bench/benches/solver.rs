@@ -1,13 +1,14 @@
 //! Solver-substrate benchmarks: SpMV, the pressure projection solve, and a
 //! full fractional-step time step.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use alya_bench::harness::{Criterion, Throughput};
+use alya_bench::{criterion_group, criterion_main};
 
 use alya_core::Variant;
 use alya_mesh::BoxMeshBuilder;
 use alya_solver::poisson::{laplacian, lumped_mass, weak_divergence, ProjectionOp};
-use alya_solver::step::{FractionalStep, StepConfig};
 use alya_solver::solve_cg;
+use alya_solver::step::{FractionalStep, StepConfig};
 
 fn bench_solver(c: &mut Criterion) {
     let mesh = BoxMeshBuilder::new(16, 16, 16).build();
@@ -41,7 +42,7 @@ fn bench_solver(c: &mut Criterion) {
             let res = solve_cg(&op, b_rhs.as_slice(), &mut p, 1e-8, 500);
             assert!(res.converged);
             res.iterations
-        })
+        });
     });
     group.finish();
 
@@ -51,7 +52,7 @@ fn bench_solver(c: &mut Criterion) {
     group.bench_function("step_rsp", |b| {
         let mut solver = FractionalStep::new(&mesh, StepConfig::default());
         solver.set_velocity(|p| [0.1 * (3.0 * p[2]).sin(), 0.0, 0.0]);
-        b.iter(|| solver.step(Variant::Rsp).kinetic_energy)
+        b.iter(|| solver.step(Variant::Rsp).kinetic_energy);
     });
     group.finish();
 }

@@ -2,7 +2,8 @@
 //! tetrahedral decomposition, halo-exchange assembly, multigrid
 //! preconditioning, and reuse-distance analysis.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use alya_bench::harness::{Criterion, Throughput};
+use alya_bench::{criterion_group, criterion_main};
 
 use alya_core::kernels::generic::{assemble_mixed, MixedInput};
 use alya_core::{AssemblyInput, Variant};
@@ -33,7 +34,7 @@ fn bench_subsystems(c: &mut Criterion) {
     group.throughput(Throughput::Elements(mixed.num_cells() as u64));
     group.sample_size(10);
     group.bench_function("generic_native", |b| {
-        b.iter(|| assemble_mixed(&minput, &mut NoRecord))
+        b.iter(|| assemble_mixed(&minput, &mut NoRecord));
     });
     group.bench_function("to_tets_decomposition", |b| b.iter(|| mixed.to_tets()));
     group.finish();
@@ -49,7 +50,7 @@ fn bench_subsystems(c: &mut Criterion) {
     group.throughput(Throughput::Elements(mesh.num_elements() as u64));
     group.sample_size(10);
     group.bench_function("8_ranks", |b| {
-        b.iter(|| assemble_distributed(Variant::Rsp, &input, &dist))
+        b.iter(|| assemble_distributed(Variant::Rsp, &input, &dist));
     });
     group.finish();
 
@@ -74,14 +75,14 @@ fn bench_subsystems(c: &mut Criterion) {
         bch.iter(|| {
             let mut x = vec![0.0; b_rhs.len()];
             solve_pcg(&a, &j, &b_rhs, &mut x, 1e-8, 2000).iterations
-        })
+        });
     });
     group.bench_function("mg_pcg", |bch| {
         let mg = TwoLevelMg::new(&pm, a.clone(), 48);
         bch.iter(|| {
             let mut x = vec![0.0; b_rhs.len()];
             solve_pcg(&a, &mg, &b_rhs, &mut x, 1e-8, 2000).iterations
-        })
+        });
     });
     group.finish();
 

@@ -1,7 +1,8 @@
 //! `VECTOR_DIM` sweep (paper §IV: 16 is fastest on the CPU — small packs
 //! keep the interleaved workspace inside L1/L2; large packs blow it out).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use alya_bench::harness::{BenchmarkId, Criterion, Throughput};
+use alya_bench::{criterion_group, criterion_main};
 
 use alya_bench::case::Case;
 use alya_core::drivers::assemble_element;
@@ -12,10 +13,7 @@ use alya_core::Variant;
 use alya_fem::VectorField;
 use alya_machine::NoRecord;
 
-fn assemble_with_vector_dim(
-    input: &alya_core::AssemblyInput,
-    vector_dim: usize,
-) -> VectorField {
+fn assemble_with_vector_dim(input: &alya_core::AssemblyInput, vector_dim: usize) -> VectorField {
     let nn = input.mesh.num_nodes();
     let ne = input.mesh.num_elements();
     let variant = Variant::Rs; // the workspace variant, where VECTOR_DIM bites
@@ -52,7 +50,7 @@ fn bench_vector_dim(c: &mut Criterion) {
     group.sample_size(10);
     for vd in [4usize, 16, 64, 256, 1024, 4096] {
         group.bench_with_input(BenchmarkId::from_parameter(vd), &vd, |b, &vd| {
-            b.iter(|| assemble_with_vector_dim(&input, vd))
+            b.iter(|| assemble_with_vector_dim(&input, vd));
         });
     }
     group.finish();

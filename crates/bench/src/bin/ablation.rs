@@ -87,7 +87,14 @@ fn main() {
     );
 
     println!("counter deltas (GPU, per element):");
-    let mut d = Table::new(["variant", "flops", "global ld/st", "local ld/st", "DRAM B", "regs"]);
+    let mut d = Table::new([
+        "variant",
+        "flops",
+        "global ld/st",
+        "local ld/st",
+        "DRAM B",
+        "regs",
+    ]);
     for (v, r) in Variant::ALL.iter().zip(&gpu) {
         d.row([
             v.name().to_string(),

@@ -1,0 +1,164 @@
+//! The static-analysis audit: runs all three `alya-analyze` passes and
+//! exits nonzero on any violation, so CI can gate on it.
+//!
+//! Usage:
+//!
+//! ```text
+//! audit                                  # full audit, exit 0 iff clean
+//! audit --seed-violation coloring        # corrupt a coloring, expect catch
+//! audit --seed-violation contract-store  # forge a global intermediate store
+//! audit --seed-violation contract-registers  # forge register pressure
+//! ```
+//!
+//! The `--seed-violation` modes are self-tests of the analyzer: they inject
+//! a known breach and exit 0 only if the analyzer *catches* it (and exit 2
+//! if the analyzer missed it — the worst outcome).
+
+use std::process::ExitCode;
+
+use alya_analyze::{contracts, races, sources, Fixture};
+use alya_core::drivers::trace_element;
+use alya_core::layout::{self, Layout};
+use alya_core::Variant;
+use alya_machine::Event;
+use alya_mesh::Coloring;
+
+fn full_audit() -> ExitCode {
+    let root = sources::workspace_root_from(env!("CARGO_MANIFEST_DIR"));
+    let root = if root.join("crates").is_dir() {
+        Some(root)
+    } else {
+        eprintln!(
+            "note: sources not found at {}; skipping the lint pass",
+            root.display()
+        );
+        None
+    };
+    let report = alya_analyze::run_audit(root.as_deref());
+
+    println!("kernel-contract audit");
+    println!("=====================");
+    for v in Variant::ALL {
+        let c = v.contract();
+        println!(
+            "  {:5}  flops {:>5}  global ld/st {:>5}  ws {:>12}  register story: {}",
+            v.name(),
+            c.flops,
+            c.global_ldst(),
+            match c.workspace_stores {
+                Some((space, n)) => format!("{n} st {space:?}"),
+                None => "none".into(),
+            },
+            match c.spills_at_contract_budget {
+                Some(true) => "spills at 128-reg budget",
+                Some(false) => "fits 128-reg budget, no spills",
+                None => "array-style",
+            },
+        );
+    }
+    match report.contract_violations.len() {
+        0 => println!("  PASS: every variant trace matches its contract"),
+        n => {
+            println!("  FAIL: {n} contract violation(s)");
+            for v in &report.contract_violations {
+                println!("    {v}");
+            }
+        }
+    }
+
+    println!("\nscatter race audit");
+    println!("==================");
+    println!("  {}", report.races);
+
+    println!("\nsource lint audit");
+    println!("=================");
+    match report.source_violations.len() {
+        0 => println!("  PASS: unsafety and lint policy hold across the workspace"),
+        n => {
+            println!("  FAIL: {n} source violation(s)");
+            for v in &report.source_violations {
+                println!("    {v}");
+            }
+        }
+    }
+
+    if report.is_clean() {
+        println!("\naudit clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("\naudit FAILED: {} violation(s)", report.num_violations());
+        ExitCode::FAILURE
+    }
+}
+
+/// Injects a known breach; exits 0 iff the analyzer catches it.
+fn seeded(mode: &str) -> ExitCode {
+    let fx = Fixture::new();
+    let input = fx.input();
+    let caught = match mode {
+        "coloring" => {
+            // Collapse the proper coloring into a single class: neighbours
+            // land in the same class and must be reported.
+            let bad = Coloring::from_color_assignment(vec![0; fx.mesh.num_elements()]);
+            let report = races::check_coloring(&fx.mesh, &bad);
+            println!("{report}");
+            !report.is_race_free()
+        }
+        "contract-store" => {
+            // Append one store into the workspace region of an RSPR trace —
+            // the signature of staged intermediates creeping back in.
+            let lay = Layout::gpu(0, fx.mesh.num_elements(), fx.mesh.num_nodes());
+            let mut rec = trace_element(Variant::Rspr, &input, 0, &lay);
+            rec.events.push(Event::GStore(layout::WS_BASE + 8));
+            let violations =
+                contracts::check_trace(Variant::Rspr, &Variant::Rspr.contract(), &rec.events);
+            for v in &violations {
+                println!("{v}");
+            }
+            !violations.is_empty()
+        }
+        "contract-registers" => {
+            // Keep 80 extra values live to the end of an RSPR trace: peak
+            // pressure and budgeted spills both breach the contract.
+            let lay = Layout::gpu(0, fx.mesh.num_elements(), fx.mesh.num_nodes());
+            let mut rec = trace_element(Variant::Rspr, &input, 0, &lay);
+            for v in 0..80u32 {
+                rec.events.push(Event::Def(10_000 + v));
+            }
+            for v in 0..80u32 {
+                rec.events.push(Event::Use(10_000 + v));
+            }
+            let violations =
+                contracts::check_trace(Variant::Rspr, &Variant::Rspr.contract(), &rec.events);
+            for v in &violations {
+                println!("{v}");
+            }
+            violations.iter().any(|v| v.message.contains("pressure"))
+        }
+        other => {
+            eprintln!(
+                "unknown seed mode {other:?}; expected coloring | contract-store | contract-registers"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if caught {
+        println!("seeded {mode} violation caught — analyzer is alive");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("seeded {mode} violation NOT caught — analyzer is blind");
+        ExitCode::from(2)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => full_audit(),
+        [flag, mode] if flag == "--seed-violation" => seeded(mode),
+        _ => {
+            eprintln!("usage: audit [--seed-violation coloring|contract-store|contract-registers]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -14,25 +14,23 @@ use alya_machine::Event;
 
 fn main() {
     let spec = GpuSpec::a100_40gb();
-    println!("GPU model calibration — {} (paper machine figures in brackets)\n", spec.name);
+    println!(
+        "GPU model calibration — {} (paper machine figures in brackets)\n",
+        spec.name
+    );
 
     let model = GpuModel::new(spec);
     let n = 1 << 22;
     let mut t = Table::new(["kernel", "modelled", "reference"]);
 
     // Scale: b[i] = s * a[i] — the paper's 1381 GB/s bandwidth anchor.
-    let scale = model.execute(
-        "scale",
-        RegisterDemand::Measured { pressure: 8 },
-        n,
-        |e| {
-            vec![
-                Event::GLoad(0x100_0000_0000 + e as u64 * 8),
-                Event::Flop(1),
-                Event::GStore(0x200_0000_0000 + e as u64 * 8),
-            ]
-        },
-    );
+    let scale = model.execute("scale", RegisterDemand::Measured { pressure: 8 }, n, |e| {
+        vec![
+            Event::GLoad(0x100_0000_0000 + e as u64 * 8),
+            Event::Flop(1),
+            Event::GStore(0x200_0000_0000 + e as u64 * 8),
+        ]
+    });
     t.row([
         "scale bandwidth".to_string(),
         format!("{} GB/s", num(scale.dram_bw / 1e9)),
@@ -40,19 +38,14 @@ fn main() {
     ]);
 
     // Triad: a[i] = b[i] + s*c[i] — 3 streams, plenty of MLP.
-    let triad = model.execute(
-        "triad",
-        RegisterDemand::Measured { pressure: 8 },
-        n,
-        |e| {
-            vec![
-                Event::GLoad(0x300_0000_0000 + e as u64 * 8),
-                Event::GLoad(0x400_0000_0000 + e as u64 * 8),
-                Event::Fma(1),
-                Event::GStore(0x500_0000_0000 + e as u64 * 8),
-            ]
-        },
-    );
+    let triad = model.execute("triad", RegisterDemand::Measured { pressure: 8 }, n, |e| {
+        vec![
+            Event::GLoad(0x300_0000_0000 + e as u64 * 8),
+            Event::GLoad(0x400_0000_0000 + e as u64 * 8),
+            Event::Fma(1),
+            Event::GStore(0x500_0000_0000 + e as u64 * 8),
+        ]
+    });
     t.row([
         "triad bandwidth".to_string(),
         format!("{} GB/s", num(triad.dram_bw / 1e9)),

@@ -33,10 +33,12 @@ fn main() {
         .map(|&v| cpu_report(v, &input, &model, PAPER_ELEMS))
         .collect();
 
-    println!("# Figure 2 reproduction — CPU strong scaling ({})", model.spec.name);
     println!(
-        "# {} elements, {} RHS sweeps per runtime; turbo bins: <=17c@3.4GHz, <=32c@3.1GHz, else 2.6GHz",
-        PAPER_ELEMS, CALLS_PER_RUNTIME
+        "# Figure 2 reproduction — CPU strong scaling ({})",
+        model.spec.name
+    );
+    println!(
+        "# {PAPER_ELEMS} elements, {CALLS_PER_RUNTIME} RHS sweeps per runtime; turbo bins: <=17c@3.4GHz, <=32c@3.1GHz, else 2.6GHz"
     );
     println!(
         "# {:>7} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>14}",

@@ -38,7 +38,11 @@ fn main() {
         "speedup",
         "RSPR bottleneck",
     ]);
-    for spec in [GpuSpec::v100_32gb(), GpuSpec::a100_40gb(), GpuSpec::h100_sxm()] {
+    for spec in [
+        GpuSpec::v100_32gb(),
+        GpuSpec::a100_40gb(),
+        GpuSpec::h100_sxm(),
+    ] {
         eprintln!("simulating {}...", spec.name);
         let name = spec.name;
         let intensity = spec.machine_intensity();
@@ -56,13 +60,7 @@ fn main() {
     }
     println!("{}", t.render());
 
-    let mut t = Table::new([
-        "machine",
-        "cores",
-        "B node ms",
-        "RSP node ms",
-        "speedup",
-    ]);
+    let mut t = Table::new(["machine", "cores", "B node ms", "RSP node ms", "speedup"]);
     for spec in [CpuSpec::icelake_8360y(), CpuSpec::sapphire_rapids_8480()] {
         eprintln!("simulating {}...", spec.name);
         let name = spec.name;

@@ -1,5 +1,5 @@
 //! Native wall-clock benchmark: actually *runs* every variant on the host
-//! CPU (serial and rayon-parallel) and reports real Melem/s — the
+//! CPU (serial and thread-parallel) and reports real Melem/s — the
 //! companion to the modelled tables, demonstrating that the paper's code
 //! transformations speed up real execution in the same direction.
 //!
@@ -26,10 +26,10 @@ fn main() {
 
     eprintln!("coloring mesh for the parallel driver...");
     let strategy = ParallelStrategy::colored(&case.mesh);
-    let threads = rayon::current_num_threads();
+    let threads = alya_machine::par::num_threads();
 
     println!(
-        "native assembly wall-clock — {} tets, median of {} runs, {} rayon threads\n",
+        "native assembly wall-clock — {} tets, median of {} runs, {} worker threads\n",
         case.mesh.num_elements(),
         repeats,
         threads
@@ -77,7 +77,11 @@ fn main() {
             num(ne / p / 1e6),
             format!("{:.2}x", serial_base / s),
         ]);
-        eprintln!("{variant}: serial {:.1} ms, parallel {:.1} ms (checksum {checksum:.6e})", s * 1e3, p * 1e3);
+        eprintln!(
+            "{variant}: serial {:.1} ms, parallel {:.1} ms (checksum {checksum:.6e})",
+            s * 1e3,
+            p * 1e3
+        );
     }
     println!("{}", t.render());
 }

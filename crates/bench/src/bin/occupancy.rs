@@ -17,7 +17,10 @@ use alya_machine::Event;
 
 fn main() {
     let spec = GpuSpec::a100_40gb();
-    println!("occupancy sweep — {} (streaming kernel, 32 B/elem)\n", spec.name);
+    println!(
+        "occupancy sweep — {} (streaming kernel, 32 B/elem)\n",
+        spec.name
+    );
 
     let mut t = Table::new([
         "regs/thread",

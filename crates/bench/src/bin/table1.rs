@@ -64,9 +64,10 @@ fn main() {
     push_row!("DRAM volume B/elem", |r: &CpuReport| num(r.dram_volume));
     push_row!("GFlop/s (1c)", |r: &CpuReport| num(r.gflops_1c / 1e9));
     push_row!("GB/s (1c)", |r: &CpuReport| num(r.dram_bw_1c / 1e9));
-    push_row!("runtime 1c ms (3 sweeps)", |r: &CpuReport| num(
-        r.runtime_1c * CALLS_PER_RUNTIME * 1e3
-    ));
+    push_row!("runtime 1c ms (3 sweeps)", |r: &CpuReport| num(r
+        .runtime_1c
+        * CALLS_PER_RUNTIME
+        * 1e3));
     // 71 workers via the scaling model.
     {
         let mut cells = vec!["runtime 71c ms (3 sweeps)".to_string()];
@@ -94,8 +95,7 @@ fn main() {
     p.row(std::iter::once("DRAM volume B/elem".to_string()).chain(pt.iter().map(|c| num(c.dram))));
     p.row(std::iter::once("GFlop/s (1c)".to_string()).chain(pt.iter().map(|c| num(c.gflops_1c))));
     p.row(
-        std::iter::once("runtime 1c ms".to_string())
-            .chain(pt.iter().map(|c| num(c.runtime_1c_ms))),
+        std::iter::once("runtime 1c ms".to_string()).chain(pt.iter().map(|c| num(c.runtime_1c_ms))),
     );
     p.row(
         std::iter::once("runtime 71c ms".to_string())

@@ -36,9 +36,7 @@ fn main() {
         CALLS_PER_RUNTIME
     );
 
-    let mut t = Table::new([
-        "metric", "B", "P", "RS", "RSP", "RSPR",
-    ]);
+    let mut t = Table::new(["metric", "B", "P", "RS", "RSP", "RSPR"]);
     let mut reports = Vec::new();
     for variant in Variant::ALL {
         eprintln!("simulating {variant}...");
@@ -68,9 +66,9 @@ fn main() {
     push_row!("occupancy", |r: &GpuReport| pct(r.occupancy));
     push_row!("GFlop/s", |r: &GpuReport| num(r.gflops / 1e9));
     push_row!("GB/s", |r: &GpuReport| num(r.dram_bw / 1e9));
-    push_row!("runtime ms (3 sweeps)", |r: &GpuReport| num(
-        r.runtime * CALLS_PER_RUNTIME * 1e3
-    ));
+    push_row!("runtime ms (3 sweeps)", |r: &GpuReport| num(r.runtime
+        * CALLS_PER_RUNTIME
+        * 1e3));
     push_row!("bottleneck", |r: &GpuReport| r.bottleneck.to_string());
     println!("{}", t.render());
 
@@ -88,8 +86,7 @@ fn main() {
     p.row(std::iter::once("flop per elem".to_string()).chain(pt.iter().map(|c| num(c.flops))));
     p.row(std::iter::once("DRAM volume B/elem".to_string()).chain(pt.iter().map(|c| num(c.dram))));
     p.row(
-        std::iter::once("registers".to_string())
-            .chain(pt.iter().map(|c| c.registers.to_string())),
+        std::iter::once("registers".to_string()).chain(pt.iter().map(|c| c.registers.to_string())),
     );
     p.row(std::iter::once("GFlop/s".to_string()).chain(pt.iter().map(|c| num(c.gflops))));
     p.row(std::iter::once("runtime ms".to_string()).chain(pt.iter().map(|c| num(c.runtime_ms))));

@@ -63,11 +63,9 @@ fn run(mapping: TempMapping) -> StoreVolumes {
                         let addr = (1u64 << 48)
                             + block as u64 * (1 << 24)
                             + (slot as u64 * TPB as u64 + t as u64) * 8;
-                        let out =
-                            l1.access(addr / line * line, AccessKind::Store, Some(block));
+                        let out = l1.access(addr / line * line, AccessKind::Store, Some(block));
                         if let Some(wb) = out.writeback {
-                            let o2 =
-                                l2.access(wb, AccessKind::Store, out.writeback_owner);
+                            let o2 = l2.access(wb, AccessKind::Store, out.writeback_owner);
                             l2_store_bytes += line;
                             if o2.writeback.is_some() {
                                 dram_store_bytes += line;
@@ -107,33 +105,46 @@ fn run(mapping: TempMapping) -> StoreVolumes {
 }
 
 fn main() {
-    println!(
-        "Table III reproduction — Listing 3 ({} rows, {} threads)\n",
-        ROWLEN, THREADS
-    );
+    println!("Table III reproduction — Listing 3 ({ROWLEN} rows, {THREADS} threads)\n");
     let mut t = Table::new(["", "global memory", "local memory", "registers"]);
     let results: Vec<StoreVolumes> = TempMapping::ALL.iter().map(|&m| run(m)).collect();
 
-    t.row(std::iter::once("local store instr".to_string())
-        .chain(results.iter().map(|r| r.local_stores.to_string())));
-    t.row(std::iter::once("global store instr".to_string())
-        .chain(results.iter().map(|r| r.global_stores.to_string())));
-    t.row(std::iter::once("store volume to L2 (B)".to_string())
-        .chain(results.iter().map(|r| num(r.l2_bytes))));
-    t.row(std::iter::once("store volume to DRAM (B)".to_string())
-        .chain(results.iter().map(|r| num(r.dram_bytes))));
+    t.row(
+        std::iter::once("local store instr".to_string())
+            .chain(results.iter().map(|r| r.local_stores.to_string())),
+    );
+    t.row(
+        std::iter::once("global store instr".to_string())
+            .chain(results.iter().map(|r| r.global_stores.to_string())),
+    );
+    t.row(
+        std::iter::once("store volume to L2 (B)".to_string())
+            .chain(results.iter().map(|r| num(r.l2_bytes))),
+    );
+    t.row(
+        std::iter::once("store volume to DRAM (B)".to_string())
+            .chain(results.iter().map(|r| num(r.dram_bytes))),
+    );
     println!("{}", t.render());
 
     println!("paper values:");
     let mut p = Table::new(["", "global memory", "local memory", "registers"]);
     let pt = &paper::TABLE3;
-    p.row(std::iter::once("local store instr".to_string())
-        .chain(pt.iter().map(|c| c.local_stores.to_string())));
-    p.row(std::iter::once("global store instr".to_string())
-        .chain(pt.iter().map(|c| c.global_stores.to_string())));
-    p.row(std::iter::once("store volume to L2 (B)".to_string())
-        .chain(pt.iter().map(|c| num(c.l2_store_bytes))));
-    p.row(std::iter::once("store volume to DRAM (B)".to_string())
-        .chain(pt.iter().map(|c| num(c.dram_store_bytes))));
+    p.row(
+        std::iter::once("local store instr".to_string())
+            .chain(pt.iter().map(|c| c.local_stores.to_string())),
+    );
+    p.row(
+        std::iter::once("global store instr".to_string())
+            .chain(pt.iter().map(|c| c.global_stores.to_string())),
+    );
+    p.row(
+        std::iter::once("store volume to L2 (B)".to_string())
+            .chain(pt.iter().map(|c| num(c.l2_store_bytes))),
+    );
+    p.row(
+        std::iter::once("store volume to DRAM (B)".to_string())
+            .chain(pt.iter().map(|c| num(c.dram_store_bytes))),
+    );
     println!("{}", p.render());
 }

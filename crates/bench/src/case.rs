@@ -45,7 +45,8 @@ impl Case {
         let rho = props.density;
         let pressure = ScalarField::from_fn(&mesh, |p| {
             // Hydrostatic-ish background + a wake low behind the cliff.
-            -rho * 9.81 * p[2] * 0.01 - 0.5 * (-((p[0] - 1.2).powi(2) + (p[1] - 1.0).powi(2)) * 4.0).exp()
+            -rho * 9.81 * p[2] * 0.01
+                - 0.5 * (-((p[0] - 1.2).powi(2) + (p[1] - 1.0).powi(2)) * 4.0).exp()
         });
         let temperature = ScalarField::from_fn(&mesh, |p| 288.0 - 6.5 * p[2]);
         Self {
@@ -60,9 +61,14 @@ impl Case {
 
     /// The assembly input view over this case.
     pub fn input(&self) -> alya_core::AssemblyInput<'_> {
-        alya_core::AssemblyInput::new(&self.mesh, &self.velocity, &self.pressure, &self.temperature)
-            .props(self.props)
-            .body_force(self.body_force)
+        alya_core::AssemblyInput::new(
+            &self.mesh,
+            &self.velocity,
+            &self.pressure,
+            &self.temperature,
+        )
+        .props(self.props)
+        .body_force(self.body_force)
     }
 }
 

@@ -16,7 +16,10 @@
 //! per step; this reconciles the paper's milliseconds with its per-element
 //! counters, e.g. 6293 Flop × 32 M / 163 GF/s ≈ 1.24 s ≈ 3773 ms / 3).
 
+#![forbid(unsafe_code)]
+
 pub mod case;
+pub mod harness;
 pub mod paper;
 pub mod profile;
 pub mod report;

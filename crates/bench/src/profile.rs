@@ -25,7 +25,9 @@ pub const CPU_PRIVATE_F64_BUDGET: u32 = 24;
 pub fn measured_pressure(variant: Variant, input: &AssemblyInput) -> u32 {
     let lay = Layout::gpu(0, input.mesh.num_elements(), input.mesh.num_nodes());
     let rec = trace_element(variant, input, 0, &lay);
-    RegisterAllocator::new(4096).allocate(&rec.events).max_pressure
+    RegisterAllocator::new(4096)
+        .allocate(&rec.events)
+        .max_pressure
 }
 
 /// Maps a simulated thread id to a mesh element: warps keep their 32
@@ -261,7 +263,12 @@ mod tests {
         let model = tiny_gpu_model();
         let b = gpu_report(Variant::B, &input, &model, crate::PAPER_ELEMS);
         let rsp = gpu_report(Variant::Rsp, &input, &model, crate::PAPER_ELEMS);
-        assert!(b.runtime > 5.0 * rsp.runtime, "B {} vs RSP {}", b.runtime, rsp.runtime);
+        assert!(
+            b.runtime > 5.0 * rsp.runtime,
+            "B {} vs RSP {}",
+            b.runtime,
+            rsp.runtime
+        );
         assert!(b.dram_volume > 5.0 * rsp.dram_volume);
         assert!(b.registers > rsp.registers);
         assert!(rsp.occupancy > b.occupancy);

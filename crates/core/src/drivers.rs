@@ -1,4 +1,4 @@
-//! Assembly drivers: serial, traced, and rayon-parallel.
+//! Assembly drivers: serial, traced, and thread-parallel.
 //!
 //! The kernels compute one element; the drivers own iteration order,
 //! workspace allocation, the ν_t precompute for the baseline variants, and
@@ -17,9 +17,9 @@
 //!   performance models replay.
 
 use alya_fem::VectorField;
+use alya_machine::par;
 use alya_machine::{NoRecord, Recorder, TraceRecorder};
 use alya_mesh::{Coloring, ElementGraph, NodeToElements, Partition};
-use rayon::prelude::*;
 
 use crate::gather::{DirectSink, ScatterSink};
 use crate::input::AssemblyInput;
@@ -68,11 +68,7 @@ pub fn assemble_element<R: Recorder, S: ScatterSink>(
 }
 
 /// Attaches the ν_t pass output when the variant needs it, then calls `f`.
-fn with_nut<T>(
-    variant: Variant,
-    input: &AssemblyInput,
-    f: impl FnOnce(&AssemblyInput) -> T,
-) -> T {
+fn with_nut<T>(variant: Variant, input: &AssemblyInput, f: impl FnOnce(&AssemblyInput) -> T) -> T {
     if variant.needs_nut_pass() && input.nu_t.is_none() {
         let nut = compute_nu_t(input);
         let mut inp = *input;
@@ -128,7 +124,15 @@ pub fn trace_element(
         let mut rhs = VectorField::zeros(nn);
         let mut sink = DirectSink { rhs: &mut rhs };
         assemble_element(
-            variant, input, e, lay, &mut ws_buf, 1, 0, &mut sink, &mut rec,
+            variant,
+            input,
+            e,
+            lay,
+            &mut ws_buf,
+            1,
+            0,
+            &mut sink,
+            &mut rec,
         );
         rec
     })
@@ -217,9 +221,17 @@ impl ScatterSink for BufferSink {
     }
 }
 
-/// Shared mutable RHS for the colored strategy. Safety contract: callers
-/// only write nodes of elements within one color class, which are disjoint
-/// across concurrently processed elements.
+/// Shared mutable RHS for the colored strategy.
+///
+/// Safety contract: the driver processes one color class at a time, and the
+/// coloring invariant — *no two elements of one color class share a node*
+/// (checked statically by `Coloring::find_conflict`, the contract
+/// `alya-analyze`'s race detector enforces, and re-validated here in debug
+/// builds) — guarantees that the node/component slots written by
+/// concurrently processed elements are disjoint. Plain non-atomic writes
+/// therefore never alias across threads within a class, and the `for` loop
+/// over classes is a synchronization point (the spawning thread joins all
+/// workers) between classes.
 struct SharedRhs {
     ptr: *mut f64,
     num_nodes: usize,
@@ -235,13 +247,18 @@ impl ScatterSink for ColoredSink<'_> {
     #[inline]
     fn add<R: Recorder>(&mut self, n: u32, d: usize, v: f64, _lay: &Layout, rec: &mut R) {
         rec.flop(1);
-        // SAFETY: the coloring guarantees no other thread touches node `n`
-        // during this color class.
+        debug_assert!(
+            (n as usize) < self.shared.num_nodes,
+            "scatter to node {n} outside the RHS ({} nodes)",
+            self.shared.num_nodes
+        );
+        debug_assert!(d < 3, "scatter to component {d} of a 3-vector");
+        // SAFETY: `d * num_nodes + n` is in bounds (asserted above against
+        // the allocation this pointer was taken from), and the coloring
+        // invariant documented on `SharedRhs` guarantees no other thread
+        // touches node `n` during this color class.
         unsafe {
-            let slot = self
-                .shared
-                .ptr
-                .add(d * self.shared.num_nodes + n as usize);
+            let slot = self.shared.ptr.add(d * self.shared.num_nodes + n as usize);
             *slot += v;
         }
     }
@@ -260,8 +277,8 @@ pub fn assemble_parallel(
         let ne = input.mesh.num_elements();
         let nval = variant.nvalues().max(1);
 
-        // Workspace buffers are reused per rayon worker (map_init /
-        // for_each_init), never allocated per element.
+        // Workspace buffers are reused per worker thread (the *_init
+        // helpers), never allocated per element.
         let compute_one = |ws_buf: &mut Vec<f64>, e: usize| -> BufferSink {
             let mut sink = BufferSink {
                 nodes: input.mesh.element(e),
@@ -285,10 +302,8 @@ pub fn assemble_parallel(
         match strategy {
             ParallelStrategy::TwoPhase => {
                 // Phase 1: vectorizable elemental loop, fully parallel.
-                let buffers: Vec<BufferSink> = (0..ne)
-                    .into_par_iter()
-                    .map_init(|| vec![0.0; nval], |ws, e| compute_one(ws, e))
-                    .collect();
+                let buffers: Vec<BufferSink> =
+                    par::par_map_init(ne, || vec![0.0; nval], |ws, e| compute_one(ws, e));
                 // Phase 2: the scalar scatter loop.
                 let mut rhs = VectorField::zeros(nn);
                 for b in &buffers {
@@ -299,13 +314,25 @@ pub fn assemble_parallel(
                 rhs
             }
             ParallelStrategy::Colored(coloring) => {
+                // Debug builds statically re-prove the race-freedom
+                // invariant the unsafe colored scatter relies on before any
+                // parallel write happens.
+                debug_assert!(
+                    coloring.is_race_free(input.mesh),
+                    "colored scatter invariant violated: {}",
+                    coloring
+                        .find_conflict(input.mesh)
+                        .map(|c| c.to_string())
+                        .unwrap_or_default()
+                );
                 let mut rhs = VectorField::zeros(nn);
                 let shared = SharedRhs {
                     ptr: rhs.as_mut_slice().as_mut_ptr(),
                     num_nodes: nn,
                 };
                 for class in coloring.classes() {
-                    class.par_iter().for_each_init(
+                    par::par_for_each_init(
+                        class,
                         || vec![0.0; nval],
                         |ws_buf, &e| {
                             let mut sink = ColoredSink { shared: &shared };
@@ -327,13 +354,13 @@ pub fn assemble_parallel(
                 rhs
             }
             ParallelStrategy::Partitioned(partition) => {
-                let partials: Vec<Vec<f64>> = (0..partition.num_parts())
-                    .into_par_iter()
-                    .map(|p| {
+                let partials: Vec<Vec<f64>> = par::par_map_init(
+                    partition.num_parts(),
+                    || vec![0.0; nval],
+                    |ws_buf, p| {
                         let mut local = vec![0.0; 3 * nn];
-                        let mut ws_buf = vec![0.0; nval];
                         for &e in partition.part(p) {
-                            let b = compute_one(&mut ws_buf, e as usize);
+                            let b = compute_one(ws_buf, e as usize);
                             for a in 0..4 {
                                 for d in 0..3 {
                                     local[d * nn + b.nodes[a] as usize] += b.acc[a][d];
@@ -341,8 +368,8 @@ pub fn assemble_parallel(
                             }
                         }
                         local
-                    })
-                    .collect();
+                    },
+                );
                 let mut rhs = VectorField::zeros(nn);
                 let out = rhs.as_mut_slice();
                 for part in &partials {
@@ -523,13 +550,23 @@ mod tests {
             b.global_ldst()
         );
         // RS: ~3-5x fewer flops than B.
-        assert!(rs.flops() * 2 < b.flops(), "RS {} vs B {}", rs.flops(), b.flops());
+        assert!(
+            rs.flops() * 2 < b.flops(),
+            "RS {} vs B {}",
+            rs.flops(),
+            b.flops()
+        );
         // RSP: only gather/scatter remains as global traffic.
         assert!(rsp.global_ldst() < 100, "RSP {}", rsp.global_ldst());
         assert!(rsp.defs > 50, "RSP defs {}", rsp.defs);
         // Specialized flops match between array and scalar forms (modulo a
         // couple of bookkeeping stores the array form performs).
         let dflops = rs.flops() as i64 - rsp.flops() as i64;
-        assert!(dflops.abs() < 16, "RS {} vs RSP {}", rs.flops(), rsp.flops());
+        assert!(
+            dflops.abs() < 16,
+            "RS {} vs RSP {}",
+            rs.flops(),
+            rsp.flops()
+        );
     }
 }

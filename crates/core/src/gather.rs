@@ -172,7 +172,7 @@ mod tests {
         let nodes = gather_conn(&input, 0, &layout, &mut rec);
         let _ = gather_coords(&input, &nodes, &layout, &mut rec);
         let _ = gather_velocity(&input, &nodes, &layout, &mut rec);
-        let _ = gather_scalar(&p, crate::layout::PRES_BASE, &nodes, &layout, &mut rec);
+        let _ = gather_scalar(&p, layout::PRES_BASE, &nodes, &layout, &mut rec);
         assert_eq!(rec.counts().global_loads, 4 + 12 + 12 + 4);
     }
 

@@ -67,6 +67,53 @@ pub const NUM_ARRAYS: usize = 25;
 const NGAUSS: usize = 4;
 const NNODE: usize = 4;
 
+/// Closed-form count of workspace *stores* one baseline element performs,
+/// phase by phase, as written in [`element`] below (`G` Gauss points, `N`
+/// nodes; `ws.acc` is a load + store pair). The contract checker in
+/// `alya-analyze` verifies every recorded trace against this formula, so
+/// it can never drift from the code silently.
+pub const fn ws_stores_per_element() -> u64 {
+    let g = NGAUSS as u64;
+    let n = NNODE as u64;
+    // gather: elcod + elvel (3·N each), elpre + eltem (N each), elnut
+    (6 * n + 2 * n + 1)
+        // geometry per point: jac 9, det 1, inv 9, car 3·N, vol 1, sha N, hes 6
+        + g * (9 + 1 + 9 + 3 * n + 1 + n + 6)
+        // interpolation per point: adv 3, tem 1, pre 1, den 1, vis 1, nut 1, for 3, gve 9
+        + g * (3 + 1 + 1 + 1 + 1 + 1 + 3 + 9)
+        // elemental matrices: cmat/kmat zero-init, then one acc-store each
+        // per (gauss, component, a, b)
+        + 2 * 3 * n * n
+        + 2 * g * 3 * n * n
+        // emat = cmat + kmat
+        + 3 * n * n
+        // lumped mass + elemental rhs
+        + n
+        + 3 * n
+}
+
+/// Closed-form count of workspace *loads* of one baseline element (same
+/// phase-by-phase derivation as [`ws_stores_per_element`]).
+pub const fn ws_loads_per_element() -> u64 {
+    let g = NGAUSS as u64;
+    let n = NNODE as u64;
+    // geometry per point: jac build 9·N, jac reload 9, car 9·N, vol reads det
+    g * (9 * n + 9 + 9 * n + 1)
+        // interpolation per point: adv 2·3·N, tem/pre 3·N, reloads 3, gve 2·9·N
+        + g * (6 * n + 3 * n + 3 + 18 * n)
+        // matrix accumulation: 20 loads per (gauss, component, a, b) —
+        // 6 adv_dot + 3 coeffs + 1 acc + 6 grad_dot + 3 coeffs + 1 acc
+        + g * 3 * n * n * 20
+        // emat: cmat + kmat reads
+        + 2 * 3 * n * n
+        // lumped mass: vol + sha per (node, gauss)
+        + 2 * n * g
+        // elemental rhs per (node, component): 2·N matrix half + 5·G force half
+        + 3 * n * (2 * n + 5 * g)
+        // scatter readback of elrhs
+        + 3 * n
+}
+
 /// Assembles one element the baseline way.
 pub fn element<R: Recorder, S: ScatterSink>(
     input: &AssemblyInput,
@@ -370,5 +417,15 @@ mod tests {
     fn catalog_matches_paper_scale() {
         // Paper: baseline = 430 values in 32 arrays; we carry 441 in 25.
         assert!((400..500).contains(&NVALUES));
+    }
+
+    #[test]
+    fn closed_forms_evaluate_to_the_audited_totals() {
+        // The values the contract checker pins (see alya-analyze): 825
+        // workspace stores and 5088 workspace loads per element.
+        assert_eq!(ws_stores_per_element(), 825);
+        assert_eq!(ws_loads_per_element(), 5088);
+        // Every workspace slot is written at least once.
+        assert!(ws_stores_per_element() >= NVALUES as u64);
     }
 }

@@ -43,9 +43,9 @@ fn element_kind(kind: CellKind) -> ElementKind {
         CellKind::Prism6 => ElementKind::Prism6,
         // Pyramids have rational shape functions this FEM layer does not
         // carry; Alya-style workflows decompose them (MixedMesh::to_tets).
-        CellKind::Pyramid5 => panic!(
-            "pyramids are decomposition-only: call MixedMesh::to_tets() first"
-        ),
+        CellKind::Pyramid5 => {
+            panic!("pyramids are decomposition-only: call MixedMesh::to_tets() first")
+        }
     }
 }
 
@@ -228,7 +228,10 @@ mod tests {
         };
         let rhs = assemble_mixed(&input, &mut NoRecord);
         let dev = rhs.max_abs_diff(&reference) / reference.max_abs();
-        assert!(dev < 1e-11, "mixed-generic deviates from tet kernels by {dev}");
+        assert!(
+            dev < 1e-11,
+            "mixed-generic deviates from tet kernels by {dev}"
+        );
     }
 
     #[test]
@@ -262,8 +265,7 @@ mod tests {
         let mesh = hex_box(3, 2, 2, [1.5, 1.0, 1.0]);
         let velocity =
             VectorField::from_coords(mesh.coords(), |p| [p[2] * p[2], p[0] * p[1], -p[1]]);
-        let pressure =
-            ScalarField::from_coords(mesh.coords(), |p| p[0] * p[1] - p[2]);
+        let pressure = ScalarField::from_coords(mesh.coords(), |p| p[0] * p[1] - p[2]);
         let input = MixedInput {
             mesh: &mesh,
             velocity: &velocity,

@@ -156,7 +156,12 @@ pub fn element<R: Recorder, S: ScatterSink>(
             for d in 0..3 {
                 let con = ws.ld(GPCON + 3 * g + d, lay, rec);
                 rec.flop(2);
-                ws.acc(ELRHS + 3 * a + d, -gpvol * Tet4::SHAPE[g][a] * con, lay, rec);
+                ws.acc(
+                    ELRHS + 3 * a + d,
+                    -gpvol * Tet4::SHAPE[g][a] * con,
+                    lay,
+                    rec,
+                );
             }
         }
     }

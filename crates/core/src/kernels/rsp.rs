@@ -13,7 +13,7 @@ use alya_machine::Recorder;
 
 use crate::gather::{self, ScatterSink};
 use crate::input::AssemblyInput;
-use crate::kernels::{get3, Pv, PrivAlloc};
+use crate::kernels::{get3, PrivAlloc, Pv};
 use crate::layout::{self, Layout};
 use crate::ops;
 
@@ -88,11 +88,7 @@ pub fn element<R: Recorder, S: ScatterSink>(
     ];
 
     // --- Vreman on the fly. ---
-    let gve_for_nut = [
-        get3(&gve[0], rec),
-        get3(&gve[1], rec),
-        get3(&gve[2], rec),
-    ];
+    let gve_for_nut = [get3(&gve[0], rec), get3(&gve[1], rec), get3(&gve[2], rec)];
     rec.flop(2);
     let delta = vol.get(rec).cbrt();
     let nut = pa.def(ops::vreman(&gve_for_nut, delta, input.vreman_c, rec), rec);
@@ -155,8 +151,8 @@ pub fn element<R: Recorder, S: ScatterSink>(
         for d in 0..3 {
             rec.fma(2);
             rec.flop(2);
-            let inc = volv * pbar.get(rec) * grads[a][d].get(rec)
-                + gpvol * rho * input.body_force[d];
+            let inc =
+                volv * pbar.get(rec) * grads[a][d].get(rec) + gpvol * rho * input.body_force[d];
             rec.flop(1);
             let new = rhs[a][d].get(rec) + inc;
             rhs[a][d].set(new, rec);

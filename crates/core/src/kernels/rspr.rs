@@ -19,7 +19,7 @@ use alya_machine::Recorder;
 
 use crate::gather::{self, ScatterSink};
 use crate::input::AssemblyInput;
-use crate::kernels::{get3, Pv, PrivAlloc};
+use crate::kernels::{get3, PrivAlloc, Pv};
 use crate::layout::{self, Layout};
 use crate::ops;
 
@@ -94,11 +94,7 @@ pub fn element<R: Recorder, S: ScatterSink>(
         pa.def3(gve_raw[1], rec),
         pa.def3(gve_raw[2], rec),
     ];
-    let gve_for_nut = [
-        get3(&gve[0], rec),
-        get3(&gve[1], rec),
-        get3(&gve[2], rec),
-    ];
+    let gve_for_nut = [get3(&gve[0], rec), get3(&gve[1], rec), get3(&gve[2], rec)];
     rec.flop(2);
     let delta = vol.get(rec).cbrt();
     let nut = pa.def(ops::vreman(&gve_for_nut, delta, input.vreman_c, rec), rec);
@@ -153,8 +149,8 @@ pub fn element<R: Recorder, S: ScatterSink>(
         for (d, acc_d) in acc_raw.iter_mut().enumerate() {
             rec.fma(2);
             rec.flop(3);
-            *acc_d += volv * pbar.get(rec) * grads[a][d].get(rec)
-                + gpvol * rho * input.body_force[d];
+            *acc_d +=
+                volv * pbar.get(rec) * grads[a][d].get(rec) + gpvol * rho * input.body_force[d];
         }
         // Diffusion.
         for (d, acc_d) in acc_raw.iter_mut().enumerate() {

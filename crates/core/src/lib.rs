@@ -48,4 +48,4 @@ pub mod workspace;
 
 pub use drivers::{assemble_parallel, assemble_serial, assemble_traced, ParallelStrategy};
 pub use input::AssemblyInput;
-pub use variant::Variant;
+pub use variant::{KernelContract, Variant, CONTRACT_F64_BUDGET, CONTRACT_REGISTER_BUDGET};

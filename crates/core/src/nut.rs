@@ -67,7 +67,7 @@ mod tests {
         let v = VectorField::from_fn(&mesh, |p| [p[2] * p[2], p[0] * 0.5, -p[1]]);
         let p = ScalarField::zeros(mesh.num_nodes());
         let t = ScalarField::zeros(mesh.num_nodes());
-        let input = crate::AssemblyInput::new(&mesh, &v, &p, &t);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t);
         let nut = compute_nu_t(&input);
         assert_eq!(nut.len(), mesh.num_elements());
         // Cross-check one element against a direct evaluation.
@@ -82,8 +82,7 @@ mod tests {
                 }
             }
         }
-        let expect =
-            alya_fem::turbulence::vreman_nu_t_with_c(&gve, vol.cbrt(), input.vreman_c);
+        let expect = alya_fem::turbulence::vreman_nu_t_with_c(&gve, vol.cbrt(), input.vreman_c);
         assert!((nut[e] - expect).abs() < 1e-14);
     }
 
@@ -94,7 +93,7 @@ mod tests {
         let v = VectorField::from_fn(&mesh, |p| [p[2] * p[2], p[0], 0.0]);
         let p = ScalarField::zeros(mesh.num_nodes());
         let t = ScalarField::zeros(mesh.num_nodes());
-        let input = crate::AssemblyInput::new(&mesh, &v, &p, &t);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t);
         let nut = compute_nu_t(&input);
         assert!(nut.iter().any(|&n| n > 0.0));
         assert!(nut.iter().all(|&n| n >= 0.0));
@@ -106,7 +105,7 @@ mod tests {
         let v = VectorField::zeros(mesh.num_nodes());
         let p = ScalarField::zeros(mesh.num_nodes());
         let t = ScalarField::zeros(mesh.num_nodes());
-        let input = crate::AssemblyInput::new(&mesh, &v, &p, &t);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t);
         let lay = Layout::cpu(0, 1, mesh.num_nodes());
         let mut rec = TraceRecorder::new();
         let _ = nu_t_element(&input, 0, &lay, &mut rec);

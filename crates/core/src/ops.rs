@@ -68,10 +68,7 @@ pub fn inv3<R: Recorder>(m: &[[f64; 3]; 3], det: f64, rec: &mut R) -> [[f64; 3];
 /// Constant P1-tet physical gradients and signed volume from the four node
 /// coordinates — the specialized geometry path (one 3×3 solve per element).
 #[inline]
-pub fn tet4_grads<R: Recorder>(
-    coords: &[[f64; 3]; 4],
-    rec: &mut R,
-) -> ([[f64; 3]; 4], f64) {
+pub fn tet4_grads<R: Recorder>(coords: &[[f64; 3]; 4], rec: &mut R) -> ([[f64; 3]; 4], f64) {
     let mut j = [[0.0; 3]; 3];
     for r in 0..3 {
         for d in 0..3 {
@@ -126,8 +123,7 @@ pub fn vreman<R: Recorder>(grad: &[[f64; 3]; 3], delta: f64, c: f64, rec: &mut R
     }
     rec.fma(3);
     rec.flop(3);
-    let b_beta = beta[0][0] * beta[1][1] - beta[0][1] * beta[0][1]
-        + beta[0][0] * beta[2][2]
+    let b_beta = beta[0][0] * beta[1][1] - beta[0][1] * beta[0][1] + beta[0][0] * beta[2][2]
         - beta[0][2] * beta[0][2]
         + beta[1][1] * beta[2][2]
         - beta[1][2] * beta[1][2];

@@ -25,8 +25,7 @@ impl DirichletBc {
     /// Constrains component `component` of node `node` to `value`.
     pub fn fix(&mut self, node: usize, component: usize, value: f64) {
         debug_assert!(component < 3);
-        self.constraints
-            .push((node as u32, component as u8, value));
+        self.constraints.push((node as u32, component as u8, value));
     }
 
     /// Constrains all three components of `node` to `value`.
@@ -151,11 +150,7 @@ mod tests {
         let mesh = BoxMeshBuilder::new(2, 2, 2).build();
         let mut bc = DirichletBc::new();
         // Inflow at x = 0 with a z-dependent profile.
-        bc.fix_where(
-            &mesh,
-            |p| p[0] <= 1e-12,
-            |p| [p[2] * 2.0, 0.0, 0.0],
-        );
+        bc.fix_where(&mesh, |p| p[0] <= 1e-12, |p| [p[2] * 2.0, 0.0, 0.0]);
         let mut f = VectorField::zeros(mesh.num_nodes());
         bc.apply_to_field(&mut f);
         for (n, &p) in mesh.coords().iter().enumerate() {

@@ -288,9 +288,7 @@ mod tests {
     #[test]
     fn tet4_gauss_rule_integrates_linear_exactly() {
         // ∫_T ξ dV over reference tet = 1/24; rule must hit it exactly.
-        let integral: f64 = (0..4)
-            .map(|g| Tet4::GAUSS_WEIGHT * TET4_GAUSS[g][0])
-            .sum();
+        let integral: f64 = (0..4).map(|g| Tet4::GAUSS_WEIGHT * TET4_GAUSS[g][0]).sum();
         assert!((integral - 1.0 / 24.0).abs() < 1e-15);
     }
 

@@ -138,7 +138,9 @@ mod tests {
         // construction (perturbed unit tet).
         let mut s = seed;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 0.4
         };
         let mut t = UNIT_TET;
@@ -235,13 +237,7 @@ mod tests {
     fn hex_jacobian_of_unit_cube() {
         // Unit cube [0,1]^3 maps from [-1,1]^3 with J = I/2, det = 1/8.
         let corners: Vec<[f64; 3]> = (0..8)
-            .map(|i| {
-                [
-                    (i & 1) as f64,
-                    ((i >> 1) & 1) as f64,
-                    ((i >> 2) & 1) as f64,
-                ]
-            })
+            .map(|i| [(i & 1) as f64, ((i >> 1) & 1) as f64, ((i >> 2) & 1) as f64])
             .collect();
         // Reorder to hex convention (0,1,2,3 bottom loop; 4..7 top loop).
         let hex = [

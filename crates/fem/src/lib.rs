@@ -37,6 +37,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bc;
 pub mod element;
 pub mod fields;

@@ -67,8 +67,7 @@ pub fn vreman_nu_t_with_c(grad: &[[f64; 3]; 3], delta: f64, c: f64) -> f64 {
             beta[j][i] = beta[i][j];
         }
     }
-    let b_beta = beta[0][0] * beta[1][1] - beta[0][1] * beta[0][1]
-        + beta[0][0] * beta[2][2]
+    let b_beta = beta[0][0] * beta[1][1] - beta[0][1] * beta[0][1] + beta[0][0] * beta[2][2]
         - beta[0][2] * beta[0][2]
         + beta[1][1] * beta[2][2]
         - beta[1][2] * beta[1][2];

@@ -182,13 +182,20 @@ impl CacheSim {
     /// interleaved array with a 2^k·line stride camps on a single set).
     #[inline]
     fn set_of(&self, line_addr: u64) -> usize {
-        (((line_addr) ^ (line_addr / self.num_sets) ^ (line_addr / (self.num_sets * self.num_sets)))
+        (((line_addr)
+            ^ (line_addr / self.num_sets)
+            ^ (line_addr / (self.num_sets * self.num_sets)))
             % self.num_sets) as usize
     }
 
     /// Simulates one access of at most one line. `local_owner` tags the
     /// line as local memory belonging to a thread block.
-    pub fn access(&mut self, addr: u64, kind: AccessKind, local_owner: Option<u32>) -> AccessOutcome {
+    pub fn access(
+        &mut self,
+        addr: u64,
+        kind: AccessKind,
+        local_owner: Option<u32>,
+    ) -> AccessOutcome {
         self.clock += 1;
         let line_addr = addr / self.line_bytes;
         let set = self.set_of(line_addr);
@@ -323,7 +330,7 @@ impl CacheSim {
     /// must be written to the level below (end-of-kernel accounting).
     pub fn flush(&mut self) -> Vec<u64> {
         let mut dirty = Vec::new();
-        for line in self.lines.iter_mut() {
+        for line in &mut self.lines {
             if line.valid && line.dirty {
                 dirty.push(line.tag * self.line_bytes);
                 self.stats.writebacks += 1;
@@ -401,7 +408,7 @@ mod tests {
         let out = c.access(0, AccessKind::Store, None);
         assert!(!out.hit);
         assert_eq!(out.fill, Some(0)); // write-allocate
-        // Fill the set and push the dirty line out.
+                                       // Fill the set and push the dirty line out.
         c.access(32, AccessKind::Load, None);
         let evict = c.access(64, AccessKind::Load, None);
         assert_eq!(evict.writeback, Some(0));

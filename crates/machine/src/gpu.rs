@@ -48,7 +48,7 @@ pub enum RegisterDemand {
 }
 
 /// Base registers (addresses, indices, control) every kernel needs.
-const REG_OVERHEAD: u32 = 26;
+pub const REG_OVERHEAD: u32 = 26;
 /// Calibrated slope/intercept of the array-style register model.
 const ARRAY_STYLE_INTERCEPT: f64 = 153.0;
 const ARRAY_STYLE_SLOPE: f64 = 0.2367;
@@ -160,8 +160,8 @@ impl GpuModel {
         let blocks_per_sm_resident = (resident_per_sm as usize / tpb).max(1);
 
         // Scaled-down L2: keep associativity, shrink sets.
-        let l2_size = (spec.l2_bytes * sms / spec.num_sms as usize)
-            .max(spec.line_bytes * spec.l2_assoc);
+        let l2_size =
+            (spec.l2_bytes * sms / spec.num_sms as usize).max(spec.line_bytes * spec.l2_assoc);
         let l2_size = l2_size - l2_size % (spec.line_bytes * spec.l2_assoc);
         // The device L2 uses streaming-resistant (non-LRU) replacement;
         // random selection is the classic approximation.
@@ -265,13 +265,12 @@ impl GpuModel {
                             Event::Flop(_) | Event::Fma(_) => {
                                 // Arithmetic: already counted via counts.
                             }
-                            Event::GLoad(_) | Event::GStore(_) | Event::LLoad(_)
+                            Event::GLoad(_)
+                            | Event::GStore(_)
+                            | Event::LLoad(_)
                             | Event::LStore(_) => {
                                 scratch_lines.clear();
-                                let is_store = matches!(
-                                    kind,
-                                    Event::GStore(_) | Event::LStore(_)
-                                );
+                                let is_store = matches!(kind, Event::GStore(_) | Event::LStore(_));
                                 let mut owner = None;
                                 for (lane, tr) in w.threads.iter().enumerate() {
                                     let Some(e) = tr.get(cursor) else { continue };
@@ -286,8 +285,8 @@ impl GpuModel {
                                         }
                                         _ => continue, // divergent shapes: skip
                                     };
-                                    let line = addr / spec.line_bytes as u64
-                                        * spec.line_bytes as u64;
+                                    let line =
+                                        addr / spec.line_bytes as u64 * spec.line_bytes as u64;
                                     if !scratch_lines.contains(&line) {
                                         scratch_lines.push(line);
                                     }
@@ -371,9 +370,9 @@ impl GpuModel {
         let sim_elems = next_elem.max(1) as f64;
         let per = |x: u64| x as f64 / sim_elems;
 
-        let l1_stats = l1s.iter().fold(
-            crate::cache::CacheStats::default(),
-            |mut acc, c| {
+        let l1_stats = l1s
+            .iter()
+            .fold(crate::cache::CacheStats::default(), |mut acc, c| {
                 let s = c.stats();
                 acc.loads += s.loads;
                 acc.stores += s.stores;
@@ -382,8 +381,7 @@ impl GpuModel {
                 acc.fills += s.fills;
                 acc.writebacks += s.writebacks;
                 acc
-            },
-        );
+            });
         let l2_stats = l2.stats();
 
         let ldst_ops = counts.global_ldst() + counts.local_ldst();
@@ -421,11 +419,9 @@ impl GpuModel {
 
         // DRAM: Little's law ceiling from resident warps × MLP × coalesced
         // sector bytes per instruction.
-        let warps_resident =
-            (resident_per_sm as f64 / warp as f64) * spec.num_sms as f64;
+        let warps_resident = (resident_per_sm as f64 / warp as f64) * spec.num_sms as f64;
         let latency_s = spec.dram_latency_cycles / spec.clock_hz;
-        let outstanding_bytes =
-            warps_resident * mlp * avg_sectors * spec.line_bytes as f64;
+        let outstanding_bytes = warps_resident * mlp * avg_sectors * spec.line_bytes as f64;
         let bw_latency = outstanding_bytes / latency_s;
         let dram_bw_eff = spec.dram_bw.min(bw_latency);
         let t_dram = dram_volume * n / dram_bw_eff;
@@ -584,7 +580,10 @@ mod tests {
         .registers(&spec);
         assert!((180..=188).contains(&rs), "RS registers {rs}");
         // Measured: 61 live f64 -> 26 + 122 = 148 (the paper's RSP).
-        assert_eq!(RegisterDemand::Measured { pressure: 61 }.registers(&spec), 148);
+        assert_eq!(
+            RegisterDemand::Measured { pressure: 61 }.registers(&spec),
+            148
+        );
     }
 
     #[test]

@@ -31,10 +31,13 @@
 //! reproduction targets the paper's *shape* (variant orderings, speedup
 //! factors, roofline migration), not its absolute milliseconds.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod cpu;
 pub mod energy;
 pub mod gpu;
+pub mod par;
 pub mod regalloc;
 pub mod reuse;
 pub mod roofline;

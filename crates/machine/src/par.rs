@@ -1,0 +1,201 @@
+//! Minimal structured-parallelism helpers over `std::thread::scope`.
+//!
+//! The workspace builds without third-party crates, so the parallel
+//! drivers (`alya-core::drivers`, `alya-solver::csr`) use these helpers
+//! instead of rayon. The model is deliberately simple: an index range is
+//! split into one contiguous chunk per worker, each worker owns a
+//! per-thread state built by `init` (the reused workspace buffer pattern),
+//! and threads are joined before returning. Work stealing is not needed —
+//! every call site here distributes near-uniform work.
+//!
+//! Small inputs take a serial fast path so tests and tiny meshes do not
+//! pay thread-spawn latency.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Work items below this threshold run serially.
+const SERIAL_CUTOFF: usize = 256;
+
+/// Number of worker threads used by the helpers (the hardware parallelism).
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+fn worker_count(n: usize) -> usize {
+    num_threads().min(n.div_ceil(SERIAL_CUTOFF)).max(1)
+}
+
+/// Maps `f` over `0..n` in parallel, preserving order. Each worker thread
+/// builds one private state with `init` and threads it through its calls —
+/// the rayon `map_init` pattern.
+pub fn par_map_init<T, W, I, F>(n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> T + Sync,
+{
+    let workers = worker_count(n);
+    if workers <= 1 {
+        let mut w = init();
+        return (0..n).map(|i| f(&mut w, i)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                let init = &init;
+                let f = &f;
+                s.spawn(move || {
+                    let mut state = init();
+                    (lo..hi).map(|i| f(&mut state, i)).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Runs `f` over the items of `items` in parallel with per-worker state.
+/// Items are claimed in small batches from a shared atomic cursor, so
+/// imbalanced per-item cost (e.g. color classes of uneven element cost)
+/// still spreads across workers.
+pub fn par_for_each_init<A, W, I, F>(items: &[A], init: I, f: F)
+where
+    A: Sync,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, &A) + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        let mut w = init();
+        for a in items {
+            f(&mut w, a);
+        }
+        return;
+    }
+    const BATCH: usize = 64;
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let init = &init;
+            let f = &f;
+            s.spawn(move || {
+                let mut state = init();
+                loop {
+                    let lo = cursor.fetch_add(BATCH, Ordering::Relaxed);
+                    if lo >= n {
+                        break;
+                    }
+                    for a in &items[lo..(lo + BATCH).min(n)] {
+                        f(&mut state, a);
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Splits `data` into one contiguous chunk per worker and calls
+/// `f(offset, chunk)` for each in parallel — the disjoint-output pattern
+/// (e.g. row ranges of an SpMV destination).
+pub fn par_chunks_mut<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        f(0, data);
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        let mut rest = data;
+        let mut offset = 0;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            let f = &f;
+            s.spawn(move || f(offset, head));
+            offset += take;
+            rest = tail;
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_and_covers_range() {
+        // Above the serial cutoff so threads actually spawn.
+        let out = par_map_init(10_000, || 0u64, |_, i| i * 2);
+        assert_eq!(out.len(), 10_000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * 2);
+        }
+    }
+
+    #[test]
+    fn map_small_input_matches_serial() {
+        let out = par_map_init(7, || (), |(), i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        use std::sync::atomic::AtomicU64;
+        let items: Vec<usize> = (0..5000).collect();
+        let sum = AtomicU64::new(0);
+        par_for_each_init(
+            &items,
+            || (),
+            |(), &i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(sum.load(Ordering::Relaxed), 5000 * 4999 / 2);
+    }
+
+    #[test]
+    fn init_runs_per_worker_not_per_item() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let _ = par_map_init(4096, || inits.fetch_add(1, Ordering::Relaxed), |_, i| i);
+        assert!(inits.load(Ordering::Relaxed) <= num_threads());
+    }
+
+    #[test]
+    fn chunks_cover_disjointly() {
+        let mut data = vec![0u32; 9173];
+        par_chunks_mut(&mut data, |offset, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (offset + i) as u32;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u32);
+        }
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -323,10 +323,7 @@ impl CpuSpec {
                 return bin.clock_hz;
             }
         }
-        self.turbo_bins
-            .last()
-            .map(|b| b.clock_hz)
-            .unwrap_or(2.0e9)
+        self.turbo_bins.last().map(|b| b.clock_hz).unwrap_or(2.0e9)
     }
 
     /// Machine arithmetic intensity of one socket (Flop/B), ≈ 15 for Fritz.

@@ -1,49 +1,63 @@
-//! Property-based tests of the performance-machine substrate.
+//! Randomized property tests of the performance-machine substrate
+//! (seeded, deterministic — see `alya_mesh::rng`).
 
 use alya_machine::cache::{AccessKind, CacheSim, Replacement};
 use alya_machine::trace::estimate_mlp;
 use alya_machine::{Event, RegisterAllocator};
-use proptest::prelude::*;
+use alya_mesh::Rng64;
 
-fn arb_stream() -> impl Strategy<Value = Vec<(u64, bool)>> {
-    prop::collection::vec((0u64..4096, any::<bool>()), 1..600)
+/// A random (address, is_store) access stream.
+fn arb_stream(rng: &mut Rng64) -> Vec<(u64, bool)> {
+    let len = rng.range_usize(1, 600);
+    (0..len)
+        .map(|_| (rng.next_u64() % 4096, rng.bool()))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn cache_stats_are_conserved(stream in arb_stream(), assoc in 1usize..8) {
+#[test]
+fn cache_stats_are_conserved() {
+    let mut rng = Rng64::new(0xCAC4E01);
+    for _ in 0..24 {
+        let stream = arb_stream(&mut rng);
+        let assoc = rng.range_usize(1, 8);
         let mut c = CacheSim::new(64 * assoc * 4, 64, assoc);
         let mut writebacks_seen = 0u64;
         for &(addr, is_store) in &stream {
-            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+            let kind = if is_store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
             let out = c.access(addr * 8, kind, None);
             if out.writeback.is_some() {
                 writebacks_seen += 1;
             }
             // A hit never fills or writes back.
             if out.hit {
-                prop_assert!(out.fill.is_none() && out.writeback.is_none());
+                assert!(out.fill.is_none() && out.writeback.is_none());
             } else {
-                prop_assert!(out.fill.is_some());
+                assert!(out.fill.is_some());
             }
         }
         let s = c.stats();
-        prop_assert_eq!(s.accesses(), stream.len() as u64);
-        prop_assert_eq!(s.hits() + s.misses(), stream.len() as u64);
-        prop_assert_eq!(s.fills, s.misses());
-        prop_assert_eq!(s.writebacks, writebacks_seen);
+        assert_eq!(s.accesses(), stream.len() as u64);
+        assert_eq!(s.hits() + s.misses(), stream.len() as u64);
+        assert_eq!(s.fills, s.misses());
+        assert_eq!(s.writebacks, writebacks_seen);
         // Flushing returns each remaining dirty line exactly once.
         let dirty = c.flush();
         let mut uniq = dirty.clone();
         uniq.sort_unstable();
         uniq.dedup();
-        prop_assert_eq!(uniq.len(), dirty.len());
+        assert_eq!(uniq.len(), dirty.len());
     }
+}
 
-    #[test]
-    fn fully_associative_lru_is_inclusion_monotone(stream in arb_stream()) {
+#[test]
+fn fully_associative_lru_is_inclusion_monotone() {
+    let mut rng = Rng64::new(0xCAC4E02);
+    for _ in 0..12 {
+        let stream = arb_stream(&mut rng);
         // Bigger fully-associative LRU caches never miss more.
         let mut prev = u64::MAX;
         for ways in [4usize, 8, 16, 32] {
@@ -52,13 +66,17 @@ proptest! {
                 c.access(addr * 8, AccessKind::Load, None);
             }
             let misses = c.stats().misses();
-            prop_assert!(misses <= prev, "ways {}: {} > {}", ways, misses, prev);
+            assert!(misses <= prev, "ways {ways}: {misses} > {prev}");
             prev = misses;
         }
     }
+}
 
-    #[test]
-    fn cold_misses_lower_bound(stream in arb_stream()) {
+#[test]
+fn cold_misses_lower_bound() {
+    let mut rng = Rng64::new(0xCAC4E03);
+    for _ in 0..12 {
+        let stream = arb_stream(&mut rng);
         // Any cache must miss at least once per distinct line.
         let mut c = CacheSim::new(1 << 16, 64, 8);
         let mut lines: Vec<u64> = stream.iter().map(|&(a, _)| a * 8 / 64).collect();
@@ -67,24 +85,37 @@ proptest! {
         }
         lines.sort_unstable();
         lines.dedup();
-        prop_assert!(c.stats().misses() >= lines.len() as u64);
+        assert!(c.stats().misses() >= lines.len() as u64);
     }
+}
 
-    #[test]
-    fn random_replacement_preserves_conservation(stream in arb_stream()) {
+#[test]
+fn random_replacement_preserves_conservation() {
+    let mut rng = Rng64::new(0xCAC4E04);
+    for _ in 0..12 {
+        let stream = arb_stream(&mut rng);
         let mut c = CacheSim::new(2048, 64, 4).with_replacement(Replacement::Random);
         for &(addr, is_store) in &stream {
-            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+            let kind = if is_store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
             c.access(addr * 8, kind, None);
         }
         let s = c.stats();
-        prop_assert_eq!(s.hits() + s.misses(), stream.len() as u64);
+        assert_eq!(s.hits() + s.misses(), stream.len() as u64);
     }
+}
 
-    #[test]
-    fn owner_invalidation_never_writes_back(
-        stream in prop::collection::vec((0u64..512, 0u32..4), 1..200),
-    ) {
+#[test]
+fn owner_invalidation_never_writes_back() {
+    let mut rng = Rng64::new(0xCAC4E05);
+    for _ in 0..12 {
+        let len = rng.range_usize(1, 200);
+        let stream: Vec<(u64, u32)> = (0..len)
+            .map(|_| (rng.next_u64() % 512, (rng.next_u64() % 4) as u32))
+            .collect();
         let mut c = CacheSim::new(1 << 16, 64, 8);
         for &(slot, owner) in &stream {
             // Give each owner a disjoint address range.
@@ -95,16 +126,18 @@ proptest! {
         for owner in 0..4 {
             c.invalidate_owner(owner);
         }
-        prop_assert_eq!(c.stats().writebacks, wb_before);
+        assert_eq!(c.stats().writebacks, wb_before);
         // Everything local is gone: flush returns nothing dirty.
-        prop_assert!(c.flush().is_empty());
+        assert!(c.flush().is_empty());
     }
+}
 
-    #[test]
-    fn regalloc_never_spills_under_budget(
-        n_values in 1u32..40,
-        uses_per_value in 1usize..4,
-    ) {
+#[test]
+fn regalloc_never_spills_under_budget() {
+    let mut rng = Rng64::new(0x4E6A01);
+    for _ in 0..16 {
+        let n_values = (rng.next_u64() % 39 + 1) as u32;
+        let uses_per_value = rng.range_usize(1, 4);
         // Sequential, non-overlapping lifetimes: pressure 1.
         let mut events = Vec::new();
         for v in 0..n_values {
@@ -114,16 +147,18 @@ proptest! {
             }
         }
         let r = RegisterAllocator::new(2).allocate(&events);
-        prop_assert_eq!(r.max_pressure, 1);
-        prop_assert_eq!(r.spilled_values, 0);
-        prop_assert!(r.events.is_empty());
+        assert_eq!(r.max_pressure, 1);
+        assert_eq!(r.spilled_values, 0);
+        assert!(r.events.is_empty());
     }
+}
 
-    #[test]
-    fn regalloc_pressure_capped_by_budget(
-        live in 2u32..64,
-        budget in 1u32..32,
-    ) {
+#[test]
+fn regalloc_pressure_capped_by_budget() {
+    let mut rng = Rng64::new(0x4E6A02);
+    for _ in 0..24 {
+        let live = (rng.next_u64() % 62 + 2) as u32;
+        let budget = (rng.next_u64() % 31 + 1) as u32;
         // `live` simultaneously-live values.
         let mut events = Vec::new();
         for v in 0..live {
@@ -133,34 +168,51 @@ proptest! {
             events.push(Event::Use(v));
         }
         let r = RegisterAllocator::new(budget).allocate(&events);
-        prop_assert!(r.max_pressure <= budget.max(1));
+        assert!(r.max_pressure <= budget.max(1));
         let expected_spills = live.saturating_sub(budget);
-        prop_assert_eq!(r.spilled_values, expected_spills);
+        assert_eq!(r.spilled_values, expected_spills);
         // The rewritten stream has only local traffic left.
-        prop_assert!(r.events.iter().all(|e| matches!(e, Event::LLoad(_) | Event::LStore(_))));
-        prop_assert_eq!(r.spill_stores, expected_spills as u64);
-    }
-
-    #[test]
-    fn regalloc_is_deterministic(events_raw in prop::collection::vec((0u32..16, any::<bool>()), 0..100)) {
-        let events: Vec<Event> = events_raw
+        assert!(r
+            .events
             .iter()
-            .map(|&(v, d)| if d { Event::Def(v) } else { Event::Use(v) })
+            .all(|e| matches!(e, Event::LLoad(_) | Event::LStore(_))));
+        assert_eq!(r.spill_stores, expected_spills as u64);
+    }
+}
+
+#[test]
+fn regalloc_is_deterministic() {
+    let mut rng = Rng64::new(0x4E6A03);
+    for _ in 0..16 {
+        let len = rng.range_usize(0, 100);
+        let events: Vec<Event> = (0..len)
+            .map(|_| {
+                let v = (rng.next_u64() % 16) as u32;
+                if rng.bool() {
+                    Event::Def(v)
+                } else {
+                    Event::Use(v)
+                }
+            })
             .collect();
         let a = RegisterAllocator::new(4).allocate(&events);
         let b = RegisterAllocator::new(4).allocate(&events);
-        prop_assert_eq!(a.events, b.events);
-        prop_assert_eq!(a.spilled_values, b.spilled_values);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.spilled_values, b.spilled_values);
     }
+}
 
-    #[test]
-    fn mlp_estimate_is_bounded(events_raw in prop::collection::vec(0u8..5, 0..300)) {
+#[test]
+fn mlp_estimate_is_bounded() {
+    let mut rng = Rng64::new(0x41704);
+    for _ in 0..16 {
+        let len = rng.range_usize(0, 300);
         // Random mix of loads, stores and flops.
         let mut events = Vec::new();
         let mut max_run = 1u64;
         let mut run = 0u64;
-        for (i, &k) in events_raw.iter().enumerate() {
-            match k {
+        for i in 0..len {
+            match rng.next_u64() % 5 {
                 0 => {
                     events.push(Event::GLoad(i as u64 * 8 + (1 << 30)));
                     run += 1;
@@ -176,7 +228,7 @@ proptest! {
             }
         }
         let mlp = estimate_mlp(&events);
-        prop_assert!(mlp >= 1.0 - 1e-12);
-        prop_assert!(mlp <= max_run as f64 + 1e-12, "mlp {} max_run {}", mlp, max_run);
+        assert!(mlp >= 1.0 - 1e-12);
+        assert!(mlp <= max_run as f64 + 1e-12, "mlp {mlp} max_run {max_run}");
     }
 }

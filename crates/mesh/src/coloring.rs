@@ -7,6 +7,32 @@
 //! assembly, and one of the parallel drivers exposed by `alya-core`.
 
 use crate::adjacency::ElementGraph;
+use crate::tet::TetMesh;
+
+/// A violation of the scatter-safety invariant: two elements assigned the
+/// same color share a node, so processing the class in parallel with plain
+/// stores would race on that node's RHS entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColoringConflict {
+    /// The color class containing both elements.
+    pub color: u32,
+    /// The element that claimed the node first (class order).
+    pub first: u32,
+    /// The element that touched the same node afterwards.
+    pub second: u32,
+    /// The shared node.
+    pub node: u32,
+}
+
+impl std::fmt::Display for ColoringConflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "elements {} and {} of color {} share node {}",
+            self.first, self.second, self.color, self.node
+        )
+    }
+}
 
 /// A proper coloring of the element conflict graph.
 #[derive(Debug, Clone)]
@@ -93,6 +119,78 @@ impl Coloring {
         (0..self.num_colors()).map(move |c| self.class(c))
     }
 
+    /// Rebuilds a coloring from an explicit per-element color assignment.
+    ///
+    /// No properness check is performed — the result may violate the
+    /// scatter-safety invariant (that is the point: the static race
+    /// detector's negative tests corrupt colorings through this entry).
+    pub fn from_color_assignment(color_of: Vec<u32>) -> Self {
+        let num_colors = color_of.iter().map(|&c| c as usize + 1).max().unwrap_or(0);
+        let ne = color_of.len();
+        let mut counts = vec![0u32; num_colors + 1];
+        for &c in &color_of {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..num_colors {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut elements = vec![0u32; ne];
+        for (e, &c) in color_of.iter().enumerate() {
+            let slot = &mut cursor[c as usize];
+            elements[*slot as usize] = e as u32;
+            *slot += 1;
+        }
+        Self {
+            color_of,
+            elements,
+            offsets,
+        }
+    }
+
+    /// Statically proves the colored-scatter safety contract against the
+    /// mesh, or returns the first counterexample: within every color class,
+    /// no two elements may share a node. This is exactly the invariant the
+    /// colored parallel driver's `unsafe` shared-RHS writes rely on.
+    ///
+    /// Runs in `O(4 × num_elements)` with a per-node stamp, independent of
+    /// the conflict-graph construction the coloring came from — so it also
+    /// catches bugs in the adjacency/graph layers, not just in the coloring
+    /// heuristic.
+    pub fn find_conflict(&self, mesh: &TetMesh) -> Option<ColoringConflict> {
+        assert_eq!(
+            self.color_of.len(),
+            mesh.num_elements(),
+            "coloring and mesh element counts differ"
+        );
+        // stamp[n] = color that last touched node n; owner[n] = the element.
+        let mut stamp = vec![u32::MAX; mesh.num_nodes()];
+        let mut owner = vec![u32::MAX; mesh.num_nodes()];
+        for c in 0..self.num_colors() {
+            for &e in self.class(c) {
+                for n in mesh.element(e as usize) {
+                    if stamp[n as usize] == c as u32 && owner[n as usize] != e {
+                        return Some(ColoringConflict {
+                            color: c as u32,
+                            first: owner[n as usize],
+                            second: e,
+                            node: n,
+                        });
+                    }
+                    stamp[n as usize] = c as u32;
+                    owner[n as usize] = e;
+                }
+            }
+        }
+        None
+    }
+
+    /// `true` when [`Coloring::find_conflict`] finds no violation.
+    pub fn is_race_free(&self, mesh: &TetMesh) -> bool {
+        self.find_conflict(mesh).is_none()
+    }
+
     /// Verifies properness against the graph: no two adjacent elements share
     /// a color. Intended for tests and debug assertions.
     pub fn is_proper(&self, graph: &ElementGraph) -> bool {
@@ -111,7 +209,7 @@ mod tests {
     use crate::adjacency::NodeToElements;
     use crate::generator::{BoxMeshBuilder, TerrainMeshBuilder};
 
-    fn color(meshes: &crate::tet::TetMesh) -> (ElementGraph, Coloring) {
+    fn color(meshes: &TetMesh) -> (ElementGraph, Coloring) {
         let n2e = NodeToElements::build(meshes);
         let graph = ElementGraph::build(meshes, &n2e);
         let coloring = Coloring::greedy(&graph);
@@ -172,5 +270,50 @@ mod tests {
         let (_, coloring) = color(&mesh);
         assert_eq!(coloring.num_colors(), 1);
         assert_eq!(coloring.class(0), &[0]);
+    }
+
+    #[test]
+    fn greedy_colorings_are_race_free() {
+        for mesh in [
+            BoxMeshBuilder::new(4, 3, 2).build(),
+            TerrainMeshBuilder::new(5, 5, 3).build(),
+        ] {
+            let (_, coloring) = color(&mesh);
+            assert!(coloring.is_race_free(&mesh));
+        }
+    }
+
+    #[test]
+    fn round_trip_through_color_assignment() {
+        let mesh = BoxMeshBuilder::new(3, 3, 2).build();
+        let (_, coloring) = color(&mesh);
+        let colors: Vec<u32> = (0..mesh.num_elements())
+            .map(|e| coloring.color_of(e))
+            .collect();
+        let rebuilt = Coloring::from_color_assignment(colors);
+        assert_eq!(rebuilt.num_colors(), coloring.num_colors());
+        for c in 0..coloring.num_colors() {
+            assert_eq!(rebuilt.class(c), coloring.class(c));
+        }
+    }
+
+    #[test]
+    fn corrupted_coloring_is_caught_with_witness() {
+        let mesh = BoxMeshBuilder::new(3, 3, 3).build();
+        let (_, coloring) = color(&mesh);
+        // Force element 1 into element 0's class: the two tets of one Kuhn
+        // box share nodes, so this must race.
+        let mut colors: Vec<u32> = (0..mesh.num_elements())
+            .map(|e| coloring.color_of(e))
+            .collect();
+        colors[1] = colors[0];
+        let bad = Coloring::from_color_assignment(colors);
+        let conflict = bad.find_conflict(&mesh).expect("conflict not detected");
+        assert_eq!(conflict.color, coloring.color_of(0));
+        // The witness names a genuinely shared node.
+        let a = mesh.element(conflict.first as usize);
+        let b = mesh.element(conflict.second as usize);
+        assert!(a.contains(&conflict.node) && b.contains(&conflict.node));
+        assert!(!bad.is_race_free(&mesh));
     }
 }

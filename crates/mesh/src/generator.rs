@@ -12,8 +12,7 @@
 //!   map with a Gaussian hill and a smoothed escarpment, a stand-in for the
 //!   Bolund cliff geometry.
 
-use rand::Rng;
-
+use crate::rng::Rng64;
 use crate::tet::TetMesh;
 
 /// Kuhn decomposition of the unit cube into six tetrahedra.
@@ -106,8 +105,12 @@ impl BoxMeshBuilder {
         let node_id = |i: usize, j: usize, k: usize| -> u32 { ((k * py + j) * px + i) as u32 };
 
         let mut coords = Vec::with_capacity(px * py * pz);
-        let mut rng = seeded_rng(self.seed);
-        let (hx, hy, hz) = (self.lx / nx as f64, self.ly / ny as f64, self.lz / nz as f64);
+        let mut rng = Rng64::new(self.seed);
+        let (hx, hy, hz) = (
+            self.lx / nx as f64,
+            self.ly / ny as f64,
+            self.lz / nz as f64,
+        );
         for k in 0..pz {
             for j in 0..py {
                 for i in 0..px {
@@ -116,9 +119,9 @@ impl BoxMeshBuilder {
                         let interior =
                             i > 0 && i < px - 1 && j > 0 && j < py - 1 && k > 0 && k < pz - 1;
                         if interior {
-                            p[0] += rng.gen_range(-self.jitter..self.jitter) * hx;
-                            p[1] += rng.gen_range(-self.jitter..self.jitter) * hy;
-                            p[2] += rng.gen_range(-self.jitter..self.jitter) * hz;
+                            p[0] += rng.range_f64(-self.jitter, self.jitter) * hx;
+                            p[1] += rng.range_f64(-self.jitter, self.jitter) * hy;
+                            p[2] += rng.range_f64(-self.jitter, self.jitter) * hz;
                         }
                     }
                     coords.push(p);
@@ -247,11 +250,6 @@ impl TerrainMeshBuilder {
         debug_assert!(mesh.validate().is_ok());
         mesh
     }
-}
-
-fn seeded_rng(seed: u64) -> impl Rng {
-    use rand::SeedableRng;
-    rand::rngs::StdRng::seed_from_u64(seed)
 }
 
 #[cfg(test)]

@@ -21,6 +21,8 @@
 //! assert!(mesh.total_volume() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adjacency;
 pub mod coloring;
 pub mod generator;
@@ -28,12 +30,14 @@ pub mod mixed;
 pub mod ordering;
 pub mod partition;
 pub mod quality;
+pub mod rng;
 pub mod stats;
 pub mod tet;
 
 pub use adjacency::{ElementGraph, NodeToElements};
-pub use coloring::Coloring;
+pub use coloring::{Coloring, ColoringConflict};
 pub use generator::{BoxMeshBuilder, TerrainMeshBuilder};
 pub use partition::Partition;
+pub use rng::Rng64;
 pub use stats::MeshStats;
 pub use tet::{Point3, TetMesh, NODES_PER_TET};

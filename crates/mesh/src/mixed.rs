@@ -367,7 +367,11 @@ mod tests {
     fn mixed_box_is_conforming() {
         let m = mixed_box(2, 2, 2, [1.0, 1.0, 2.0]);
         assert_eq!(m.blocks().len(), 2);
-        assert!((m.total_volume() - 2.0).abs() < 1e-12, "{}", m.total_volume());
+        assert!(
+            (m.total_volume() - 2.0).abs() < 1e-12,
+            "{}",
+            m.total_volume()
+        );
         let tets = m.to_tets();
         assert!(tets.validate().is_ok());
         // Conformity: the tet mesh has no duplicate nodes and the expected
@@ -411,10 +415,7 @@ mod tests {
 
     #[test]
     fn out_of_range_node_rejected() {
-        let m = MixedMesh::from_raw(
-            vec![[0.0; 3]; 4],
-            vec![(CellKind::Tet4, vec![0, 1, 2, 9])],
-        );
+        let m = MixedMesh::from_raw(vec![[0.0; 3]; 4], vec![(CellKind::Tet4, vec![0, 1, 2, 9])]);
         assert!(m.validate().is_err());
     }
 
@@ -486,7 +487,11 @@ mod pyramid_tests {
     fn pyramid_box_volume_and_counts() {
         let m = pyramid_box(2, 2, 2, [1.0, 1.0, 1.0]);
         assert_eq!(m.num_cells(), 8 * 6);
-        assert!((m.total_volume() - 1.0).abs() < 1e-12, "{}", m.total_volume());
+        assert!(
+            (m.total_volume() - 1.0).abs() < 1e-12,
+            "{}",
+            m.total_volume()
+        );
         assert!(m.validate().is_ok(), "{:?}", m.validate());
     }
 

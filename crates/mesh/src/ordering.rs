@@ -23,8 +23,11 @@ pub enum ElementOrder {
 
 impl ElementOrder {
     /// All orderings, for sweeps.
-    pub const ALL: [ElementOrder; 3] =
-        [ElementOrder::Natural, ElementOrder::Morton, ElementOrder::Random];
+    pub const ALL: [ElementOrder; 3] = [
+        ElementOrder::Natural,
+        ElementOrder::Morton,
+        ElementOrder::Random,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -71,10 +74,7 @@ pub fn element_permutation(mesh: &TetMesh, order: ElementOrder) -> Vec<u32> {
 /// Applies an element permutation, producing the reordered mesh.
 pub fn reorder_elements(mesh: &TetMesh, perm: &[u32]) -> TetMesh {
     assert_eq!(perm.len(), mesh.num_elements());
-    let connectivity = perm
-        .iter()
-        .map(|&old| mesh.element(old as usize))
-        .collect();
+    let connectivity = perm.iter().map(|&old| mesh.element(old as usize)).collect();
     TetMesh::from_raw(mesh.coords().to_vec(), connectivity)
 }
 
@@ -179,7 +179,10 @@ mod tests {
             "random {random} vs natural {natural} / morton {morton}"
         );
         // Morton stays within a small factor of the structured order.
-        assert!(morton < 5.0 * natural, "morton {morton} vs natural {natural}");
+        assert!(
+            morton < 5.0 * natural,
+            "morton {morton} vs natural {natural}"
+        );
     }
 
     #[test]

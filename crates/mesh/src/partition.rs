@@ -31,7 +31,13 @@ impl Partition {
         let mut ids: Vec<u32> = (0..ne as u32).collect();
         let mut part_of = vec![0u32; ne];
         let mut next_part = 0u32;
-        bisect(&centroids, &mut ids, num_parts, &mut part_of, &mut next_part);
+        bisect(
+            &centroids,
+            &mut ids,
+            num_parts,
+            &mut part_of,
+            &mut next_part,
+        );
         // Empty subsets collapse their subtree into one part id, so at most
         // `num_parts` ids are handed out (exactly `num_parts` when ne >= parts).
         debug_assert!(next_part as usize <= num_parts);

@@ -59,7 +59,11 @@ pub fn solve_cg(
     let diag = a.precond_diagonal();
     let precond = |r: &[f64], z: &mut [f64]| {
         for i in 0..n {
-            z[i] = if diag[i].abs() > 0.0 { r[i] / diag[i] } else { r[i] };
+            z[i] = if diag[i].abs() > 0.0 {
+                r[i] / diag[i]
+            } else {
+                r[i]
+            };
         }
     };
 

@@ -1,6 +1,6 @@
 //! Compressed-sparse-row matrices.
 
-use rayon::prelude::*;
+use alya_machine::par;
 
 /// A CSR matrix over `f64`.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,17 +99,20 @@ impl CsrMatrix {
         }
     }
 
-    /// Rayon-parallel matrix-vector product.
+    /// Thread-parallel matrix-vector product (contiguous row ranges per
+    /// worker, disjoint output slices).
     pub fn par_spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.num_cols);
         assert_eq!(y.len(), self.num_rows);
-        y.par_iter_mut().enumerate().for_each(|(r, out)| {
-            let (cols, vals) = self.row(r);
-            let mut acc = 0.0;
-            for (c, v) in cols.iter().zip(vals) {
-                acc += v * x[*c as usize];
+        par::par_chunks_mut(y, |row0, out| {
+            for (i, o) in out.iter_mut().enumerate() {
+                let (cols, vals) = self.row(row0 + i);
+                let mut acc = 0.0;
+                for (c, v) in cols.iter().zip(vals) {
+                    acc += v * x[*c as usize];
+                }
+                *o = acc;
             }
-            *out = acc;
         });
     }
 

@@ -10,9 +10,9 @@
 //! future-work section worries about at exascale.
 
 use alya_core::drivers::assemble_element;
-use alya_core::{AssemblyInput, Variant};
 use alya_core::gather::ScatterSink;
 use alya_core::layout::Layout;
+use alya_core::{AssemblyInput, Variant};
 use alya_fem::VectorField;
 use alya_machine::{NoRecord, Recorder};
 use alya_mesh::{Partition, TetMesh};
@@ -332,7 +332,7 @@ mod tests {
         let (v, p, t) = setup(&mesh);
         let input = AssemblyInput::new(&mesh, &v, &p, &t);
         let (_, stats) = assemble_distributed(Variant::Rspr, &input, &dist);
-        let interface = alya_mesh::Partition::rcb(&mesh, 4).num_interface_nodes(&mesh);
+        let interface = Partition::rcb(&mesh, 4).num_interface_nodes(&mesh);
         assert!(stats.max_message_bytes <= interface as u64 * 24);
         assert!(stats.bytes <= 2 * interface as u64 * 24 * 4);
     }

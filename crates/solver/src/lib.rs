@@ -6,7 +6,7 @@
 //! and names as future work). This crate supplies the rest of that loop so
 //! the examples can run an actual simulation end to end:
 //!
-//! * [`csr`] — compressed sparse row matrices with rayon-parallel SpMV;
+//! * [`csr`] — compressed sparse row matrices with thread-parallel SpMV;
 //! * [`cg`] — Jacobi-preconditioned conjugate gradients;
 //! * [`poisson`] — the pressure-Poisson operator (P1 Laplacian), lumped
 //!   mass matrix, and weak divergence/gradient operators;
@@ -25,6 +25,8 @@
 //! let stats = solver.step(Variant::Rsp);
 //! assert!(stats.divergence_after <= stats.divergence_before + 1e-12);
 //! ```
+
+#![forbid(unsafe_code)]
 
 pub mod cg;
 pub mod csr;

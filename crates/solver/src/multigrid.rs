@@ -97,7 +97,9 @@ impl TwoLevelMg {
             }
         }
         // Tiny SPD shift: absorbs the Neumann null space and roundoff.
-        let scale = (0..nc).map(|i| coarse[i * nc + i].abs()).fold(0.0, f64::max);
+        let scale = (0..nc)
+            .map(|i| coarse[i * nc + i].abs())
+            .fold(0.0, f64::max);
         let shift = (scale * 1e-8).max(1e-300);
         for i in 0..nc {
             coarse[i * nc + i] += shift;

@@ -123,7 +123,10 @@ pub fn weak_gradient_adjoint(mesh: &TetMesh, p: &[f64]) -> VectorField {
         pbar *= 0.25;
         let w = vol * pbar;
         for (a, &n) in conn.iter().enumerate() {
-            g.add(n as usize, [w * grads[a][0], w * grads[a][1], w * grads[a][2]]);
+            g.add(
+                n as usize,
+                [w * grads[a][0], w * grads[a][1], w * grads[a][2]],
+            );
         }
     }
     g

@@ -176,15 +176,11 @@ impl<'m> FractionalStep<'m> {
 
         // One explicit stage: w + dt * M⁻¹ R(u_stage), BCs re-imposed.
         let euler_stage = |state: &VectorField, dt: f64| -> VectorField {
-            let stage_input = AssemblyInput::new(
-                self.mesh,
-                state,
-                &self.pressure,
-                &self.temperature,
-            )
-            .props(cfg.props)
-            .body_force(cfg.body_force)
-            .vreman_c(cfg.vreman_c);
+            let stage_input =
+                AssemblyInput::new(self.mesh, state, &self.pressure, &self.temperature)
+                    .props(cfg.props)
+                    .body_force(cfg.body_force)
+                    .vreman_c(cfg.vreman_c);
             let rhs = if cfg.parallel {
                 assemble_parallel(variant, &stage_input, &self.strategy)
             } else {
@@ -213,20 +209,12 @@ impl<'m> FractionalStep<'m> {
                 // u* = 1/3 u + 2/3 (u2 + dt L(u2)).
                 let u1 = euler_stage(&self.velocity, cfg.dt);
                 let mut u2 = euler_stage(&u1, cfg.dt);
-                for (w, u0) in u2
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(self.velocity.as_slice())
-                {
+                for (w, u0) in u2.as_mut_slice().iter_mut().zip(self.velocity.as_slice()) {
                     *w = 0.75 * u0 + 0.25 * *w;
                 }
                 self.bc.apply_to_field(&mut u2);
                 let mut us = euler_stage(&u2, cfg.dt);
-                for (w, u0) in us
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(self.velocity.as_slice())
-                {
+                for (w, u0) in us.as_mut_slice().iter_mut().zip(self.velocity.as_slice()) {
                     *w = *u0 / 3.0 + 2.0 / 3.0 * *w;
                 }
                 us
@@ -348,13 +336,7 @@ mod tests {
         let mut s = FractionalStep::new(&mesh, cfg);
         s.set_bc(DirichletBc::no_slip_ground(&mesh, 1e-9));
         // Divergence-free shear-like initial condition.
-        s.set_velocity(|p| {
-            [
-                (std::f64::consts::PI * p[2]).sin() * 0.1,
-                0.0,
-                0.0,
-            ]
-        });
+        s.set_velocity(|p| [(std::f64::consts::PI * p[2]).sin() * 0.1, 0.0, 0.0]);
         let e0 = s.velocity().kinetic_energy();
         let stats = s.run(Variant::Rsp, 5).unwrap();
         assert!(

@@ -44,9 +44,7 @@ fn main() {
         [u_star / kappa * (z / z0).ln() * 0.2, 0.0, 0.0]
     });
 
-    println!(
-        "\nstep     time    CFL    KE          |div u|    CG iters  nu_t-active",
-    );
+    println!("\nstep     time    CFL    KE          |div u|    CG iters  nu_t-active",);
     for step in 1..=steps {
         let stats = solver.step(Variant::Rspr);
         if step % (steps / 10).max(1) == 0 || step == 1 {

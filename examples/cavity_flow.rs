@@ -41,11 +41,7 @@ fn main() {
     bc.fix_where(
         &mesh,
         move |p| {
-            p[2] <= eps
-                || p[0] <= eps
-                || p[0] >= 1.0 - eps
-                || p[1] <= eps
-                || p[1] >= 1.0 - eps
+            p[2] <= eps || p[0] <= eps || p[0] >= 1.0 - eps || p[1] <= eps || p[1] >= 1.0 - eps
         },
         |_| [0.0; 3],
     );

@@ -21,10 +21,7 @@ fn main() {
     let nu = 0.2;
     let f = 1.0; // body force per unit mass
     let mesh = BoxMeshBuilder::new(n, n, n).extent(1.0, 1.0, h).build();
-    println!(
-        "plane Poiseuille channel: {}^3 boxes, nu = {nu}, f = {f}",
-        n
-    );
+    println!("plane Poiseuille channel: {n}^3 boxes, nu = {nu}, f = {f}");
 
     let mut config = StepConfig::default();
     config.dt = 0.02;

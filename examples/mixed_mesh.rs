@@ -44,7 +44,10 @@ fn main() {
     let input = AssemblyInput::new(&tets, &velocity, &pressure, &temperature)
         .props(ConstantProperties::AIR);
     let rhs = assemble_serial(Variant::Rspr, &input);
-    println!("\nassembled RHS on the decomposed mesh: |rhs| = {:.6e}", rhs.norm());
+    println!(
+        "\nassembled RHS on the decomposed mesh: |rhs| = {:.6e}",
+        rhs.norm()
+    );
     assert!(rhs.norm() > 0.0 && rhs.as_slice().iter().all(|v| v.is_finite()));
 
     // 4. Invariant: rigid translation still produces zero RHS.

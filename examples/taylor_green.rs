@@ -81,8 +81,7 @@ fn main() {
     println!("\nworst relative KE error: {worst:.3e}");
     assert!(
         worst < 0.05,
-        "Taylor-Green decay deviates by {} — solver inaccurate",
-        worst
+        "Taylor-Green decay deviates by {worst} — solver inaccurate"
     );
     println!("PASS: decay follows exp(-4 nu t) within 5%");
 }

@@ -1,12 +1,12 @@
-//! Property-based cross-variant equivalence: on random meshes, random
-//! smooth fields and random physical parameters, all five kernel variants
-//! (and all parallel scatter strategies) produce the same RHS.
+//! Randomized cross-variant equivalence: on random meshes, random smooth
+//! fields and random physical parameters, all five kernel variants (and all
+//! parallel scatter strategies) produce the same RHS. Seeded and
+//! deterministic — see `alya_mesh::rng`.
 
 use alya_core::{assemble_parallel, assemble_serial, AssemblyInput, ParallelStrategy, Variant};
 use alya_fem::material::ConstantProperties;
 use alya_fem::{ScalarField, VectorField};
-use alya_mesh::BoxMeshBuilder;
-use proptest::prelude::*;
+use alya_mesh::{BoxMeshBuilder, Rng64};
 
 /// A random smooth vector field from a small trigonometric basis.
 fn field_from_coeffs(mesh: &alya_mesh::TetMesh, c: &[f64; 9]) -> VectorField {
@@ -19,26 +19,39 @@ fn field_from_coeffs(mesh: &alya_mesh::TetMesh, c: &[f64; 9]) -> VectorField {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+fn arb_coeffs(rng: &mut Rng64) -> [f64; 9] {
+    let mut c = [0.0; 9];
+    for x in &mut c {
+        *x = rng.range_f64(-1.0, 1.0);
+    }
+    c
+}
 
-    #[test]
-    fn variants_agree_on_random_inputs(
-        nx in 2usize..4,
-        nz in 2usize..4,
-        jitter in 0.0f64..0.2,
-        seed in 0u64..1000,
-        coeffs in prop::array::uniform9(-1.0f64..1.0),
-        rho in 0.5f64..2.0,
-        mu in 1e-4f64..1e-1,
-        fz in -1.0f64..1.0,
-    ) {
-        let mesh = BoxMeshBuilder::new(nx, 3, nz).jitter(jitter).seed(seed).build();
+#[test]
+fn variants_agree_on_random_inputs() {
+    let mut rng = Rng64::new(0xEC01);
+    for _ in 0..12 {
+        let nx = rng.range_usize(2, 4);
+        let nz = rng.range_usize(2, 4);
+        let jitter = rng.range_f64(0.0, 0.2);
+        let seed = rng.next_u64() % 1000;
+        let coeffs = arb_coeffs(&mut rng);
+        let rho = rng.range_f64(0.5, 2.0);
+        let mu = rng.range_f64(1e-4, 1e-1);
+        let fz = rng.range_f64(-1.0, 1.0);
+
+        let mesh = BoxMeshBuilder::new(nx, 3, nz)
+            .jitter(jitter)
+            .seed(seed)
+            .build();
         let velocity = field_from_coeffs(&mesh, &coeffs);
         let pressure = ScalarField::from_fn(&mesh, |p| coeffs[0] * p[0] - coeffs[3] * p[1] * p[2]);
         let temperature = ScalarField::zeros(mesh.num_nodes());
         let input = AssemblyInput::new(&mesh, &velocity, &pressure, &temperature)
-            .props(ConstantProperties { density: rho, viscosity: mu })
+            .props(ConstantProperties {
+                density: rho,
+                viscosity: mu,
+            })
             .body_force([0.0, 0.1, fz]);
 
         let reference = assemble_serial(Variant::Rsp, &input);
@@ -46,16 +59,19 @@ proptest! {
         for variant in Variant::ALL {
             let rhs = assemble_serial(variant, &input);
             let dev = rhs.max_abs_diff(&reference) / scale;
-            prop_assert!(dev < 1e-10, "{variant} deviates by {dev}");
+            assert!(dev < 1e-10, "{variant} deviates by {dev}");
         }
     }
+}
 
-    #[test]
-    fn parallel_strategies_agree_on_random_inputs(
-        seed in 0u64..1000,
-        coeffs in prop::array::uniform9(-1.0f64..1.0),
-        parts in 2usize..9,
-    ) {
+#[test]
+fn parallel_strategies_agree_on_random_inputs() {
+    let mut rng = Rng64::new(0xEC02);
+    for _ in 0..12 {
+        let seed = rng.next_u64() % 1000;
+        let coeffs = arb_coeffs(&mut rng);
+        let parts = rng.range_usize(2, 9);
+
         let mesh = BoxMeshBuilder::new(3, 3, 3).jitter(0.1).seed(seed).build();
         let velocity = field_from_coeffs(&mesh, &coeffs);
         let pressure = ScalarField::from_fn(&mesh, |p| p[0] + p[1] * p[2]);
@@ -72,17 +88,19 @@ proptest! {
         ] {
             let rhs = assemble_parallel(Variant::Rspr, &input, &strategy);
             let dev = rhs.max_abs_diff(&reference) / scale;
-            prop_assert!(dev < 1e-10, "deviation {dev}");
+            assert!(dev < 1e-10, "deviation {dev}");
         }
     }
+}
 
-    #[test]
-    fn rigid_translation_always_yields_zero_rhs(
-        ux in -2.0f64..2.0,
-        uy in -2.0f64..2.0,
-        uz in -2.0f64..2.0,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn rigid_translation_always_yields_zero_rhs() {
+    let mut rng = Rng64::new(0xEC03);
+    for _ in 0..12 {
+        let ux = rng.range_f64(-2.0, 2.0);
+        let uy = rng.range_f64(-2.0, 2.0);
+        let uz = rng.range_f64(-2.0, 2.0);
+        let seed = rng.next_u64() % 100;
         // Constant velocity, no pressure, no forcing: every term of the
         // momentum RHS vanishes identically, on any mesh.
         let mesh = BoxMeshBuilder::new(3, 2, 3).jitter(0.15).seed(seed).build();
@@ -92,15 +110,21 @@ proptest! {
         let input = AssemblyInput::new(&mesh, &velocity, &pressure, &temperature);
         for variant in Variant::ALL {
             let rhs = assemble_serial(variant, &input);
-            prop_assert!(rhs.max_abs() < 1e-11, "{variant}: {}", rhs.max_abs());
+            assert!(rhs.max_abs() < 1e-11, "{variant}: {}", rhs.max_abs());
         }
     }
+}
 
-    #[test]
-    fn rhs_is_linear_in_body_force(
-        f in prop::array::uniform3(-5.0f64..5.0),
-        alpha in 0.1f64..3.0,
-    ) {
+#[test]
+fn rhs_is_linear_in_body_force() {
+    let mut rng = Rng64::new(0xEC04);
+    for _ in 0..12 {
+        let f = [
+            rng.range_f64(-5.0, 5.0),
+            rng.range_f64(-5.0, 5.0),
+            rng.range_f64(-5.0, 5.0),
+        ];
+        let alpha = rng.range_f64(0.1, 3.0);
         // With zero velocity and pressure the RHS is exactly linear in f.
         let mesh = BoxMeshBuilder::new(2, 2, 2).build();
         let velocity = VectorField::zeros(mesh.num_nodes());
@@ -114,7 +138,7 @@ proptest! {
             for d in 0..3 {
                 let a = alpha * r1.get(n)[d];
                 let b = r2.get(n)[d];
-                prop_assert!((a - b).abs() < 1e-10 * (1.0 + a.abs()));
+                assert!((a - b).abs() < 1e-10 * (1.0 + a.abs()));
             }
         }
     }

@@ -19,11 +19,7 @@ fn terrain_mesh_through_full_pipeline() {
         .props(ConstantProperties::AIR);
 
     let serial = assemble_serial(Variant::Rspr, &input);
-    let parallel = assemble_parallel(
-        Variant::Rspr,
-        &input,
-        &ParallelStrategy::colored(&mesh),
-    );
+    let parallel = assemble_parallel(Variant::Rspr, &input, &ParallelStrategy::colored(&mesh));
     assert!(serial.norm() > 0.0);
     let dev = serial.max_abs_diff(&parallel) / serial.max_abs();
     assert!(dev < 1e-12, "serial/parallel deviation {dev}");
@@ -113,11 +109,12 @@ fn laplacian_consistent_with_assembly_diffusion() {
     let pressure = ScalarField::zeros(mesh.num_nodes());
     let temperature = ScalarField::zeros(mesh.num_nodes());
     let mu = 0.7;
-    let input = alya_core::AssemblyInput::new(&mesh, &velocity, &pressure, &temperature)
-        .props(ConstantProperties {
+    let input = alya_core::AssemblyInput::new(&mesh, &velocity, &pressure, &temperature).props(
+        ConstantProperties {
             density: 0.0, // kills convection, forcing and rho*nut
             viscosity: mu,
-        });
+        },
+    );
     let rhs = assemble_serial(Variant::Rsp, &input);
 
     let lap = poisson::laplacian(&mesh);

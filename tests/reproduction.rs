@@ -190,11 +190,7 @@ fn energy_section_vi() {
     assert!(ratio > 2.0, "optimized ratio {ratio}");
     // Baseline: the advantage shrinks dramatically (the paper: inverts).
     let cpu_b = cpu_report(Variant::B, &input, &model, PAPER_ELEMS);
-    let base_ratio = efficiency_ratio(
-        &power,
-        gpu[0].runtime,
-        model.scale(&cpu_b, PAPER_ELEMS, 71),
-    );
+    let base_ratio = efficiency_ratio(&power, gpu[0].runtime, model.scale(&cpu_b, PAPER_ELEMS, 71));
     assert!(
         base_ratio < 0.5 * ratio,
         "baseline ratio {base_ratio} vs optimized {ratio}"
@@ -209,8 +205,16 @@ fn register_counts_follow_the_paper() {
     assert_eq!(r[0].registers, 255);
     assert_eq!(r[1].registers, 255);
     // RS lands in the 160..200 window (paper: 184).
-    assert!((160..=200).contains(&r[2].registers), "RS {}", r[2].registers);
+    assert!(
+        (160..=200).contains(&r[2].registers),
+        "RS {}",
+        r[2].registers
+    );
     // RSP in 120..160 (paper: 148), RSPR below it (paper: 128).
-    assert!((120..=160).contains(&r[3].registers), "RSP {}", r[3].registers);
+    assert!(
+        (120..=160).contains(&r[3].registers),
+        "RSP {}",
+        r[3].registers
+    );
     assert!(r[4].registers < r[3].registers);
 }
