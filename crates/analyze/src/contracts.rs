@@ -18,7 +18,7 @@
 //! * element invariance: the counts must be identical for every sampled
 //!   element (they are structural, not data-dependent).
 
-use alya_core::drivers::trace_element;
+use alya_core::drivers::{trace_element, trace_pack, CPU_VECTOR_DIM};
 use alya_core::layout::{self, Layout};
 use alya_core::{AssemblyInput, KernelContract, Variant, CONTRACT_F64_BUDGET};
 use alya_machine::trace::TraceCounts;
@@ -259,18 +259,130 @@ pub fn check_trace(
     out
 }
 
-/// Traces `elements` of `input` under `variant` and checks every trace,
-/// including cross-element invariance of the counts.
-pub fn check_variant(
+/// Checks one recorded **pack** event stream ([`trace_pack`]: `lanes`
+/// consecutive elements through one interleaved workspace) against `lanes`
+/// times the per-element contract. Traffic and flop totals scale exactly —
+/// the counts are structural — but the register story is *not* checked
+/// here: `Def` ids restart at zero for every lane of a pack, so live
+/// ranges of different lanes alias and any pressure measurement on the
+/// merged stream would be meaningless.
+pub fn check_pack_trace(
+    variant: Variant,
+    contract: &KernelContract,
+    events: &[Event],
+    lanes: u64,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let counts = TraceCounts::from_events(events);
+    let regions = RegionCounts::from_events(events);
+
+    expect(
+        variant,
+        &mut out,
+        "pack fp-op total",
+        counts.flops(),
+        lanes * contract.flops,
+    );
+    expect(
+        variant,
+        &mut out,
+        "pack input-region loads",
+        regions.input_loads,
+        lanes * contract.input_loads,
+    );
+    expect(
+        variant,
+        &mut out,
+        "pack input-region stores",
+        regions.input_stores,
+        0,
+    );
+    expect(
+        variant,
+        &mut out,
+        "pack rhs loads",
+        regions.rhs_loads,
+        lanes * contract.rhs_loads,
+    );
+    expect(
+        variant,
+        &mut out,
+        "pack rhs stores",
+        regions.rhs_stores,
+        lanes * contract.rhs_stores,
+    );
+    let (want_gl, want_ll) = match contract.workspace_loads {
+        Some((Space::Global, n)) => (lanes * n, 0),
+        Some((Space::Local, n)) => (0, lanes * n),
+        None => (0, 0),
+    };
+    let (want_gs, want_ls) = match contract.workspace_stores {
+        Some((Space::Global, n)) => (lanes * n, 0),
+        Some((Space::Local, n)) => (0, lanes * n),
+        None => (0, 0),
+    };
+    expect(
+        variant,
+        &mut out,
+        "pack global intermediate (workspace) loads",
+        regions.ws_loads,
+        want_gl,
+    );
+    expect(
+        variant,
+        &mut out,
+        "pack global intermediate (workspace) stores",
+        regions.ws_stores,
+        want_gs,
+    );
+    expect(
+        variant,
+        &mut out,
+        "pack local loads",
+        counts.local_loads,
+        want_ll,
+    );
+    expect(
+        variant,
+        &mut out,
+        "pack local stores",
+        counts.local_stores,
+        want_ls,
+    );
+
+    if contract.uses_private_scalars {
+        if counts.defs == 0 {
+            fail(
+                variant,
+                &mut out,
+                "pack contract expects private-scalar Def/Use events, trace has none".into(),
+            );
+        }
+    } else if counts.defs + counts.uses != 0 {
+        fail(
+            variant,
+            &mut out,
+            format!(
+                "array-style contract forbids private-scalar events, pack trace has {} defs / {} uses",
+                counts.defs, counts.uses
+            ),
+        );
+    }
+    out
+}
+
+fn check_variant_in(
     variant: Variant,
     input: &AssemblyInput,
     elements: &[usize],
+    mk_lay: impl Fn(usize) -> Layout,
+    convention: &str,
 ) -> Vec<Violation> {
     let contract = variant.contract();
     let mut out = Vec::new();
     let mut first: Option<TraceCounts> = None;
     for &e in elements {
-        let lay = Layout::gpu(e, input.mesh.num_elements(), input.mesh.num_nodes());
+        let lay = mk_lay(e);
         let rec = trace_element(variant, input, e, &lay);
         out.extend(check_trace(variant, &contract, &rec.events));
         let c = rec.counts();
@@ -279,7 +391,7 @@ pub fn check_variant(
             Some(f) if f != c => fail(
                 variant,
                 &mut out,
-                format!("element {e} has different operation counts than element {}: the contract is structural, counts may not depend on data", elements[0]),
+                format!("element {e} ({convention} layout) has different operation counts than element {}: the contract is structural, counts may not depend on data", elements[0]),
             ),
             Some(_) => {}
         }
@@ -287,13 +399,71 @@ pub fn check_variant(
     out
 }
 
-/// Checks every variant on a sample of the fixture's elements.
+/// Traces `elements` of `input` under `variant` with the **GPU** launch
+/// layout and checks every trace, including cross-element invariance of
+/// the counts.
+pub fn check_variant(
+    variant: Variant,
+    input: &AssemblyInput,
+    elements: &[usize],
+) -> Vec<Violation> {
+    let ne = input.mesh.num_elements();
+    let nn = input.mesh.num_nodes();
+    check_variant_in(variant, input, elements, |e| Layout::gpu(e, ne, nn), "gpu")
+}
+
+/// Same as [`check_variant`] but with the **CPU** pack addressing
+/// convention — the contracts are layout-invariant, and this proves it.
+pub fn check_variant_cpu(
+    variant: Variant,
+    input: &AssemblyInput,
+    elements: &[usize],
+) -> Vec<Violation> {
+    let nn = input.mesh.num_nodes();
+    check_variant_in(
+        variant,
+        input,
+        elements,
+        |e| Layout::cpu(e, CPU_VECTOR_DIM, nn),
+        "cpu",
+    )
+}
+
+/// Traces whole CPU packs of `input` under `variant` and checks each
+/// against the ×[`CPU_VECTOR_DIM`] scaled contract.
+pub fn check_variant_packs(
+    variant: Variant,
+    input: &AssemblyInput,
+    packs: &[usize],
+) -> Vec<Violation> {
+    let contract = variant.contract();
+    let mut out = Vec::new();
+    for &p in packs {
+        let rec = trace_pack(variant, input, p);
+        out.extend(check_pack_trace(
+            variant,
+            &contract,
+            &rec.events,
+            CPU_VECTOR_DIM as u64,
+        ));
+    }
+    out
+}
+
+/// Checks every variant on a sample of the fixture's elements, under both
+/// addressing conventions, plus a sample of whole CPU packs.
 pub fn check_all(input: &AssemblyInput) -> Vec<Violation> {
     let ne = input.mesh.num_elements();
     let elements = [0, ne / 3, ne - 1];
+    let packs = [0, (ne / CPU_VECTOR_DIM).saturating_sub(1)];
     Variant::ALL
         .iter()
-        .flat_map(|&v| check_variant(v, input, &elements))
+        .flat_map(|&v| {
+            let mut out = check_variant(v, input, &elements);
+            out.extend(check_variant_cpu(v, input, &elements));
+            out.extend(check_variant_packs(v, input, &packs));
+            out
+        })
         .collect()
 }
 
@@ -353,6 +523,40 @@ mod tests {
         rec.events.push(Event::Fma(1));
         let violations = check_trace(Variant::B, &Variant::B.contract(), &rec.events);
         assert!(violations.iter().any(|v| v.message.contains("fp-op")));
+    }
+
+    #[test]
+    fn cpu_layout_and_pack_traces_satisfy_the_contracts() {
+        let fx = Fixture::new();
+        let input = fx.input();
+        for v in Variant::ALL {
+            let cpu = check_variant_cpu(v, &input, &[0, 3]);
+            assert!(cpu.is_empty(), "{cpu:#?}");
+            let packs = check_variant_packs(v, &input, &[0]);
+            assert!(packs.is_empty(), "{packs:#?}");
+        }
+    }
+
+    #[test]
+    fn forged_pack_traffic_is_caught_without_a_register_story() {
+        let fx = Fixture::new();
+        let input = fx.input();
+        let mut rec = trace_pack(Variant::Rsp, &input, 0);
+        rec.events.push(Event::GStore(layout::WS_BASE + 8));
+        let violations = check_pack_trace(
+            Variant::Rsp,
+            &Variant::Rsp.contract(),
+            &rec.events,
+            CPU_VECTOR_DIM as u64,
+        );
+        assert!(violations
+            .iter()
+            .any(|v| v.message.contains("workspace) stores")));
+        // Def ids restart per lane in a pack, so no pressure/spill verdicts
+        // may be emitted from a pack stream.
+        assert!(violations
+            .iter()
+            .all(|v| !v.message.contains("pressure") && !v.message.contains("spill")));
     }
 
     #[test]

@@ -5,18 +5,22 @@
 //! the coloring infrastructure together make the paper's optimization
 //! claims *mechanically checkable*. This crate runs three passes:
 //!
-//! 1. **Contract checker** ([`contracts`]) — per variant, captures one
-//!    element's trace and verifies it against the declarative
-//!    [`alya_core::KernelContract`]: exact FP-op totals, exact traffic per
-//!    address region (RSP/RSPR: zero global intermediate stores besides
-//!    the RHS scatter), the baseline's closed-form workspace counts, and
-//!    the register story at the 128-register budget (RSPR: zero spills;
-//!    RSP: must spill).
-//! 2. **Race detector** ([`races`]) — proves the coloring invariant the
-//!    `unsafe impl Send/Sync` of the colored scatter rests on: no two
-//!    same-color elements share a node.
+//! 1. **Contract checker** ([`contracts`]) — per variant, captures element
+//!    traces under **both** addressing conventions (`Layout::gpu` and
+//!    `Layout::cpu`) plus whole CPU packs, and verifies them against the
+//!    declarative [`alya_core::KernelContract`]: exact FP-op totals, exact
+//!    traffic per address region (RSP/RSPR: zero global intermediate
+//!    stores besides the RHS scatter; pack streams scale every count by
+//!    `CPU_VECTOR_DIM`), the closed-form workspace formulas of the B/P and
+//!    RS kernels, and the register story at the 128-register budget (RSPR:
+//!    zero spills; RSP: must spill — single-element streams only; pack
+//!    streams have per-lane `Def` ids and carry no register story).
+//! 2. **Race detector** ([`races`]) — proves the invariants the `unsafe`
+//!    scatter sites rest on: no two same-color elements share a node
+//!    (colored scatter), and shard-interior nodes are exclusive to their
+//!    shard with mutually consistent compact maps (sharded writeback).
 //! 3. **Source lints** ([`sources`]) — `#![forbid(unsafe_code)]` in every
-//!    crate except `alya-core`, exactly three sanctioned unsafe lines
+//!    crate except `alya-core`, exactly four sanctioned unsafe lines
 //!    there, and workspace-lint opt-in in every manifest.
 //!
 //! Run all three via the audit binary:
@@ -38,6 +42,11 @@ pub use fixture::Fixture;
 
 use std::path::Path;
 
+/// Shard count the audit proves the sharded-scatter invariants for (a
+/// several-way decomposition exercises interior/boundary classification
+/// properly; the invariants are count-independent).
+pub const AUDIT_SHARDS: usize = 8;
+
 /// Combined result of all three passes.
 #[derive(Debug)]
 pub struct AuditReport {
@@ -45,6 +54,9 @@ pub struct AuditReport {
     pub contract_violations: Vec<contracts::Violation>,
     /// Race report of the production coloring on the fixture mesh (pass 2).
     pub races: races::RaceReport,
+    /// Shard-invariant report of the production shard set on the fixture
+    /// mesh (pass 2, sharded scatter).
+    pub shards: races::ShardReport,
     /// Source-policy violations (pass 3); empty when no root was given.
     pub source_violations: Vec<sources::SourceViolation>,
 }
@@ -54,13 +66,15 @@ impl AuditReport {
     pub fn is_clean(&self) -> bool {
         self.contract_violations.is_empty()
             && self.races.is_race_free()
+            && self.shards.is_valid()
             && self.source_violations.is_empty()
     }
 
-    /// Total violation count (a race counts once).
+    /// Total violation count (a race counts once, a shard violation once).
     pub fn num_violations(&self) -> usize {
         self.contract_violations.len()
             + usize::from(!self.races.is_race_free())
+            + usize::from(!self.shards.is_valid())
             + self.source_violations.len()
     }
 }
@@ -74,6 +88,7 @@ pub fn run_audit(workspace_root: Option<&Path>) -> AuditReport {
     AuditReport {
         contract_violations: contracts::check_all(&input),
         races: races::check_mesh(&fx.mesh),
+        shards: races::check_mesh_shards(&fx.mesh, AUDIT_SHARDS),
         source_violations: workspace_root
             .map(sources::check_workspace)
             .unwrap_or_default(),

@@ -1,16 +1,23 @@
 //! Pass 2 — the scatter race detector.
 //!
-//! The colored parallel driver in `alya-core::drivers` scatters elemental
-//! contributions through raw pointers (`SharedRhs`), and its `unsafe impl
-//! Send/Sync` rests on exactly one invariant: **no two elements of one
-//! color class share a node**, so concurrently processed elements write
-//! disjoint RHS slots. This pass proves that invariant statically for a
-//! given mesh + coloring by a per-node stamp sweep
-//! ([`alya_mesh::Coloring::find_conflict`]) — O(4·ne), independent of the
-//! element adjacency graph, so it also catches bugs *in* the graph
-//! construction that a graph-level properness check would inherit.
+//! The parallel drivers in `alya-core::drivers` scatter elemental
+//! contributions through raw pointers (`SharedRhs`), and each `unsafe`
+//! site rests on one statically provable invariant:
+//!
+//! * **colored scatter** — *no two elements of one color class share a
+//!   node*, so concurrently processed elements write disjoint RHS slots.
+//!   Proven by a per-node stamp sweep
+//!   ([`alya_mesh::Coloring::find_conflict`]) — O(4·ne), independent of
+//!   the element adjacency graph, so it also catches bugs *in* the graph
+//!   construction that a graph-level properness check would inherit.
+//! * **sharded interior writeback** — a node classified *interior* to a
+//!   shard is touched by no element of any other shard, so plain
+//!   unsynchronized stores from concurrent shards never alias. Proven by
+//!   [`alya_mesh::ShardSet::validate`], which additionally proves the
+//!   compact local↔global maps are mutually consistent and every element
+//!   belongs to exactly one shard.
 
-use alya_mesh::{Coloring, ColoringConflict, TetMesh};
+use alya_mesh::{Coloring, ColoringConflict, Partition, ShardSet, TetMesh};
 
 /// Outcome of the race check for one mesh/coloring pair.
 #[derive(Debug, Clone)]
@@ -62,6 +69,59 @@ pub fn check_mesh(mesh: &TetMesh) -> RaceReport {
     check_coloring(mesh, &Coloring::greedy(&graph))
 }
 
+/// Outcome of the sharded-scatter invariant check for one mesh/shard-set
+/// pair.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shards checked.
+    pub num_shards: usize,
+    /// Elements covered.
+    pub num_elements: usize,
+    /// Boundary-node slots entering the cross-shard reduction.
+    pub boundary_slots: usize,
+    /// The first violated invariant, if any — aliasing interior writes or
+    /// inconsistent compact maps, a data race or corruption in the sharded
+    /// scatter.
+    pub violation: Option<String>,
+}
+
+impl ShardReport {
+    /// Whether the shard set is safe for unsynchronized interior writeback.
+    pub fn is_valid(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+impl std::fmt::Display for ShardReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.violation {
+            None => write!(
+                f,
+                "shard-safe: {} elements in {} shards, {} boundary slots reduced, interior writes exclusive",
+                self.num_elements, self.num_shards, self.boundary_slots
+            ),
+            Some(v) => write!(f, "SHARD VIOLATION: {v}"),
+        }
+    }
+}
+
+/// Checks one shard set against one mesh.
+pub fn check_shard_set(mesh: &TetMesh, set: &ShardSet) -> ShardReport {
+    ShardReport {
+        num_shards: set.num_shards(),
+        num_elements: mesh.num_elements(),
+        boundary_slots: set.total_boundary_slots(),
+        violation: set.validate(mesh).err(),
+    }
+}
+
+/// Builds the production shard set for `mesh` with `shards` parts (the one
+/// `ParallelStrategy::sharded` uses) and checks it.
+pub fn check_mesh_shards(mesh: &TetMesh, shards: usize) -> ShardReport {
+    let partition = Partition::rcb(mesh, shards);
+    check_shard_set(mesh, &ShardSet::build(mesh, &partition))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +161,23 @@ mod tests {
         assert!(conn[c.first as usize].contains(&c.node));
         assert!(conn[c.second as usize].contains(&c.node));
         assert_eq!(c.color, 0);
+    }
+
+    #[test]
+    fn production_shard_sets_are_valid_and_mismatches_are_caught() {
+        let mesh = BoxMeshBuilder::new(4, 3, 3).jitter(0.1).seed(5).build();
+        for shards in [1, 2, 8] {
+            let report = check_mesh_shards(&mesh, shards);
+            assert!(report.is_valid(), "{report}");
+            assert_eq!(report.num_shards, shards);
+            assert_eq!(report.num_elements, mesh.num_elements());
+        }
+        // A shard set validated against the wrong mesh must be rejected.
+        let set = ShardSet::build(&mesh, &Partition::rcb(&mesh, 4));
+        let other = BoxMeshBuilder::new(2, 2, 2).build();
+        let bad = check_shard_set(&other, &set);
+        assert!(!bad.is_valid());
+        assert!(bad.to_string().contains("SHARD VIOLATION"));
     }
 
     #[test]

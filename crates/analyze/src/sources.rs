@@ -4,12 +4,13 @@
 //! mechanically:
 //!
 //! * every crate's `lib.rs` carries `#![forbid(unsafe_code)]` — except
-//!   `alya-core`, which hosts the **one** sanctioned unsafe site (the
-//!   colored-scatter `SharedRhs` in `drivers.rs`, whose invariant the race
-//!   detector proves);
-//! * `alya-core` contains exactly the three sanctioned `unsafe` tokens
-//!   (`unsafe impl Send`, `unsafe impl Sync`, one `unsafe` block), all in
-//!   `drivers.rs`, and no other crate contains any;
+//!   `alya-core`, which hosts the sanctioned unsafe sites (the
+//!   `SharedRhs` scatter in `drivers.rs`, whose invariants the race
+//!   detector and the shard validator prove);
+//! * `alya-core` contains exactly the four sanctioned `unsafe` tokens
+//!   (`unsafe impl Send`, `unsafe impl Sync`, the colored scatter block,
+//!   the sharded interior-writeback block), all in `drivers.rs`, and no
+//!   other crate contains any;
 //! * the workspace `Cargo.toml` defines `[workspace.lints]` and every
 //!   member opts in with `[lints] workspace = true`, so clippy gating in
 //!   CI covers every crate.
@@ -37,8 +38,9 @@ const UNSAFE_CRATE: &str = "core";
 /// The only file within it allowed to contain `unsafe`.
 const UNSAFE_FILE: &str = "drivers.rs";
 /// Lines of code (comments excluded) in that file that may mention
-/// `unsafe`: the two auto-trait impls and the single scatter block.
-const SANCTIONED_UNSAFE_LINES: usize = 3;
+/// `unsafe`: the two auto-trait impls, the colored scatter block, and the
+/// sharded interior-writeback block.
+const SANCTIONED_UNSAFE_LINES: usize = 4;
 
 fn rel(root: &Path, p: &Path) -> String {
     p.strip_prefix(root).unwrap_or(p).display().to_string()
@@ -179,7 +181,7 @@ pub fn check_workspace(root: &Path) -> Vec<SourceViolation> {
                     out.push(SourceViolation {
                         file: rel(root, f),
                         message: format!(
-                            "expected exactly {SANCTIONED_UNSAFE_LINES} sanctioned unsafe code lines (Send impl, Sync impl, scatter block), found {n}"
+                            "expected exactly {SANCTIONED_UNSAFE_LINES} sanctioned unsafe code lines (Send impl, Sync impl, colored scatter block, sharded interior writeback), found {n}"
                         ),
                     });
                 }

@@ -1,5 +1,6 @@
 //! Parallel scatter-strategy ablation: two-phase vs colored vs
-//! owner-computes partitions (all race-free by construction).
+//! owner-computes partitions vs compact-numbered shards (all race-free by
+//! construction).
 
 use alya_bench::harness::{BenchmarkId, Criterion, Throughput};
 use alya_bench::{criterion_group, criterion_main};
@@ -19,6 +20,7 @@ fn bench_scatter(c: &mut Criterion) {
         ("two_phase", ParallelStrategy::TwoPhase),
         ("colored", ParallelStrategy::colored(&case.mesh)),
         ("partitioned", ParallelStrategy::partitioned(&case.mesh, 8)),
+        ("sharded", ParallelStrategy::sharded(&case.mesh, 8)),
     ];
 
     let mut group = c.benchmark_group("scatter_strategy");

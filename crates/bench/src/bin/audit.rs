@@ -8,6 +8,7 @@
 //! audit --seed-violation coloring        # corrupt a coloring, expect catch
 //! audit --seed-violation contract-store  # forge a global intermediate store
 //! audit --seed-violation contract-registers  # forge register pressure
+//! audit --seed-violation shard-mismatch  # validate shards against wrong mesh
 //! ```
 //!
 //! The `--seed-violation` modes are self-tests of the analyzer: they inject
@@ -21,7 +22,7 @@ use alya_core::drivers::trace_element;
 use alya_core::layout::{self, Layout};
 use alya_core::Variant;
 use alya_machine::Event;
-use alya_mesh::Coloring;
+use alya_mesh::{ordering, Coloring, Partition, ShardSet};
 
 fn full_audit() -> ExitCode {
     let root = sources::workspace_root_from(env!("CARGO_MANIFEST_DIR"));
@@ -69,6 +70,7 @@ fn full_audit() -> ExitCode {
     println!("\nscatter race audit");
     println!("==================");
     println!("  {}", report.races);
+    println!("  {}", report.shards);
 
     println!("\nsource lint audit");
     println!("=================");
@@ -135,9 +137,21 @@ fn seeded(mode: &str) -> ExitCode {
             }
             violations.iter().any(|v| v.message.contains("pressure"))
         }
+        "shard-mismatch" => {
+            // Build a shard set on one element ordering, validate against a
+            // Morton-reordered mesh: the compact connectivity no longer
+            // matches the mesh and the validator must reject it — the
+            // mutation a stale shard set surviving a mesh reorder produces.
+            let set = ShardSet::build(&fx.mesh, &Partition::rcb(&fx.mesh, 8));
+            let perm = ordering::element_permutation(&fx.mesh, ordering::ElementOrder::Morton);
+            let reordered = ordering::reorder_elements(&fx.mesh, &perm);
+            let report = races::check_shard_set(&reordered, &set);
+            println!("{report}");
+            !report.is_valid()
+        }
         other => {
             eprintln!(
-                "unknown seed mode {other:?}; expected coloring | contract-store | contract-registers"
+                "unknown seed mode {other:?}; expected coloring | contract-store | contract-registers | shard-mismatch"
             );
             return ExitCode::FAILURE;
         }

@@ -1,0 +1,276 @@
+//! Driver-throughput benchmark: Melem/s of every assembly strategy
+//! (serial / two-phase / colored / partitioned / sharded) across variants
+//! and thread counts on the Bolund-like terrain case, emitted as
+//! `BENCH_drivers.json` so the repo carries a perf trajectory.
+//!
+//! Usage:
+//!
+//! ```text
+//! drivers                      # default terrain mesh, JSON to stdout note
+//! drivers --quick              # small mesh / few samples (CI smoke)
+//! drivers --elems 200000       # override the element target
+//! drivers --samples 7          # timed iterations per configuration
+//! drivers --json PATH          # write the JSON report to PATH
+//! ```
+//!
+//! Thread counts are swept with [`par::set_thread_cap`]: every power of
+//! two up to the hardware parallelism (the cap can only lower, so the
+//! sweep is honest on any host — a 1-core box reports a single column).
+//! Per-shard boundary statistics and the cross-shard reduction traffic
+//! ([`alya_mesh::ShardSet::boundary_reduction_bytes`]) are reported next
+//! to the timings: they are the sharded strategy's whole story.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use alya_bench::case::Case;
+use alya_core::nut::compute_nu_t;
+use alya_core::{assemble_parallel, assemble_serial, ParallelStrategy, Variant};
+use alya_machine::par;
+use alya_mesh::{Partition, ShardSet};
+
+const DEFAULT_ELEMS: usize = 100_000;
+const QUICK_ELEMS: usize = 8_000;
+const DEFAULT_SAMPLES: usize = 5;
+const QUICK_SAMPLES: usize = 2;
+
+struct Args {
+    elems: usize,
+    samples: usize,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut elems = None;
+    let mut samples = None;
+    let mut json = None;
+    let mut quick = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--elems" => {
+                let v = it.next().ok_or("--elems needs a value")?;
+                elems = Some(v.parse::<usize>().map_err(|e| format!("--elems: {e}"))?);
+            }
+            "--samples" => {
+                let v = it.next().ok_or("--samples needs a value")?;
+                samples = Some(v.parse::<usize>().map_err(|e| format!("--samples: {e}"))?);
+            }
+            "--json" => json = Some(it.next().ok_or("--json needs a path")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args {
+        elems: elems.unwrap_or(if quick { QUICK_ELEMS } else { DEFAULT_ELEMS }),
+        samples: samples.unwrap_or(if quick {
+            QUICK_SAMPLES
+        } else {
+            DEFAULT_SAMPLES
+        }),
+        json,
+    })
+}
+
+/// Warm-up once, then `samples` timed runs; (median, min, max) seconds.
+fn time_runs(samples: usize, mut body: impl FnMut()) -> (f64, f64, f64) {
+    body();
+    let mut t = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        body();
+        t.push(t0.elapsed().as_secs_f64());
+    }
+    t.sort_by(f64::total_cmp);
+    (t[t.len() / 2], t[0], t[t.len() - 1])
+}
+
+struct Row {
+    strategy: String,
+    variant: &'static str,
+    threads: usize,
+    median_s: f64,
+    min_s: f64,
+    max_s: f64,
+    melem_s: f64,
+}
+
+fn powers_of_two_up_to(n: usize) -> Vec<usize> {
+    let mut out = vec![1];
+    while *out.last().expect("non-empty") * 2 <= n {
+        out.push(out.last().expect("non-empty") * 2);
+    }
+    if *out.last().expect("non-empty") != n {
+        out.push(n);
+    }
+    out
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("usage: drivers [--quick] [--elems N] [--samples N] [--json PATH]");
+            std::process::exit(1);
+        }
+    };
+
+    let case = Case::bolund(args.elems);
+    let ne = case.mesh.num_elements();
+    let nn = case.mesh.num_nodes();
+    let hw = par::hardware_threads();
+    let thread_counts = powers_of_two_up_to(hw);
+    let variants = [Variant::Rsp, Variant::Rspr];
+
+    // Precompute ν_t once so every strategy times pure assembly.
+    let nut = compute_nu_t(&case.input());
+    let mut input = case.input();
+    input.nu_t = Some(&nut);
+
+    println!(
+        "driver throughput: {ne} elements / {nn} nodes, {} samples, host threads {hw}",
+        args.samples
+    );
+
+    // Shard statistics at the widest worker count (the configuration the
+    // sharded rows at max threads use).
+    let max_threads = *thread_counts.last().expect("non-empty");
+    let shard_stats = ShardSet::build(&case.mesh, &Partition::rcb(&case.mesh, max_threads.max(2)));
+    println!(
+        "shards at {} workers: {} boundary slots, {} bytes into the tree reduction",
+        max_threads.max(2),
+        shard_stats.total_boundary_slots(),
+        shard_stats.boundary_reduction_bytes()
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &threads in &thread_counts {
+        par::set_thread_cap(Some(threads));
+        // Partitioned/sharded decompose into exactly `threads` parts so the
+        // owner-computes mapping matches the worker count; serial only runs
+        // in the 1-thread column.
+        let mut strategies: Vec<(String, Option<ParallelStrategy>)> = Vec::new();
+        if threads == 1 {
+            strategies.push(("serial".into(), None));
+        }
+        let auto = ParallelStrategy::auto(&case.mesh);
+        let auto_name = format!("auto({})", auto.name());
+        strategies.push(("two-phase".into(), Some(ParallelStrategy::TwoPhase)));
+        strategies.push((
+            "colored".into(),
+            Some(ParallelStrategy::colored(&case.mesh)),
+        ));
+        strategies.push((
+            "partitioned".into(),
+            Some(ParallelStrategy::partitioned(&case.mesh, threads.max(2))),
+        ));
+        strategies.push((
+            "sharded".into(),
+            Some(ParallelStrategy::sharded(&case.mesh, threads.max(2))),
+        ));
+        strategies.push((auto_name, Some(auto)));
+
+        for (name, strategy) in &strategies {
+            for &variant in &variants {
+                let (median, min, max) = match strategy {
+                    None => time_runs(args.samples, || {
+                        let _ = assemble_serial(variant, &input);
+                    }),
+                    Some(s) => time_runs(args.samples, || {
+                        let _ = assemble_parallel(variant, &input, s);
+                    }),
+                };
+                let melem = ne as f64 / median / 1e6;
+                println!(
+                    "  {name:>17} {:>4} t={threads}: median {:.3} ms  [{:.3} .. {:.3}]  {melem:>8.2} Melem/s",
+                    variant.name(),
+                    median * 1e3,
+                    min * 1e3,
+                    max * 1e3,
+                );
+                rows.push(Row {
+                    strategy: name.clone(),
+                    variant: variant.name(),
+                    threads,
+                    median_s: median,
+                    min_s: min,
+                    max_s: max,
+                    melem_s: melem,
+                });
+            }
+        }
+    }
+    par::set_thread_cap(None);
+
+    let json = render_json(&args, ne, nn, hw, &thread_counts, &shard_stats, &rows);
+    match &args.json {
+        Some(path) => {
+            std::fs::write(path, json).expect("write JSON report");
+            println!("\nwrote {path}");
+        }
+        None => println!("\n(re-run with --json PATH to persist the report)"),
+    }
+}
+
+fn render_json(
+    args: &Args,
+    ne: usize,
+    nn: usize,
+    hw: usize,
+    thread_counts: &[usize],
+    shards: &ShardSet,
+    rows: &[Row],
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"name\": \"BENCH_drivers\",");
+    let _ = writeln!(s, "  \"case\": \"bolund-terrain\",");
+    let _ = writeln!(s, "  \"elements\": {ne},");
+    let _ = writeln!(s, "  \"nodes\": {nn},");
+    let _ = writeln!(s, "  \"host_threads\": {hw},");
+    let _ = writeln!(s, "  \"samples\": {},", args.samples);
+    let tc: Vec<String> = thread_counts.iter().map(|t| t.to_string()).collect();
+    let _ = writeln!(s, "  \"thread_counts\": [{}],", tc.join(", "));
+    let _ = writeln!(s, "  \"shards\": {{");
+    let _ = writeln!(s, "    \"count\": {},", shards.num_shards());
+    let _ = writeln!(
+        s,
+        "    \"total_boundary_slots\": {},",
+        shards.total_boundary_slots()
+    );
+    let _ = writeln!(
+        s,
+        "    \"boundary_reduction_bytes\": {},",
+        shards.boundary_reduction_bytes()
+    );
+    s.push_str("    \"per_shard\": [\n");
+    let per: Vec<String> = shards
+        .shards()
+        .map(|sh| {
+            format!(
+                "      {{\"elements\": {}, \"local_nodes\": {}, \"interior\": {}, \"boundary\": {}, \"reduction_bytes\": {}}}",
+                sh.elements().len(),
+                sh.num_local_nodes(),
+                sh.num_interior(),
+                sh.num_boundary(),
+                sh.num_boundary() * 3 * 8,
+            )
+        })
+        .collect();
+    s.push_str(&per.join(",\n"));
+    s.push_str("\n    ]\n  },\n");
+    s.push_str("  \"results\": [\n");
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"strategy\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \"median_s\": {:.6e}, \"min_s\": {:.6e}, \"max_s\": {:.6e}, \"melem_per_s\": {:.3}}}",
+                r.strategy, r.variant, r.threads, r.median_s, r.min_s, r.max_s, r.melem_s
+            )
+        })
+        .collect();
+    s.push_str(&rendered.join(",\n"));
+    s.push_str("\n  ]\n}\n");
+    s
+}

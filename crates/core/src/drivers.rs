@@ -13,13 +13,20 @@
 //!     coloring, every color fully parallel with plain stores;
 //!   * [`ParallelStrategy::Partitioned`] — owner-computes over mesh
 //!     partitions with per-worker buffers and a reduction;
+//!   * [`ParallelStrategy::Sharded`] — owner-computes over shards with
+//!     **compact local-numbered** accumulation buffers (O(nodes-in-shard),
+//!     not O(nn)), unsynchronized direct writeback of interior nodes, and
+//!     a parallel **tree reduction** of only the shard-boundary
+//!     contributions;
 //! * [`assemble_traced`] / [`trace_element`] — the instrumented runs the
 //!   performance models replay.
+
+use std::sync::Mutex;
 
 use alya_fem::VectorField;
 use alya_machine::par;
 use alya_machine::{NoRecord, Recorder, TraceRecorder};
-use alya_mesh::{Coloring, ElementGraph, NodeToElements, Partition};
+use alya_mesh::{Coloring, ElementGraph, NodeToElements, Partition, ShardSet};
 
 use crate::gather::{DirectSink, ScatterSink};
 use crate::input::AssemblyInput;
@@ -184,8 +191,16 @@ pub enum ParallelStrategy {
     /// Element coloring; every color class runs fully parallel.
     Colored(Coloring),
     /// Owner-computes over partitions with per-worker RHS buffers.
-    Partitioned(Partition),
+    Partitioned(PartitionedState),
+    /// Owner-computes over shards with compact local-numbered buffers,
+    /// direct interior writeback, and a boundary tree reduction.
+    Sharded(ShardSet),
 }
+
+/// Elements per worker below which [`ParallelStrategy::auto`] prefers the
+/// colored strategy: shard construction and boundary merging only pay off
+/// once each shard amortizes them over enough elements.
+pub const SHARD_AUTO_MIN_ELEMS_PER_WORKER: usize = 2048;
 
 impl ParallelStrategy {
     /// Builds a coloring strategy for the mesh.
@@ -197,7 +212,80 @@ impl ParallelStrategy {
 
     /// Builds a partitioned strategy with `parts` workers.
     pub fn partitioned(mesh: &alya_mesh::TetMesh, parts: usize) -> Self {
-        ParallelStrategy::Partitioned(Partition::rcb(mesh, parts))
+        ParallelStrategy::Partitioned(PartitionedState::new(Partition::rcb(mesh, parts)))
+    }
+
+    /// Builds a sharded strategy with `shards` compact-numbered shards.
+    pub fn sharded(mesh: &alya_mesh::TetMesh, shards: usize) -> Self {
+        let partition = Partition::rcb(mesh, shards);
+        ParallelStrategy::Sharded(ShardSet::build(mesh, &partition))
+    }
+
+    /// Picks a strategy from the mesh size and the active worker count:
+    /// sharded once every worker has at least
+    /// [`SHARD_AUTO_MIN_ELEMS_PER_WORKER`] elements (the regime where the
+    /// compact buffers and boundary-only reduction win), colored otherwise.
+    pub fn auto(mesh: &alya_mesh::TetMesh) -> Self {
+        let workers = par::num_threads();
+        if workers > 1 && mesh.num_elements() >= workers * SHARD_AUTO_MIN_ELEMS_PER_WORKER {
+            Self::sharded(mesh, workers)
+        } else {
+            Self::colored(mesh)
+        }
+    }
+
+    /// Stable short name (benchmark tables, reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ParallelStrategy::TwoPhase => "two-phase",
+            ParallelStrategy::Colored(_) => "colored",
+            ParallelStrategy::Partitioned(_) => "partitioned",
+            ParallelStrategy::Sharded(_) => "sharded",
+        }
+    }
+}
+
+/// [`ParallelStrategy::Partitioned`]'s partition plus a pool of per-worker
+/// full-width RHS buffers, allocated on first use and reused across
+/// assembly calls — re-allocating O(workers × nn) every call made the old
+/// strategy an unfair baseline.
+pub struct PartitionedState {
+    /// The element partition workers iterate.
+    pub partition: Partition,
+    pool: Mutex<Vec<Vec<f64>>>,
+}
+
+impl PartitionedState {
+    /// Wraps a partition with an empty buffer pool.
+    pub fn new(partition: Partition) -> Self {
+        Self {
+            partition,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pops a pooled buffer (or allocates one) sized and zeroed to `len`.
+    fn checkout(&self, len: usize) -> Vec<f64> {
+        let recycled = self.pool.lock().expect("partitioned pool poisoned").pop();
+        match recycled {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Returns buffers to the pool for the next assembly call.
+    fn restore(&self, buffers: Vec<Vec<f64>>) {
+        let mut pool = self.pool.lock().expect("partitioned pool poisoned");
+        pool.extend(buffers);
+    }
+
+    #[cfg(test)]
+    fn pooled(&self) -> usize {
+        self.pool.lock().expect("partitioned pool poisoned").len()
     }
 }
 
@@ -262,6 +350,67 @@ impl ScatterSink for ColoredSink<'_> {
             *slot += v;
         }
     }
+}
+
+/// A sink accumulating into a shard's **compact local-numbered** buffer.
+///
+/// The kernels scatter by *global* node id; the sink resolves it to the
+/// element's corner through the global connectivity (≤ 4 compares, same
+/// discipline as [`BufferSink`]) and redirects the store through the
+/// precomputed local connectivity — the inner loop never touches a
+/// global→local map.
+struct CompactSink<'a> {
+    /// The element's corners in global numbering.
+    gnodes: [u32; 4],
+    /// The same corners in the shard's compact numbering.
+    lnodes: [u32; 4],
+    /// Nodes in the shard (component stride of `buf`).
+    stride: usize,
+    /// The shard's `3 × stride` accumulation buffer.
+    buf: &'a mut [f64],
+}
+
+impl ScatterSink for CompactSink<'_> {
+    #[inline]
+    fn add<R: Recorder>(&mut self, n: u32, d: usize, v: f64, _lay: &Layout, rec: &mut R) {
+        rec.flop(1);
+        let a = self
+            .gnodes
+            .iter()
+            .position(|&x| x == n)
+            .expect("scatter to a node outside the element");
+        self.buf[d * self.stride + self.lnodes[a] as usize] += v;
+    }
+}
+
+/// Sparse boundary contributions of one shard (or a merge of several),
+/// sorted ascending by global node id.
+type BoundaryVec = Vec<(u32, [f64; 3])>;
+
+/// Merges two sorted sparse contribution lists, summing equal node ids —
+/// the combine step of the boundary tree reduction. O(|a| + |b|).
+fn merge_boundary(a: BoundaryVec, b: BoundaryVec) -> BoundaryVec {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (a.into_iter().peekable(), b.into_iter().peekable());
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(&(ga, _)), Some(&(gb, _))) => {
+                if ga < gb {
+                    out.push(ia.next().expect("peeked"));
+                } else if gb < ga {
+                    out.push(ib.next().expect("peeked"));
+                } else {
+                    let (g, va) = ia.next().expect("peeked");
+                    let (_, vb) = ib.next().expect("peeked");
+                    out.push((g, [va[0] + vb[0], va[1] + vb[1], va[2] + vb[2]]));
+                }
+            }
+            (Some(_), None) => out.push(ia.next().expect("peeked")),
+            (None, Some(_)) => out.push(ib.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    out
 }
 
 /// Parallel assembly with the chosen scatter discipline. Produces the same
@@ -353,12 +502,15 @@ pub fn assemble_parallel(
                 }
                 rhs
             }
-            ParallelStrategy::Partitioned(partition) => {
+            ParallelStrategy::Partitioned(state) => {
+                let partition = &state.partition;
                 let partials: Vec<Vec<f64>> = par::par_map_init(
                     partition.num_parts(),
                     || vec![0.0; nval],
                     |ws_buf, p| {
-                        let mut local = vec![0.0; 3 * nn];
+                        // Full-width per-worker buffer from the reuse pool
+                        // (allocated on the first call only).
+                        let mut local = state.checkout(3 * nn);
                         for &e in partition.part(p) {
                             let b = compute_one(ws_buf, e as usize);
                             for a in 0..4 {
@@ -375,6 +527,87 @@ pub fn assemble_parallel(
                 for part in &partials {
                     for (o, v) in out.iter_mut().zip(part) {
                         *o += v;
+                    }
+                }
+                state.restore(partials);
+                rhs
+            }
+            ParallelStrategy::Sharded(shards) => {
+                // Debug builds re-prove the compact-numbering invariants the
+                // unsafe interior writeback rests on (element coverage,
+                // map consistency, interior exclusivity).
+                debug_assert!(
+                    shards.validate(input.mesh).is_ok(),
+                    "sharded scatter invariant violated: {}",
+                    shards.validate(input.mesh).err().unwrap_or_default()
+                );
+                let mut rhs = VectorField::zeros(nn);
+                let shared = SharedRhs {
+                    ptr: rhs.as_mut_slice().as_mut_ptr(),
+                    num_nodes: nn,
+                };
+                let shared = &shared;
+                let boundaries: Vec<BoundaryVec> = par::par_map_init(
+                    shards.num_shards(),
+                    || vec![0.0; nval],
+                    |ws_buf, s| {
+                        let shard = shards.shard(s);
+                        let nl = shard.num_local_nodes();
+                        // Compact accumulation: O(nodes-in-shard), not O(nn).
+                        let mut local = vec![0.0; 3 * nl];
+                        for (i, &e) in shard.elements().iter().enumerate() {
+                            let e = e as usize;
+                            let mut sink = CompactSink {
+                                gnodes: input.mesh.element(e),
+                                lnodes: shard.local_conn()[i],
+                                stride: nl,
+                                buf: &mut local,
+                            };
+                            let lay = Layout::cpu(e, CPU_VECTOR_DIM, nn);
+                            assemble_element(
+                                variant,
+                                input,
+                                e,
+                                &lay,
+                                ws_buf,
+                                1,
+                                0,
+                                &mut sink,
+                                &mut NoRecord,
+                            );
+                        }
+                        // Interior writeback: no synchronization needed —
+                        // interior nodes are exclusive to this shard
+                        // (validated above) and the RHS started zeroed, so a
+                        // plain store is exact and race-free.
+                        let ni = shard.num_interior();
+                        for (l, &g) in shard.global_nodes()[..ni].iter().enumerate() {
+                            for d in 0..3 {
+                                // SAFETY: `g < nn` and `d < 3` (validated
+                                // shard maps), and interior exclusivity means
+                                // no other thread writes node `g`.
+                                unsafe {
+                                    *shared.ptr.add(d * nn + g as usize) = local[d * nl + l];
+                                }
+                            }
+                        }
+                        // Boundary nodes go through the tree reduction as a
+                        // sparse sorted list (global_nodes' boundary block is
+                        // sorted ascending).
+                        shard
+                            .boundary_global_nodes()
+                            .iter()
+                            .enumerate()
+                            .map(|(b, &g)| {
+                                let l = ni + b;
+                                (g, [local[l], local[nl + l], local[2 * nl + l]])
+                            })
+                            .collect()
+                    },
+                );
+                if let Some(merged) = par::tree_reduce(boundaries, merge_boundary) {
+                    for (g, v) in merged {
+                        rhs.add(g as usize, v);
                     }
                 }
                 rhs
@@ -436,11 +669,90 @@ mod tests {
             ParallelStrategy::TwoPhase,
             ParallelStrategy::colored(&mesh),
             ParallelStrategy::partitioned(&mesh, 5),
+            ParallelStrategy::sharded(&mesh, 5),
         ] {
             let par = assemble_parallel(Variant::Rsp, &input, &strategy);
             let diff = max_rel_diff(&serial, &par);
-            assert!(diff < 1e-12, "deviation {diff}");
+            assert!(diff < 1e-12, "{} deviation {diff}", strategy.name());
         }
+    }
+
+    #[test]
+    fn sharded_matches_serial_across_variants_and_shard_counts() {
+        let mesh = BoxMeshBuilder::new(4, 3, 3).jitter(0.1).seed(7).build();
+        let (v, p, t) = setup(&mesh);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t).props(ConstantProperties::AIR);
+        for shards in [1, 2, 8] {
+            let strategy = ParallelStrategy::sharded(&mesh, shards);
+            for variant in Variant::ALL {
+                let serial = assemble_serial(variant, &input);
+                let par = assemble_parallel(variant, &input, &strategy);
+                let diff = max_rel_diff(&serial, &par);
+                assert!(diff < 1e-12, "{variant} × {shards} shards: {diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_pool_reuses_buffers_across_calls() {
+        let mesh = BoxMeshBuilder::new(3, 3, 2).build();
+        let (v, p, t) = setup(&mesh);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t);
+        let strategy = ParallelStrategy::partitioned(&mesh, 4);
+        let ParallelStrategy::Partitioned(state) = &strategy else {
+            panic!("constructor built the wrong variant");
+        };
+        assert_eq!(state.pooled(), 0, "pool must start empty");
+        let first = assemble_parallel(Variant::Rsp, &input, &strategy);
+        let after_first = state.pooled();
+        assert_eq!(after_first, state.partition.num_parts());
+        let second = assemble_parallel(Variant::Rsp, &input, &strategy);
+        // Buffers were recycled, not accumulated, and stale contents were
+        // rezeroed (results identical).
+        assert_eq!(state.pooled(), after_first);
+        assert_eq!(first.max_abs_diff(&second), 0.0);
+    }
+
+    #[test]
+    fn merge_boundary_sums_matching_nodes_and_keeps_order() {
+        let a = vec![(1u32, [1.0, 0.0, 0.0]), (4, [0.5, 0.5, 0.5])];
+        let b = vec![
+            (0u32, [2.0, 0.0, 1.0]),
+            (4, [0.5, -0.5, 1.5]),
+            (9, [1.0; 3]),
+        ];
+        let m = merge_boundary(a, b);
+        assert_eq!(
+            m,
+            vec![
+                (0, [2.0, 0.0, 1.0]),
+                (1, [1.0, 0.0, 0.0]),
+                (4, [1.0, 0.0, 2.0]),
+                (9, [1.0, 1.0, 1.0]),
+            ]
+        );
+        assert_eq!(merge_boundary(vec![], vec![(3, [1.0; 3])]).len(), 1);
+        assert!(merge_boundary(vec![], vec![]).is_empty());
+    }
+
+    #[test]
+    fn auto_strategy_matches_serial_and_names_are_stable() {
+        let mesh = BoxMeshBuilder::new(3, 3, 2).build();
+        let (v, p, t) = setup(&mesh);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t);
+        let strategy = ParallelStrategy::auto(&mesh);
+        // On a small mesh auto must fall back to colored regardless of the
+        // worker count (2048 elements/worker floor).
+        assert_eq!(strategy.name(), "colored");
+        let serial = assemble_serial(Variant::Rspr, &input);
+        let par = assemble_parallel(Variant::Rspr, &input, &strategy);
+        assert!(max_rel_diff(&serial, &par) < 1e-12);
+        assert_eq!(ParallelStrategy::TwoPhase.name(), "two-phase");
+        assert_eq!(ParallelStrategy::sharded(&mesh, 2).name(), "sharded");
+        assert_eq!(
+            ParallelStrategy::partitioned(&mesh, 2).name(),
+            "partitioned"
+        );
     }
 
     #[test]

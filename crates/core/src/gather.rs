@@ -117,6 +117,13 @@ impl ScatterSink for DirectSink<'_> {
     }
 }
 
+/// RHS slots one element's scatter touches: 4 nodes × 3 components. The
+/// read-modify-write scatter performs exactly this many global loads and
+/// this many global stores, for every variant.
+pub const fn rhs_slots_per_element() -> u64 {
+    4 * 3
+}
+
 /// Scatters a full elemental RHS (4 nodes × 3 components).
 #[inline]
 pub fn scatter_elemental<R: Recorder, S: ScatterSink>(

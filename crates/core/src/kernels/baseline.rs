@@ -114,6 +114,14 @@ pub const fn ws_loads_per_element() -> u64 {
         + 3 * n
 }
 
+/// Closed-form count of global *input* loads of one baseline element:
+/// connectivity, coordinates, velocity, pressure and temperature per node,
+/// plus the one per-element ν_t value from the precompute pass.
+pub const fn input_loads_per_element() -> u64 {
+    let n = NNODE as u64;
+    (1 + 3 + 3 + 1 + 1) * n + 1
+}
+
 /// Assembles one element the baseline way.
 pub fn element<R: Recorder, S: ScatterSink>(
     input: &AssemblyInput,

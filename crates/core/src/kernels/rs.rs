@@ -41,6 +41,79 @@ pub const NVALUES: usize = 103;
 /// Distinct intermediate arrays (the paper counts 13 after RS).
 pub const NUM_ARRAYS: usize = 13;
 
+const NGAUSS: u64 = Tet4::NUM_GAUSS as u64;
+const NNODE: u64 = 4;
+
+/// Closed-form count of workspace *stores* one RS element performs, phase
+/// by phase as written in [`element`] below (`G` Gauss points, `N` nodes;
+/// `ws.acc` is a load + store pair). Mirrors
+/// [`baseline::ws_stores_per_element`](crate::kernels::baseline::ws_stores_per_element);
+/// the contract checker in `alya-analyze` verifies every recorded trace
+/// against this formula, so it can never drift from the code silently.
+pub const fn ws_stores_per_element() -> u64 {
+    let g = NGAUSS;
+    let n = NNODE;
+    // gather: elcod + elvel (3·N each), elpre (N)
+    (6 * n + n)
+        // geometry once: carte 3·N, vol 1
+        + (3 * n + 1)
+        // constant velocity gradient: 9 entries
+        + 9
+        // Vreman ν_t: one value per element
+        + 1
+        // per Gauss point: adv 3, con 3
+        + g * (3 + 3)
+        // mean pressure + body force
+        + (1 + 3)
+        // elemental RHS zero-init: 3·N
+        + 3 * n
+        // convection accumulation: one acc-store per (gauss, node, comp)
+        + g * n * 3
+        // pressure + force closed-form term: one acc-store per (node, comp)
+        + n * 3
+        // diffusion: flux store + acc-store per (node, comp)
+        + 2 * n * 3
+}
+
+/// Closed-form count of workspace *loads* of one RS element (same
+/// phase-by-phase derivation as [`ws_stores_per_element`]).
+pub const fn ws_loads_per_element() -> u64 {
+    let g = NGAUSS;
+    let n = NNODE;
+    // geometry: elcod reload (3·N)
+    3 * n
+        // velocity gradient: carte + elvel per (i, j, node) = 2·N per entry
+        + 9 * 2 * n
+        // Vreman: gve reload 9 + vol 1
+        + (9 + 1)
+        // advection per (gauss, comp): N elvel reads
+        + g * 3 * n
+        // convection per (gauss, comp): 3 × (adv + gve)
+        + g * 3 * 6
+        // mean pressure: N elpre reads; vol reload for gpvol
+        + n
+        + 1
+        // convection accumulation per (gauss, node, comp): con + acc-load
+        + g * n * 3 * 2
+        // pressure/force: pbar reload + (carte + force + acc-load) per (node, comp)
+        + 1
+        + n * 3 * 3
+        // diffusion: nut reload + per (node, comp): N × (3·(ca + cb) + u)
+        // then flux reload + acc-load
+        + 1
+        + n * 3 * (n * 7 + 2)
+        // scatter readback of elrhs
+        + 3 * n
+}
+
+/// Closed-form count of global *input* loads of one specialized element
+/// (RS and the scalar-private RSP/RSPR share the gather): connectivity,
+/// coordinates, velocity and pressure per node — no temperature gather
+/// (constant properties) and no ν_t pass (on-the-fly Vreman).
+pub const fn input_loads_per_element() -> u64 {
+    (1 + 3 + 3 + 1) * NNODE
+}
+
 /// Assembles one element the RS way.
 pub fn element<R: Recorder, S: ScatterSink>(
     input: &AssemblyInput,
@@ -240,6 +313,16 @@ mod tests {
         }
         assert_eq!(cursor, NVALUES);
         assert_eq!(regions.len(), NUM_ARRAYS);
+    }
+
+    #[test]
+    fn closed_forms_match_the_measured_counts() {
+        // The values the contracts used to pin directly, now derived.
+        assert_eq!(ws_stores_per_element(), 175);
+        assert_eq!(ws_loads_per_element(), 725);
+        assert_eq!(input_loads_per_element(), 32);
+        // Sanity: every workspace slot is written at least once.
+        assert!(ws_stores_per_element() >= NVALUES as u64);
     }
 
     #[test]

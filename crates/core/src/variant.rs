@@ -163,21 +163,22 @@ impl Variant {
 
     /// The variant's declarative kernel contract (see [`KernelContract`]).
     ///
-    /// The exact counts were measured once from the instrumented traces
-    /// (they are structural: identical for every element of every tet4
-    /// mesh) and are pinned here; `alya-analyze` re-derives them from live
-    /// traces on every audit, and additionally checks the baseline's
-    /// workspace numbers against the closed-form phase-by-phase formulas
-    /// in [`kernels::baseline`].
+    /// Every traffic count is a **closed-form phase-by-phase formula** over
+    /// the kernel source (`kernels::baseline` / `kernels::rs` /
+    /// `gather::rhs_slots_per_element`) — nothing measured-and-pinned, so a
+    /// kernel edit that changes traffic shows up as a formula/code mismatch
+    /// in the `alya-analyze` audit, which re-derives the counts from live
+    /// traces. Flop counts and the register story remain pinned
+    /// measurements (they are what the audit certifies).
     pub fn contract(self) -> KernelContract {
         match self {
-            // 37 input loads = 4 conn + 12 coord + 12 vel + 4 pres
-            // + 4 temp + 1 ν_t (from the precompute pass).
+            // Generic gather: conn + coord + vel + pres + temp per node,
+            // plus the ν_t value from the precompute pass.
             Variant::B => KernelContract {
                 flops: 6084,
-                input_loads: 37,
-                rhs_loads: 12,
-                rhs_stores: 12,
+                input_loads: kernels::baseline::input_loads_per_element(),
+                rhs_loads: crate::gather::rhs_slots_per_element(),
+                rhs_stores: crate::gather::rhs_slots_per_element(),
                 workspace_loads: Some((Space::Global, kernels::baseline::ws_loads_per_element())),
                 workspace_stores: Some((Space::Global, kernels::baseline::ws_stores_per_element())),
                 uses_private_scalars: false,
@@ -192,16 +193,16 @@ impl Variant {
                 ..Variant::B.contract()
             },
             // Specialization drops the temperature gather (constant
-            // properties) and the ν_t pass (on-the-fly Vreman): 32 input
-            // loads. Restructuring shrinks the workspace to 103 slots
-            // (175 stores / 725 loads with accumulator re-touches).
+            // properties) and the ν_t pass (on-the-fly Vreman);
+            // restructuring shrinks the workspace to 103 slots (175 stores
+            // / 725 loads with accumulator re-touches — see the formulas).
             Variant::Rs => KernelContract {
                 flops: 1067,
-                input_loads: 32,
-                rhs_loads: 12,
-                rhs_stores: 12,
-                workspace_loads: Some((Space::Global, 725)),
-                workspace_stores: Some((Space::Global, 175)),
+                input_loads: kernels::rs::input_loads_per_element(),
+                rhs_loads: crate::gather::rhs_slots_per_element(),
+                rhs_stores: crate::gather::rhs_slots_per_element(),
+                workspace_loads: Some((Space::Global, kernels::rs::ws_loads_per_element())),
+                workspace_stores: Some((Space::Global, kernels::rs::ws_stores_per_element())),
                 uses_private_scalars: false,
                 max_pressure: None,
                 spills_at_contract_budget: None,
@@ -213,9 +214,9 @@ impl Variant {
             // spill there (that residual spill is RSPR's reason to exist).
             Variant::Rsp => KernelContract {
                 flops: 1064,
-                input_loads: 32,
-                rhs_loads: 12,
-                rhs_stores: 12,
+                input_loads: kernels::rs::input_loads_per_element(),
+                rhs_loads: crate::gather::rhs_slots_per_element(),
+                rhs_stores: crate::gather::rhs_slots_per_element(),
                 workspace_loads: None,
                 workspace_stores: None,
                 uses_private_scalars: true,

@@ -16,11 +16,33 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Work items below this threshold run serially.
 const SERIAL_CUTOFF: usize = 256;
 
-/// Number of worker threads used by the helpers (the hardware parallelism).
-pub fn num_threads() -> usize {
+/// Optional process-wide worker cap (0 = uncapped). Set by benchmark
+/// harnesses sweeping thread counts; see [`set_thread_cap`].
+static THREAD_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the worker count every helper in this module will use. `None`
+/// lifts the cap. The cap is process-global and meant for single-threaded
+/// harnesses (the driver-throughput benchmark sweeps it); it never raises
+/// parallelism above the hardware.
+pub fn set_thread_cap(cap: Option<usize>) {
+    THREAD_CAP.store(cap.map_or(0, |c| c.max(1)), Ordering::Relaxed);
+}
+
+/// Worker threads the machine offers, ignoring any [`set_thread_cap`].
+pub fn hardware_threads() -> usize {
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Number of worker threads used by the helpers (the hardware parallelism,
+/// lowered by [`set_thread_cap`] when one is active).
+pub fn num_threads() -> usize {
+    let hw = hardware_threads();
+    match THREAD_CAP.load(Ordering::Relaxed) {
+        0 => hw,
+        cap => hw.min(cap),
+    }
 }
 
 fn worker_count(n: usize) -> usize {
@@ -138,6 +160,52 @@ where
     });
 }
 
+/// Reduces `items` to one value by **pairwise tree combination**: at every
+/// level adjacent pairs are combined concurrently, halving the item count,
+/// until one value remains. Compared with the serial left fold the old
+/// drivers used, the critical path shrinks from `n − 1` sequential
+/// combines to `⌈log₂ n⌉` parallel levels — the reduction shape multi-GPU
+/// and distributed assembly will reuse across devices/ranks.
+///
+/// The combine order is a deterministic function of `items.len()` alone
+/// (pairs in order, an odd tail item carried to the next level), so
+/// floating-point reassociation is reproducible run to run. Returns `None`
+/// for an empty input.
+pub fn tree_reduce<T, F>(mut items: Vec<T>, combine: F) -> Option<T>
+where
+    T: Send,
+    F: Fn(T, T) -> T + Sync,
+{
+    while items.len() > 1 {
+        let odd = (items.len() % 2 == 1).then(|| items.pop().expect("non-empty"));
+        let mut pairs: Vec<(T, T)> = Vec::with_capacity(items.len() / 2);
+        let mut it = items.into_iter();
+        while let (Some(a), Some(b)) = (it.next(), it.next()) {
+            pairs.push((a, b));
+        }
+        let mut next: Vec<T> = Vec::with_capacity(pairs.len() + 1);
+        if num_threads() <= 1 || pairs.len() < 2 {
+            next.extend(pairs.into_iter().map(|(a, b)| combine(a, b)));
+        } else {
+            std::thread::scope(|s| {
+                let combine = &combine;
+                let handles: Vec<_> = pairs
+                    .into_iter()
+                    .map(|(a, b)| s.spawn(move || combine(a, b)))
+                    .collect();
+                for h in handles {
+                    next.push(h.join().expect("tree-reduce worker panicked"));
+                }
+            });
+        }
+        if let Some(x) = odd {
+            next.push(x);
+        }
+        items = next;
+    }
+    items.pop()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,7 +246,40 @@ mod tests {
         use std::sync::atomic::AtomicUsize;
         let inits = AtomicUsize::new(0);
         let _ = par_map_init(4096, || inits.fetch_add(1, Ordering::Relaxed), |_, i| i);
-        assert!(inits.load(Ordering::Relaxed) <= num_threads());
+        // Bound by the *hardware* parallelism: a concurrently running test
+        // may hold a lower thread cap, which only shrinks worker counts.
+        assert!(inits.load(Ordering::Relaxed) <= hardware_threads());
+    }
+
+    #[test]
+    fn tree_reduce_combines_everything_deterministically() {
+        for n in [0usize, 1, 2, 3, 7, 8, 33, 1000] {
+            let items: Vec<u64> = (0..n as u64).collect();
+            let got = tree_reduce(items, |a, b| a + b);
+            match n {
+                0 => assert_eq!(got, None),
+                _ => assert_eq!(got, Some((n as u64) * (n as u64 - 1) / 2)),
+            }
+        }
+        // Deterministic combine structure: string concatenation exposes the
+        // association order; two runs must agree exactly.
+        let words = || (0..13).map(|i| format!("[{i}]")).collect::<Vec<_>>();
+        let a = tree_reduce(words(), |x, y| x + &y).unwrap();
+        let b = tree_reduce(words(), |x, y| x + &y).unwrap();
+        assert_eq!(a, b);
+        for i in 0..13 {
+            assert!(a.contains(&format!("[{i}]")));
+        }
+    }
+
+    #[test]
+    fn thread_cap_lowers_but_never_raises() {
+        set_thread_cap(Some(1));
+        assert_eq!(num_threads(), 1);
+        set_thread_cap(Some(1_000_000));
+        assert_eq!(num_threads(), hardware_threads());
+        set_thread_cap(None);
+        assert_eq!(num_threads(), hardware_threads());
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod ordering;
 pub mod partition;
 pub mod quality;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod tet;
 
@@ -39,5 +40,6 @@ pub use coloring::{Coloring, ColoringConflict};
 pub use generator::{BoxMeshBuilder, TerrainMeshBuilder};
 pub use partition::Partition;
 pub use rng::Rng64;
+pub use shard::{Shard, ShardSet};
 pub use stats::MeshStats;
 pub use tet::{Point3, TetMesh, NODES_PER_TET};

@@ -85,10 +85,126 @@ fn parallel_strategies_agree_on_random_inputs() {
             ParallelStrategy::TwoPhase,
             ParallelStrategy::colored(&mesh),
             ParallelStrategy::partitioned(&mesh, parts),
+            ParallelStrategy::sharded(&mesh, parts),
         ] {
             let rhs = assemble_parallel(Variant::Rspr, &input, &strategy);
             let dev = rhs.max_abs_diff(&reference) / scale;
-            assert!(dev < 1e-10, "deviation {dev}");
+            assert!(dev < 1e-10, "{} deviation {dev}", strategy.name());
+        }
+    }
+}
+
+/// Full equivalence sweep: every parallel strategy matches the serial
+/// reference within 1e-12 (relative, per node), for every variant, with
+/// 1/2/8-way decompositions, on a mesh big enough to spawn real worker
+/// threads (288 elements, above `par`'s serial cutoff of 256) **and** on a
+/// degenerate 24-element mesh that takes the serial fast path everywhere.
+#[test]
+fn all_strategies_match_serial_across_variants_and_worker_counts() {
+    let meshes = [
+        (
+            BoxMeshBuilder::new(4, 4, 3).jitter(0.12).seed(41).build(),
+            "288-element",
+        ),
+        (
+            BoxMeshBuilder::new(2, 2, 1).build(),
+            "degenerate 24-element",
+        ),
+    ];
+    for (mesh, label) in &meshes {
+        let velocity = field_from_coeffs(mesh, &[0.4, -0.2, 0.9, 0.3, -0.6, 0.1, 0.7, 0.2, -0.4]);
+        let pressure = ScalarField::from_fn(mesh, |p| p[0] - 0.3 * p[1] + p[2] * p[2]);
+        let temperature = ScalarField::zeros(mesh.num_nodes());
+        let input = AssemblyInput::new(mesh, &velocity, &pressure, &temperature)
+            .props(ConstantProperties::AIR)
+            .body_force([0.05, -0.02, -0.4]);
+
+        // Worker-count-independent strategies once, owner-computes
+        // decompositions at every worker count.
+        let mut strategies = vec![
+            ParallelStrategy::TwoPhase,
+            ParallelStrategy::colored(mesh),
+            ParallelStrategy::auto(mesh),
+        ];
+        for workers in [1, 2, 8] {
+            strategies.push(ParallelStrategy::partitioned(mesh, workers));
+            strategies.push(ParallelStrategy::sharded(mesh, workers));
+        }
+
+        for variant in Variant::ALL {
+            let serial = assemble_serial(variant, &input);
+            let scale = serial.max_abs().max(1e-12);
+            assert!(serial.max_abs() > 0.0, "{label}: degenerate input");
+            for strategy in &strategies {
+                let rhs = assemble_parallel(variant, &input, strategy);
+                let dev = rhs.max_abs_diff(&serial) / scale;
+                assert!(
+                    dev < 1e-12,
+                    "{label} mesh, {variant} × {}: deviation {dev}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+}
+
+/// The same sweep under explicit thread caps: the process-wide worker
+/// count must never change the assembled values, only the parallelism.
+#[test]
+fn thread_cap_never_changes_the_result() {
+    use alya_machine::par;
+    let mesh = BoxMeshBuilder::new(4, 4, 3).jitter(0.1).seed(17).build();
+    let velocity = field_from_coeffs(&mesh, &[0.2, 0.5, -0.1, 0.8, 0.0, -0.3, 0.4, -0.7, 0.6]);
+    let pressure = ScalarField::from_fn(&mesh, |p| 2.0 * p[0] * p[2] - p[1]);
+    let temperature = ScalarField::zeros(mesh.num_nodes());
+    let input = AssemblyInput::new(&mesh, &velocity, &pressure, &temperature)
+        .props(ConstantProperties::AIR);
+
+    let serial = assemble_serial(Variant::Rsp, &input);
+    let scale = serial.max_abs().max(1e-12);
+    let strategies = [
+        ParallelStrategy::TwoPhase,
+        ParallelStrategy::colored(&mesh),
+        ParallelStrategy::partitioned(&mesh, 8),
+        ParallelStrategy::sharded(&mesh, 8),
+    ];
+    for cap in [1, 2, 8] {
+        par::set_thread_cap(Some(cap));
+        for strategy in &strategies {
+            let rhs = assemble_parallel(Variant::Rsp, &input, strategy);
+            let dev = rhs.max_abs_diff(&serial) / scale;
+            assert!(
+                dev < 1e-12,
+                "cap {cap}, {}: deviation {dev}",
+                strategy.name()
+            );
+        }
+    }
+    par::set_thread_cap(None);
+}
+
+/// Layout invariance: the CPU pack and GPU launch addressing conventions
+/// change *where* the modelled traffic lands, never how much of it there
+/// is nor what gets computed.
+#[test]
+fn cpu_and_gpu_layouts_trace_identical_counts() {
+    use alya_core::drivers::{trace_element, CPU_VECTOR_DIM};
+    use alya_core::layout::Layout;
+    let mesh = BoxMeshBuilder::new(3, 3, 2).jitter(0.05).seed(23).build();
+    let velocity = field_from_coeffs(&mesh, &[0.1, 0.3, 0.5, -0.2, 0.4, 0.0, 0.6, -0.1, 0.2]);
+    let pressure = ScalarField::from_fn(&mesh, |p| p[0] + p[1] - p[2]);
+    let temperature = ScalarField::zeros(mesh.num_nodes());
+    let input = AssemblyInput::new(&mesh, &velocity, &pressure, &temperature);
+    let (ne, nn) = (mesh.num_elements(), mesh.num_nodes());
+    for variant in Variant::ALL {
+        for e in [0, ne / 2, ne - 1] {
+            let cpu = trace_element(variant, &input, e, &Layout::cpu(e, CPU_VECTOR_DIM, nn));
+            let gpu = trace_element(variant, &input, e, &Layout::gpu(e, ne, nn));
+            assert_eq!(
+                cpu.counts(),
+                gpu.counts(),
+                "{variant} element {e}: layout changed the operation counts"
+            );
         }
     }
 }
