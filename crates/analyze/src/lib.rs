@@ -22,8 +22,15 @@
 //! 3. **Source lints** ([`sources`]) — `#![forbid(unsafe_code)]` in every
 //!    crate except `alya-core`, exactly four sanctioned unsafe lines
 //!    there, and workspace-lint opt-in in every manifest.
+//! 4. **Comm contract** ([`comm`]) — runs a fully-traced distributed
+//!    assembly and holds the live exchange accounting against the
+//!    closed-form halo budget: posted bytes equal
+//!    `ShardSet::halo_send_slots × HALO_ENTRY_BYTES`, every message is
+//!    delivered (dual-sided counters), no self-sends, and each traced
+//!    slot list matches the exchange plan exactly once (no double
+//!    count). The same budget validates a committed `BENCH_comm.json`.
 //!
-//! Run all three via the audit binary:
+//! Run all passes via the audit binary:
 //!
 //! ```text
 //! cargo run -p alya-bench --bin audit
@@ -33,6 +40,7 @@
 //! `cargo test` tests of this crate.
 #![forbid(unsafe_code)]
 
+pub mod comm;
 pub mod contracts;
 pub mod fixture;
 pub mod races;
@@ -59,6 +67,9 @@ pub struct AuditReport {
     pub shards: races::ShardReport,
     /// Source-policy violations (pass 3); empty when no root was given.
     pub source_violations: Vec<sources::SourceViolation>,
+    /// Comm-contract report of a fully-traced distributed assembly on the
+    /// fixture mesh (pass 4).
+    pub comm: comm::CommContractReport,
 }
 
 impl AuditReport {
@@ -68,6 +79,7 @@ impl AuditReport {
             && self.races.is_race_free()
             && self.shards.is_valid()
             && self.source_violations.is_empty()
+            && self.comm.is_clean()
     }
 
     /// Total violation count (a race counts once, a shard violation once).
@@ -76,6 +88,7 @@ impl AuditReport {
             + usize::from(!self.races.is_race_free())
             + usize::from(!self.shards.is_valid())
             + self.source_violations.len()
+            + self.comm.violations.len()
     }
 }
 
@@ -85,6 +98,7 @@ impl AuditReport {
 pub fn run_audit(workspace_root: Option<&Path>) -> AuditReport {
     let fx = Fixture::new();
     let input = fx.input();
+    let (comm_report, _, _) = comm::check_distributed(&input, AUDIT_SHARDS);
     AuditReport {
         contract_violations: contracts::check_all(&input),
         races: races::check_mesh(&fx.mesh),
@@ -92,6 +106,7 @@ pub fn run_audit(workspace_root: Option<&Path>) -> AuditReport {
         source_violations: workspace_root
             .map(sources::check_workspace)
             .unwrap_or_default(),
+        comm: comm_report,
     }
 }
 

@@ -9,6 +9,7 @@
 //! audit --seed-violation contract-store  # forge a global intermediate store
 //! audit --seed-violation contract-registers  # forge register pressure
 //! audit --seed-violation shard-mismatch  # validate shards against wrong mesh
+//! audit --seed-violation comm-drop       # lose a halo message, expect catch
 //! ```
 //!
 //! The `--seed-violation` modes are self-tests of the analyzer: they inject
@@ -17,7 +18,7 @@
 
 use std::process::ExitCode;
 
-use alya_analyze::{contracts, races, sources, Fixture};
+use alya_analyze::{comm, contracts, races, sources, Fixture};
 use alya_core::drivers::trace_element;
 use alya_core::layout::{self, Layout};
 use alya_core::Variant;
@@ -71,6 +72,10 @@ fn full_audit() -> ExitCode {
     println!("==================");
     println!("  {}", report.races);
     println!("  {}", report.shards);
+
+    println!("\ncomm contract audit");
+    println!("===================");
+    println!("  {}", report.comm);
 
     println!("\nsource lint audit");
     println!("=================");
@@ -149,9 +154,29 @@ fn seeded(mode: &str) -> ExitCode {
             println!("{report}");
             !report.is_valid()
         }
+        "comm-drop" => {
+            // Lose one delivered halo message on the busiest channel of a
+            // traced 8-rank exchange — the signature of a broken receive
+            // loop. The dual-sided counters must expose it.
+            let (clean, driver, mut live) = comm::check_distributed(&input, 8);
+            if !clean.is_clean() {
+                eprintln!("fixture exchange unexpectedly dirty: {clean}");
+                return ExitCode::FAILURE;
+            }
+            let c = live
+                .channels
+                .iter_mut()
+                .max_by_key(|c| c.received_bytes)
+                .expect("8-rank decomposition exchanges halo traffic");
+            c.received_messages -= 1;
+            c.received_bytes -= c.max_message_bytes;
+            let report = comm::check_exchange(driver.shard_set(), driver.exchange_plan(), &live);
+            println!("{report}");
+            !report.is_clean()
+        }
         other => {
             eprintln!(
-                "unknown seed mode {other:?}; expected coloring | contract-store | contract-registers | shard-mismatch"
+                "unknown seed mode {other:?}; expected coloring | contract-store | contract-registers | shard-mismatch | comm-drop"
             );
             return ExitCode::FAILURE;
         }
@@ -171,7 +196,9 @@ fn main() -> ExitCode {
         [] => full_audit(),
         [flag, mode] if flag == "--seed-violation" => seeded(mode),
         _ => {
-            eprintln!("usage: audit [--seed-violation coloring|contract-store|contract-registers]");
+            eprintln!(
+                "usage: audit [--seed-violation coloring|contract-store|contract-registers|shard-mismatch|comm-drop]"
+            );
             ExitCode::FAILURE
         }
     }

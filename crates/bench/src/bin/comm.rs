@@ -1,0 +1,215 @@
+//! Distributed-assembly benchmark: Melem/s and exchanged halo bytes of
+//! the rank-parallel driver across rank counts on the Bolund-like terrain
+//! case, emitted as `BENCH_comm.json` so the repo carries the
+//! communication trajectory next to the throughput one.
+//!
+//! Usage:
+//!
+//! ```text
+//! comm                         # default terrain mesh, JSON to stdout note
+//! comm --quick                 # small mesh / few samples (CI smoke)
+//! comm --elems 200000          # override the element target
+//! comm --samples 7             # timed iterations per rank count
+//! comm --json PATH             # write the JSON report to PATH
+//! ```
+//!
+//! Every timed configuration is first validated against the analyzer's
+//! comm contract ([`alya_analyze::comm::check_exchange`]): the binary
+//! refuses to emit a report whose live exchange diverges from the
+//! closed-form halo budget — `BENCH_comm.json` is evidence, not prose.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use alya_analyze::comm::check_exchange;
+use alya_bench::case::Case;
+use alya_core::nut::compute_nu_t;
+use alya_core::{DistributedDriver, Variant};
+use alya_machine::par;
+
+const DEFAULT_ELEMS: usize = 100_000;
+const QUICK_ELEMS: usize = 8_000;
+const DEFAULT_SAMPLES: usize = 5;
+const QUICK_SAMPLES: usize = 2;
+const RANK_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Args {
+    elems: usize,
+    samples: usize,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut elems = None;
+    let mut samples = None;
+    let mut json = None;
+    let mut quick = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--elems" => {
+                let v = it.next().ok_or("--elems needs a value")?;
+                elems = Some(v.parse::<usize>().map_err(|e| format!("--elems: {e}"))?);
+            }
+            "--samples" => {
+                let v = it.next().ok_or("--samples needs a value")?;
+                samples = Some(v.parse::<usize>().map_err(|e| format!("--samples: {e}"))?);
+            }
+            "--json" => json = Some(it.next().ok_or("--json needs a path")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args {
+        elems: elems.unwrap_or(if quick { QUICK_ELEMS } else { DEFAULT_ELEMS }),
+        samples: samples.unwrap_or(if quick {
+            QUICK_SAMPLES
+        } else {
+            DEFAULT_SAMPLES
+        }),
+        json,
+    })
+}
+
+/// Warm-up once, then `samples` timed runs; (median, min, max) seconds.
+fn time_runs(samples: usize, mut body: impl FnMut()) -> (f64, f64, f64) {
+    body();
+    let mut t = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        body();
+        t.push(t0.elapsed().as_secs_f64());
+    }
+    t.sort_by(f64::total_cmp);
+    (t[t.len() / 2], t[0], t[t.len() - 1])
+}
+
+struct Row {
+    ranks: usize,
+    median_s: f64,
+    min_s: f64,
+    max_s: f64,
+    melem_s: f64,
+    halo_bytes: u64,
+    predicted_bytes: u64,
+    messages: u64,
+    max_message_bytes: u64,
+    boundary_slots: usize,
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("usage: comm [--quick] [--elems N] [--samples N] [--json PATH]");
+            std::process::exit(1);
+        }
+    };
+
+    let case = Case::bolund(args.elems);
+    let ne = case.mesh.num_elements();
+    let nn = case.mesh.num_nodes();
+    let hw = par::hardware_threads();
+
+    // Precompute ν_t once so every rank count times pure assembly +
+    // exchange, same as the drivers benchmark.
+    let nut = compute_nu_t(&case.input());
+    let mut input = case.input();
+    input.nu_t = Some(&nut);
+
+    println!(
+        "distributed assembly: {ne} elements / {nn} nodes, {} samples, host threads {hw}",
+        args.samples
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for ranks in RANK_COUNTS {
+        let driver = DistributedDriver::new(&case.mesh, ranks);
+        // Contract gate on a traced twin of the timed configuration: the
+        // timed loop itself runs with counters only.
+        let traced = DistributedDriver::from_shard_set(driver.shard_set().clone()).traced(true);
+        let (_, audit) = traced.assemble(Variant::Rsp, &input);
+        let contract = check_exchange(traced.shard_set(), traced.exchange_plan(), &audit);
+        if !contract.is_clean() {
+            eprintln!("refusing to report a dishonest exchange: {contract}");
+            std::process::exit(1);
+        }
+
+        let mut report = None;
+        let (median, min, max) = time_runs(args.samples, || {
+            let (_, r) = driver.assemble(Variant::Rsp, &input);
+            report = Some(r);
+        });
+        let report = report.expect("at least one timed run");
+        let melem = ne as f64 / median / 1e6;
+        let predicted = driver.expected_halo_bytes() as u64;
+        println!(
+            "  ranks {ranks}: median {:.3} ms  [{:.3} .. {:.3}]  {melem:>8.2} Melem/s  \
+             {} msgs / {} B halo (closed form {} B)",
+            median * 1e3,
+            min * 1e3,
+            max * 1e3,
+            report.total_messages(),
+            report.total_bytes(),
+            predicted,
+        );
+        rows.push(Row {
+            ranks,
+            median_s: median,
+            min_s: min,
+            max_s: max,
+            melem_s: melem,
+            halo_bytes: report.total_bytes(),
+            predicted_bytes: predicted,
+            messages: report.total_messages(),
+            max_message_bytes: report.max_message_bytes(),
+            boundary_slots: driver.shard_set().total_boundary_slots(),
+        });
+    }
+
+    let json = render_json(&args, ne, nn, hw, &rows);
+    match &args.json {
+        Some(path) => {
+            std::fs::write(path, json).expect("write JSON report");
+            println!("\nwrote {path}");
+        }
+        None => println!("\n(re-run with --json PATH to persist the report)"),
+    }
+}
+
+fn render_json(args: &Args, ne: usize, nn: usize, hw: usize, rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"name\": \"BENCH_comm\",");
+    let _ = writeln!(s, "  \"case\": \"bolund-terrain\",");
+    let _ = writeln!(s, "  \"target_elems\": {},", args.elems);
+    let _ = writeln!(s, "  \"elements\": {ne},");
+    let _ = writeln!(s, "  \"nodes\": {nn},");
+    let _ = writeln!(s, "  \"host_threads\": {hw},");
+    let _ = writeln!(s, "  \"samples\": {},", args.samples);
+    s.push_str("  \"results\": [\n");
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"ranks\": {}, \"median_s\": {:.6e}, \"min_s\": {:.6e}, \"max_s\": {:.6e}, \
+                 \"melem_per_s\": {:.3}, \"halo_bytes\": {}, \"predicted_halo_bytes\": {}, \
+                 \"messages\": {}, \"max_message_bytes\": {}, \"boundary_slots\": {}}}",
+                r.ranks,
+                r.median_s,
+                r.min_s,
+                r.max_s,
+                r.melem_s,
+                r.halo_bytes,
+                r.predicted_bytes,
+                r.messages,
+                r.max_message_bytes,
+                r.boundary_slots,
+            )
+        })
+        .collect();
+    s.push_str(&rendered.join(",\n"));
+    s.push_str("\n  ]\n}\n");
+    s
+}

@@ -1,0 +1,309 @@
+//! Rank-parallel distributed assembly over the `alya-comm` runtime.
+//!
+//! Where [`crate::drivers::ParallelStrategy::Sharded`] keeps all shards in
+//! one address space and merges boundary lists in-process, the
+//! [`DistributedDriver`] runs **one rank per shard as its own OS thread
+//! with no shared mutable state**: each rank assembles its elements into a
+//! compact local buffer (the *same* hot loop and `CompactSink` as the
+//! sharded driver — per the paper, the per-rank kernel must not change
+//! when the code goes distributed), then ships the contributions of
+//! interface nodes it does not own to the owning rank as a sparse sorted
+//! `(local_slot, value)` message ([`alya_comm::HaloMsg`]).
+//!
+//! Determinism: every owner combines incoming messages **in ascending
+//! sender rank order** (the [`alya_comm::NeighborExchange`] contract), and
+//! message contents are a pure function of the rank's serial assembly, so
+//! the assembled RHS is bitwise reproducible run-to-run at any fixed rank
+//! count — thread caps, scheduling and message arrival order cannot
+//! change a single bit. Across *different* rank counts the summation
+//! order legitimately differs (floating-point reassociation), which the
+//! equivalence suite bounds at 1e-12 against the serial reference.
+//!
+//! Communication volume is closed-form:
+//! [`ShardSet::halo_send_slots`]` × `[`HALO_ENTRY_BYTES`] bytes per
+//! assembly — the number the analyzer's comm contract checks the live
+//! [`CommReport`] against.
+
+use alya_comm::HALO_ENTRY_BYTES;
+use alya_comm::{CommReport, Communicator, HaloMsg, NeighborExchange, RankHandle, RecordMode};
+use alya_fem::VectorField;
+use alya_machine::NoRecord;
+use alya_mesh::{ExchangePlan, Partition, ShardSet, TetMesh};
+
+use crate::drivers::{assemble_element, with_nut, CompactSink, CPU_VECTOR_DIM};
+use crate::input::AssemblyInput;
+use crate::layout::Layout;
+use crate::variant::Variant;
+
+/// One rank's owned output: `(global node, summed contribution)` pairs.
+type OwnedValues = Vec<(u32, [f64; 3])>;
+
+/// Rank-parallel distributed assembly driver.
+///
+/// Owns the mesh decomposition ([`ShardSet`], compact renumbering) and
+/// the halo-exchange schedule ([`ExchangePlan`], owner/sender slots); one
+/// driver is built once and reused across assembly calls, like the other
+/// strategies' state.
+pub struct DistributedDriver {
+    shards: ShardSet,
+    plan: ExchangePlan,
+    record: RecordMode,
+}
+
+impl DistributedDriver {
+    /// Decomposes `mesh` over `num_ranks` ranks by RCB (the partitioner
+    /// every other owner-computes driver uses).
+    pub fn new(mesh: &TetMesh, num_ranks: usize) -> Self {
+        Self::from_shard_set(ShardSet::build(mesh, &Partition::rcb(mesh, num_ranks)))
+    }
+
+    /// Wraps an existing shard set (e.g. one shared with a
+    /// [`crate::drivers::ParallelStrategy::Sharded`] strategy).
+    pub fn from_shard_set(shards: ShardSet) -> Self {
+        let plan = ExchangePlan::build(&shards);
+        Self {
+            shards,
+            plan,
+            record: RecordMode::Counters,
+        }
+    }
+
+    /// Enables full message tracing (slot lists per message) — the mode
+    /// the analyzer's comm contract audits.
+    pub fn traced(mut self, on: bool) -> Self {
+        self.record = if on {
+            RecordMode::Full
+        } else {
+            RecordMode::Counters
+        };
+        self
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.shards.num_shards()
+    }
+
+    /// The decomposition this driver assembles over.
+    pub fn shard_set(&self) -> &ShardSet {
+        &self.shards
+    }
+
+    /// The halo-exchange schedule.
+    pub fn exchange_plan(&self) -> &ExchangePlan {
+        &self.plan
+    }
+
+    /// Closed-form prediction of the bytes one assembly exchanges.
+    pub fn expected_halo_bytes(&self) -> usize {
+        self.shards.halo_send_slots() * HALO_ENTRY_BYTES
+    }
+
+    /// Assembles the RHS with `variant`, one rank per shard, and returns
+    /// it together with the exchange accounting.
+    ///
+    /// Equal to [`crate::assemble_serial`] up to floating-point
+    /// reassociation of the nodal sums; bitwise reproducible across runs
+    /// at this rank count.
+    pub fn assemble(&self, variant: Variant, input: &AssemblyInput) -> (VectorField, CommReport) {
+        with_nut(variant, input, |input| {
+            let nn = input.mesh.num_nodes();
+            let nval = variant.nvalues().max(1);
+            let run = Communicator::run(
+                self.num_ranks(),
+                self.record,
+                |r, handle: &mut RankHandle<HaloMsg>| {
+                    self.rank_assemble(variant, input, nval, r, handle)
+                },
+            );
+            // Scatter the owned outputs: node ownership is a partition of
+            // the mesh nodes, so every node is written exactly once and
+            // rank order cannot matter.
+            let mut rhs = VectorField::zeros(nn);
+            for owned in run.results {
+                for (g, v) in owned {
+                    rhs.add(g as usize, v);
+                }
+            }
+            (rhs, run.report)
+        })
+    }
+
+    /// The per-rank body: local assembly, halo exchange, deterministic
+    /// owner-side combine, owned writeback list.
+    fn rank_assemble(
+        &self,
+        variant: Variant,
+        input: &AssemblyInput,
+        nval: usize,
+        r: u32,
+        handle: &mut RankHandle<HaloMsg>,
+    ) -> OwnedValues {
+        let shard = self.shards.shard(r as usize);
+        let sched = self.plan.rank(r as usize);
+        let nn = input.mesh.num_nodes();
+        let nl = shard.num_local_nodes();
+
+        // 1. Local assembly into the compact buffer — identical inner
+        //    loop to the sharded strategy (CompactSink, ≤4-compare corner
+        //    resolution, no global→local map in the hot path).
+        let mut local = vec![0.0; 3 * nl];
+        let mut ws_buf = vec![0.0; nval];
+        for (i, &e) in shard.elements().iter().enumerate() {
+            let e = e as usize;
+            let mut sink = CompactSink {
+                gnodes: input.mesh.element(e),
+                lnodes: shard.local_conn()[i],
+                stride: nl,
+                buf: &mut local,
+            };
+            let lay = Layout::cpu(e, CPU_VECTOR_DIM, nn);
+            assemble_element(
+                variant,
+                input,
+                e,
+                &lay,
+                &mut ws_buf,
+                1,
+                0,
+                &mut sink,
+                &mut NoRecord,
+            );
+        }
+
+        // 2. Post one message per owner neighbor: the contributions of
+        //    every boundary node they own, addressed by *their* compact
+        //    slot, sorted by that slot (the plan pre-sorts).
+        let sends: Vec<(u32, HaloMsg)> = sched
+            .sends
+            .iter()
+            .map(|(to, list)| {
+                let entries = list
+                    .iter()
+                    .map(|&(mine, theirs)| {
+                        let m = mine as usize;
+                        (theirs, [local[m], local[nl + m], local[2 * nl + m]])
+                    })
+                    .collect();
+                (*to, HaloMsg { entries })
+            })
+            .collect();
+
+        // 3. Exchange; returned messages are sorted by sender rank, so
+        //    this combine order — and therefore every bit of the result —
+        //    is a pure function of the decomposition.
+        let exchange = NeighborExchange::new(sched.recv_peers.clone());
+        for (_, msg) in exchange.run(handle, sends) {
+            for (slot, v) in msg.entries {
+                let s = slot as usize;
+                local[s] += v[0];
+                local[nl + s] += v[1];
+                local[2 * nl + s] += v[2];
+            }
+        }
+
+        // 4. Owned writeback list: all interior nodes plus the boundary
+        //    nodes this rank owns.
+        let ni = shard.num_interior();
+        let mut owned = Vec::with_capacity(ni + sched.owned_boundary_slots.len());
+        for (l, &g) in shard.global_nodes()[..ni].iter().enumerate() {
+            owned.push((g, [local[l], local[nl + l], local[2 * nl + l]]));
+        }
+        for &slot in &sched.owned_boundary_slots {
+            let l = slot as usize;
+            let g = shard.global_nodes()[l];
+            owned.push((g, [local[l], local[nl + l], local[2 * nl + l]]));
+        }
+        owned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble_serial;
+    use alya_fem::{ConstantProperties, ScalarField};
+    use alya_mesh::BoxMeshBuilder;
+
+    fn setup(mesh: &TetMesh) -> (VectorField, ScalarField, ScalarField) {
+        let v = VectorField::from_fn(mesh, |p| {
+            [p[2] * p[2], 0.4 * p[0] - p[1], 0.2 * p[0] * p[1]]
+        });
+        let p = ScalarField::from_fn(mesh, |q| q[0] - q[1] * q[2]);
+        let t = ScalarField::zeros(mesh.num_nodes());
+        (v, p, t)
+    }
+
+    #[test]
+    fn distributed_matches_serial_and_accounts_closed_form_bytes() {
+        let mesh = BoxMeshBuilder::new(4, 4, 3).jitter(0.1).seed(3).build();
+        let (v, p, t) = setup(&mesh);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t).props(ConstantProperties::AIR);
+        let serial = assemble_serial(Variant::Rsp, &input);
+        let scale = serial.max_abs().max(1e-30);
+        for ranks in [1, 2, 4, 8] {
+            let driver = DistributedDriver::new(&mesh, ranks);
+            let (rhs, report) = driver.assemble(Variant::Rsp, &input);
+            let dev = rhs.max_abs_diff(&serial) / scale;
+            assert!(dev < 1e-12, "{ranks} ranks deviate by {dev}");
+            assert_eq!(
+                report.total_bytes(),
+                driver.expected_halo_bytes() as u64,
+                "{ranks} ranks: live bytes diverge from the closed form"
+            );
+            assert_eq!(
+                report.total_messages(),
+                driver.exchange_plan().num_messages() as u64
+            );
+            assert!(report.all_delivered(), "{report:#?}");
+            assert_eq!(report.self_send_attempts, 0);
+            if ranks == 1 {
+                assert_eq!(report.total_messages(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn assembly_is_bitwise_reproducible_at_a_fixed_rank_count() {
+        use alya_machine::par;
+        let mesh = BoxMeshBuilder::new(4, 3, 3).jitter(0.12).seed(21).build();
+        let (v, p, t) = setup(&mesh);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t).props(ConstantProperties::AIR);
+        let driver = DistributedDriver::new(&mesh, 6);
+        // Two runs under different process-wide thread caps: the rank
+        // count is fixed by the decomposition, so every bit must agree.
+        par::set_thread_cap(Some(1));
+        let (a, _) = driver.assemble(Variant::Rspr, &input);
+        par::set_thread_cap(Some(8));
+        let (b, _) = driver.assemble(Variant::Rspr, &input);
+        par::set_thread_cap(None);
+        assert_eq!(a.max_abs_diff(&b), 0.0, "rank combine is nondeterministic");
+    }
+
+    #[test]
+    fn traced_mode_records_the_slots_each_message_carries() {
+        let mesh = BoxMeshBuilder::new(3, 3, 2).build();
+        let (v, p, t) = setup(&mesh);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t);
+        let driver = DistributedDriver::new(&mesh, 4).traced(true);
+        let (_, report) = driver.assemble(Variant::Rsp, &input);
+        assert_eq!(report.traces.len() as u64, report.total_messages());
+        let plan = driver.exchange_plan();
+        for t in &report.traces {
+            // Slots strictly increasing (sorted, no double count) and
+            // exactly the plan's schedule for this channel.
+            assert!(t.slots.windows(2).all(|w| w[0] < w[1]), "{t:?}");
+            let sched: Vec<u32> = plan
+                .rank(t.from as usize)
+                .sends
+                .iter()
+                .find(|(to, _)| *to == t.to)
+                .expect("traced message not in the plan")
+                .1
+                .iter()
+                .map(|&(_, theirs)| theirs)
+                .collect();
+            assert_eq!(t.slots, sched);
+        }
+    }
+}

@@ -75,7 +75,11 @@ pub fn assemble_element<R: Recorder, S: ScatterSink>(
 }
 
 /// Attaches the ν_t pass output when the variant needs it, then calls `f`.
-fn with_nut<T>(variant: Variant, input: &AssemblyInput, f: impl FnOnce(&AssemblyInput) -> T) -> T {
+pub(crate) fn with_nut<T>(
+    variant: Variant,
+    input: &AssemblyInput,
+    f: impl FnOnce(&AssemblyInput) -> T,
+) -> T {
     if variant.needs_nut_pass() && input.nu_t.is_none() {
         let nut = compute_nu_t(input);
         let mut inp = *input;
@@ -202,6 +206,107 @@ pub enum ParallelStrategy {
 /// once each shard amortizes them over enough elements.
 pub const SHARD_AUTO_MIN_ELEMS_PER_WORKER: usize = 2048;
 
+/// Measured driver throughput parsed from a committed `BENCH_drivers.json`
+/// report (the `drivers` benchmark's output).
+///
+/// [`ParallelStrategy::auto`] consults this instead of trusting the
+/// element-count heuristic alone: when the repo carries measurements for
+/// this host class, the strategy that actually ran faster wins. Absent or
+/// unparseable data degrades silently to the heuristic — a bench file must
+/// never be able to break assembly.
+#[derive(Debug, Clone, Default)]
+pub struct ThroughputDb {
+    /// `(strategy, threads, melem_per_s)` rows.
+    rows: Vec<(String, usize, f64)>,
+}
+
+impl ThroughputDb {
+    /// Parses the `results` rows of a `BENCH_drivers.json` document.
+    /// Returns `None` when no well-formed row is found.
+    pub fn parse(json: &str) -> Option<Self> {
+        let mut rows = Vec::new();
+        // Row-oriented scan over the writer's own stable format: each
+        // result object carries "strategy", "threads" and "melem_per_s".
+        for obj in json.split('{').skip(1) {
+            let Some(strategy) = str_field(obj, "strategy") else {
+                continue;
+            };
+            let (Some(threads), Some(melem)) =
+                (num_field(obj, "threads"), num_field(obj, "melem_per_s"))
+            else {
+                continue;
+            };
+            if threads >= 1.0 && melem.is_finite() && melem > 0.0 {
+                rows.push((strategy, threads as usize, melem));
+            }
+        }
+        if rows.is_empty() {
+            None
+        } else {
+            Some(Self { rows })
+        }
+    }
+
+    /// Loads and parses a report file.
+    pub fn load(path: &std::path::Path) -> Option<Self> {
+        Self::parse(&std::fs::read_to_string(path).ok()?)
+    }
+
+    /// The committed workspace baseline (`BENCH_drivers.json` at the
+    /// workspace root, overridable via `ALYA_BENCH_DRIVERS`), parsed once
+    /// per process.
+    pub fn load_default() -> Option<&'static Self> {
+        static DB: std::sync::OnceLock<Option<ThroughputDb>> = std::sync::OnceLock::new();
+        DB.get_or_init(|| {
+            let path = match std::env::var_os("ALYA_BENCH_DRIVERS") {
+                Some(p) => std::path::PathBuf::from(p),
+                None => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .ancestors()
+                    .nth(2)?
+                    .join("BENCH_drivers.json"),
+            };
+            Self::load(&path)
+        })
+        .as_ref()
+    }
+
+    /// Best measured Melem/s of `strategy` at the thread count nearest to
+    /// `threads` (max over variants). `None` when the db has no rows for
+    /// the strategy.
+    pub fn best_melem_per_s(&self, strategy: &str, threads: usize) -> Option<f64> {
+        let nearest = self
+            .rows
+            .iter()
+            .filter(|(s, _, _)| s == strategy)
+            .map(|&(_, t, _)| t)
+            .min_by_key(|&t| t.abs_diff(threads))?;
+        self.rows
+            .iter()
+            .filter(|(s, t, _)| s == strategy && *t == nearest)
+            .map(|&(_, _, m)| m)
+            .max_by(f64::total_cmp)
+    }
+}
+
+/// Value of a `"key": "string"` field within one scanned JSON object.
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = obj.find(&pat)? + pat.len();
+    let end = obj[start..].find('"')?;
+    Some(obj[start..start + end].to_string())
+}
+
+/// Value of a `"key": number` field within one scanned JSON object.
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 impl ParallelStrategy {
     /// Builds a coloring strategy for the mesh.
     pub fn colored(mesh: &alya_mesh::TetMesh) -> Self {
@@ -221,13 +326,34 @@ impl ParallelStrategy {
         ParallelStrategy::Sharded(ShardSet::build(mesh, &partition))
     }
 
-    /// Picks a strategy from the mesh size and the active worker count:
-    /// sharded once every worker has at least
+    /// Picks a strategy from the mesh size, the active worker count and —
+    /// when the repo carries one — the committed `BENCH_drivers.json`
+    /// measurements: sharded once every worker has at least
     /// [`SHARD_AUTO_MIN_ELEMS_PER_WORKER`] elements (the regime where the
-    /// compact buffers and boundary-only reduction win), colored otherwise.
+    /// compact buffers and boundary-only reduction win), unless the bench
+    /// baseline measured colored faster at this thread count; colored
+    /// otherwise.
     pub fn auto(mesh: &alya_mesh::TetMesh) -> Self {
-        let workers = par::num_threads();
+        Self::auto_with(mesh, par::num_threads(), ThroughputDb::load_default())
+    }
+
+    /// [`Self::auto`] with the worker count and throughput data made
+    /// explicit (what the unit tests drive; `auto` supplies the live
+    /// values).
+    pub fn auto_with(mesh: &alya_mesh::TetMesh, workers: usize, db: Option<&ThroughputDb>) -> Self {
         if workers > 1 && mesh.num_elements() >= workers * SHARD_AUTO_MIN_ELEMS_PER_WORKER {
+            // Measured data can overturn the heuristic's sharded default,
+            // but only when it covers both candidates.
+            if let Some(db) = db {
+                if let (Some(colored), Some(sharded)) = (
+                    db.best_melem_per_s("colored", workers),
+                    db.best_melem_per_s("sharded", workers),
+                ) {
+                    if colored > sharded {
+                        return Self::colored(mesh);
+                    }
+                }
+            }
             Self::sharded(mesh, workers)
         } else {
             Self::colored(mesh)
@@ -359,15 +485,15 @@ impl ScatterSink for ColoredSink<'_> {
 /// discipline as [`BufferSink`]) and redirects the store through the
 /// precomputed local connectivity — the inner loop never touches a
 /// global→local map.
-struct CompactSink<'a> {
+pub(crate) struct CompactSink<'a> {
     /// The element's corners in global numbering.
-    gnodes: [u32; 4],
+    pub(crate) gnodes: [u32; 4],
     /// The same corners in the shard's compact numbering.
-    lnodes: [u32; 4],
+    pub(crate) lnodes: [u32; 4],
     /// Nodes in the shard (component stride of `buf`).
-    stride: usize,
+    pub(crate) stride: usize,
     /// The shard's `3 × stride` accumulation buffer.
-    buf: &'a mut [f64],
+    pub(crate) buf: &'a mut [f64],
 }
 
 impl ScatterSink for CompactSink<'_> {
@@ -752,6 +878,76 @@ mod tests {
         assert_eq!(
             ParallelStrategy::partitioned(&mesh, 2).name(),
             "partitioned"
+        );
+    }
+
+    #[test]
+    fn throughput_db_parses_bench_rows_and_rejects_garbage() {
+        let json = r#"{
+          "bench": "drivers",
+          "results": [
+            {"strategy": "colored", "variant": "rsp", "threads": 4, "melem_per_s": 12.5},
+            {"strategy": "colored", "variant": "rspr", "threads": 4, "melem_per_s": 14.0},
+            {"strategy": "sharded", "variant": "rsp", "threads": 8, "melem_per_s": 21.0},
+            {"strategy": "sharded", "variant": "rsp", "threads": 4, "melem_per_s": -3.0}
+          ]
+        }"#;
+        let db = ThroughputDb::parse(json).expect("well-formed rows");
+        // Max over variants at the matching thread count.
+        assert_eq!(db.best_melem_per_s("colored", 4), Some(14.0));
+        // Nearest thread count wins when there is no exact match (the
+        // negative-throughput row was rejected, so 8 is nearest to 4).
+        assert_eq!(db.best_melem_per_s("sharded", 4), Some(21.0));
+        assert_eq!(db.best_melem_per_s("partitioned", 4), None);
+        assert!(ThroughputDb::parse("").is_none());
+        assert!(ThroughputDb::parse("{\"results\": []}").is_none());
+        assert!(ThroughputDb::parse("not json at all").is_none());
+    }
+
+    #[test]
+    fn auto_consults_measured_throughput_when_present() {
+        // Big enough that 4 workers clear the 2048 elements/worker floor.
+        let mesh = BoxMeshBuilder::new(12, 12, 10).build();
+        assert!(mesh.num_elements() >= 4 * SHARD_AUTO_MIN_ELEMS_PER_WORKER);
+        let colored_wins = ThroughputDb::parse(
+            r#"[{"strategy": "colored", "threads": 4, "melem_per_s": 30.0},
+                {"strategy": "sharded", "threads": 4, "melem_per_s": 20.0}]"#,
+        )
+        .unwrap();
+        let sharded_wins = ThroughputDb::parse(
+            r#"[{"strategy": "colored", "threads": 4, "melem_per_s": 20.0},
+                {"strategy": "sharded", "threads": 4, "melem_per_s": 30.0}]"#,
+        )
+        .unwrap();
+        let one_sided =
+            ThroughputDb::parse(r#"[{"strategy": "colored", "threads": 4, "melem_per_s": 30.0}]"#)
+                .unwrap();
+        assert_eq!(
+            ParallelStrategy::auto_with(&mesh, 4, Some(&colored_wins)).name(),
+            "colored"
+        );
+        assert_eq!(
+            ParallelStrategy::auto_with(&mesh, 4, Some(&sharded_wins)).name(),
+            "sharded"
+        );
+        // Partial data cannot overturn the heuristic.
+        assert_eq!(
+            ParallelStrategy::auto_with(&mesh, 4, Some(&one_sided)).name(),
+            "sharded"
+        );
+        // File-absent path: pure element-count heuristic.
+        assert_eq!(
+            ParallelStrategy::auto_with(&mesh, 4, None).name(),
+            "sharded"
+        );
+        assert_eq!(
+            ParallelStrategy::auto_with(&mesh, 1, None).name(),
+            "colored"
+        );
+        let small = BoxMeshBuilder::new(3, 3, 2).build();
+        assert_eq!(
+            ParallelStrategy::auto_with(&small, 4, Some(&sharded_wins)).name(),
+            "colored"
         );
     }
 

@@ -35,6 +35,7 @@
 //! assert_eq!(rhs.num_nodes(), mesh.num_nodes());
 //! ```
 
+pub mod distributed;
 pub mod drivers;
 pub mod gather;
 pub mod input;
@@ -46,6 +47,7 @@ pub mod ops;
 pub mod variant;
 pub mod workspace;
 
+pub use distributed::DistributedDriver;
 pub use drivers::{assemble_parallel, assemble_serial, assemble_traced, ParallelStrategy};
 pub use input::AssemblyInput;
 pub use variant::{KernelContract, Variant, CONTRACT_F64_BUDGET, CONTRACT_REGISTER_BUDGET};

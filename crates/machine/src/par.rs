@@ -160,6 +160,41 @@ where
     });
 }
 
+/// Spawns **exactly one dedicated OS thread per item**, moves each item
+/// into its thread, and joins them all — the rank-parallel execution model
+/// of `alya-comm`, where every item is one rank's private state.
+///
+/// Unlike the worker helpers above, this deliberately ignores
+/// [`set_thread_cap`]: the cap models *worker* parallelism within a rank,
+/// while ranks stand in for distributed processes whose count is fixed by
+/// the decomposition, not by the host. Capping ranks would deadlock a
+/// blocking message exchange (a rank that never runs can never send).
+/// A single item runs on the calling thread.
+pub fn dedicated_threads<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.into_iter().map(|t| f(0, t)).collect();
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let f = &f;
+                s.spawn(move || f(i, t))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dedicated rank thread panicked"))
+            .collect()
+    })
+}
+
 /// Reduces `items` to one value by **pairwise tree combination**: at every
 /// level adjacent pairs are combined concurrently, halving the item count,
 /// until one value remains. Compared with the serial left fold the old
@@ -298,5 +333,24 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn dedicated_threads_run_every_item_despite_a_cap() {
+        // A thread cap must not reduce rank parallelism: all four ranks
+        // run (under a cap of 1 a capped pool would stall a blocking
+        // exchange; here we just prove every item executes and results
+        // come back in item order).
+        set_thread_cap(Some(1));
+        let items: Vec<u64> = (0..4).collect();
+        let out = dedicated_threads(items, |i, x| {
+            assert_eq!(i as u64, x);
+            x * 10
+        });
+        set_thread_cap(None);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+        // Degenerate sizes.
+        assert_eq!(dedicated_threads(Vec::<u8>::new(), |_, x| x), vec![]);
+        assert_eq!(dedicated_threads(vec![7u8], |i, x| x + i as u8), vec![7]);
     }
 }

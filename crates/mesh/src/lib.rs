@@ -40,6 +40,6 @@ pub use coloring::{Coloring, ColoringConflict};
 pub use generator::{BoxMeshBuilder, TerrainMeshBuilder};
 pub use partition::Partition;
 pub use rng::Rng64;
-pub use shard::{Shard, ShardSet};
+pub use shard::{ExchangePlan, RankExchange, Shard, ShardSet};
 pub use stats::MeshStats;
 pub use tet::{Point3, TetMesh, NODES_PER_TET};

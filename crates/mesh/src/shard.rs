@@ -29,6 +29,8 @@
 //! matrix-free index storage) and the groundwork for multi-device and
 //! distributed assembly.
 
+use std::collections::BTreeMap;
+
 use crate::partition::Partition;
 use crate::tet::{TetMesh, NODES_PER_TET};
 
@@ -91,6 +93,16 @@ impl Shard {
     #[inline]
     pub fn boundary_global_nodes(&self) -> &[u32] {
         &self.global_nodes[self.num_interior..]
+    }
+
+    /// The compact local slot of boundary node `g`, or `None` when `g` is
+    /// not a boundary node of this shard. O(log boundary) — the boundary
+    /// block is sorted by global id.
+    pub fn boundary_slot(&self, g: u32) -> Option<u32> {
+        self.boundary_global_nodes()
+            .binary_search(&g)
+            .ok()
+            .map(|b| (self.num_interior + b) as u32)
     }
 }
 
@@ -221,6 +233,41 @@ impl ShardSet {
         self.total_boundary_slots() * 3 * 8
     }
 
+    /// Boundary (interface) nodes counted **once** each, however many
+    /// shards touch them — the distinct node count of the interface.
+    pub fn num_distinct_boundary_nodes(&self) -> usize {
+        self.boundary_touch_map().len()
+    }
+
+    /// Halo-exchange send slots: boundary-node contributions that must
+    /// cross a rank boundary when each shard runs as its own rank. Every
+    /// interface node is touched by `k ≥ 2` shards; the owner keeps its
+    /// own contribution and the other `k − 1` ship theirs, so
+    ///
+    /// ```text
+    /// halo_send_slots = total_boundary_slots − num_distinct_boundary_nodes
+    /// ```
+    ///
+    /// — the closed form the analyzer's comm contract checks live
+    /// exchange traffic against.
+    pub fn halo_send_slots(&self) -> usize {
+        self.total_boundary_slots() - self.num_distinct_boundary_nodes()
+    }
+
+    /// For every interface node (ascending global id): the sorted list of
+    /// shards touching it. The lowest-numbered shard is the node's
+    /// **owner** in the rank-parallel exchange (Alya's convention).
+    pub fn boundary_touch_map(&self) -> Vec<(u32, Vec<u32>)> {
+        let mut touch: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            for &g in shard.boundary_global_nodes() {
+                touch.entry(g).or_default().push(s as u32);
+            }
+        }
+        // Shards iterate in order, so each list is already sorted.
+        touch.into_iter().collect()
+    }
+
     /// Largest compact buffer any shard needs (3 × nodes, in values).
     pub fn max_local_values(&self) -> usize {
         self.shards
@@ -330,6 +377,106 @@ impl ShardSet {
     }
 }
 
+/// One rank's halo-exchange schedule (see [`ExchangePlan`]).
+#[derive(Debug, Clone, Default)]
+pub struct RankExchange {
+    /// Outgoing messages: for each neighbor rank that **owns** nodes this
+    /// rank touches, the `(my_local_slot, owner_local_slot)` pairs to
+    /// ship, sorted ascending by the owner's slot. Neighbors sorted by
+    /// rank; empty lists are never stored.
+    pub sends: Vec<(u32, Vec<(u32, u32)>)>,
+    /// Ranks this rank expects exactly one message from (sorted).
+    pub recv_peers: Vec<u32>,
+    /// Local slots (all `≥ num_interior`) of the boundary nodes this rank
+    /// owns — the slots incoming contributions are summed into, and the
+    /// boundary part of the rank's owned output.
+    pub owned_boundary_slots: Vec<u32>,
+}
+
+/// The full halo-exchange schedule of a [`ShardSet`] run one-shard-per-
+/// rank: who sends which compact slots to whom, and who owns what.
+///
+/// Ownership follows Alya's convention — the lowest-numbered rank
+/// touching an interface node owns it; every other toucher ships its
+/// contribution to the owner, which combines them **in ascending sender
+/// rank order** (deterministic, so the distributed assembly is bitwise
+/// reproducible at a fixed rank count). Interior nodes never appear here:
+/// they are exclusively owned by construction.
+#[derive(Debug, Clone)]
+pub struct ExchangePlan {
+    ranks: Vec<RankExchange>,
+}
+
+impl ExchangePlan {
+    /// Derives the schedule from a shard set.
+    pub fn build(set: &ShardSet) -> Self {
+        let mut ranks = vec![RankExchange::default(); set.num_shards()];
+        for (g, touchers) in set.boundary_touch_map() {
+            let owner = touchers[0]; // lists are sorted; lowest rank owns
+            let owner_slot = set
+                .shard(owner as usize)
+                .boundary_slot(g)
+                .expect("owner touches its node");
+            ranks[owner as usize].owned_boundary_slots.push(owner_slot);
+            for &t in &touchers[1..] {
+                let my_slot = set
+                    .shard(t as usize)
+                    .boundary_slot(g)
+                    .expect("toucher holds the node");
+                match ranks[t as usize]
+                    .sends
+                    .iter_mut()
+                    .find(|(to, _)| *to == owner)
+                {
+                    Some((_, list)) => list.push((my_slot, owner_slot)),
+                    None => ranks[t as usize]
+                        .sends
+                        .push((owner, vec![(my_slot, owner_slot)])),
+                }
+                let peers = &mut ranks[owner as usize].recv_peers;
+                if !peers.contains(&t) {
+                    peers.push(t);
+                }
+            }
+        }
+        for r in &mut ranks {
+            r.sends.sort_by_key(|(to, _)| *to);
+            for (_, list) in &mut r.sends {
+                list.sort_by_key(|&(_, owner_slot)| owner_slot);
+            }
+            r.recv_peers.sort_unstable();
+            r.owned_boundary_slots.sort_unstable();
+        }
+        Self { ranks }
+    }
+
+    /// Number of ranks in the schedule.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Rank `r`'s schedule.
+    pub fn rank(&self, r: usize) -> &RankExchange {
+        &self.ranks[r]
+    }
+
+    /// Point-to-point messages one assembly exchanges (non-empty send
+    /// lists across all ranks).
+    pub fn num_messages(&self) -> usize {
+        self.ranks.iter().map(|r| r.sends.len()).sum()
+    }
+
+    /// Total `(slot, value)` entries shipped per assembly — equals
+    /// [`ShardSet::halo_send_slots`] of the set the plan was built from.
+    pub fn total_send_entries(&self) -> usize {
+        self.ranks
+            .iter()
+            .flat_map(|r| r.sends.iter())
+            .map(|(_, list)| list.len())
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,6 +568,106 @@ mod tests {
         assert_eq!(set.shard(0).num_local_nodes(), mesh.num_nodes());
         assert_eq!(set.total_boundary_slots(), 0);
         set.validate(&mesh).unwrap();
+    }
+
+    #[test]
+    fn halo_closed_forms_match_a_brute_force_count() {
+        let mesh = TerrainMeshBuilder::new(8, 8, 4).build();
+        for parts in [2, 3, 8] {
+            let set = shard_set(&mesh, parts);
+            // Brute force: per interface node, touchers − 1 slots cross.
+            let mut touchers = vec![0usize; mesh.num_nodes()];
+            for shard in set.shards() {
+                for &g in shard.boundary_global_nodes() {
+                    touchers[g as usize] += 1;
+                }
+            }
+            let distinct = touchers.iter().filter(|&&t| t > 0).count();
+            let crossing: usize = touchers.iter().filter(|&&t| t > 0).map(|&t| t - 1).sum();
+            assert_eq!(set.num_distinct_boundary_nodes(), distinct);
+            assert_eq!(set.halo_send_slots(), crossing);
+            assert_eq!(set.halo_send_slots(), set.total_boundary_slots() - distinct);
+            // Every toucher list is sorted and has ≥ 2 entries.
+            for (g, list) in set.boundary_touch_map() {
+                assert!(list.len() >= 2, "node {g} boundary but 1 toucher");
+                assert!(list.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_plan_ships_every_crossing_slot_to_its_owner_once() {
+        let mesh = BoxMeshBuilder::new(5, 4, 3).jitter(0.1).seed(13).build();
+        for parts in [1, 2, 6] {
+            let set = shard_set(&mesh, parts);
+            let plan = ExchangePlan::build(&set);
+            assert_eq!(plan.num_ranks(), parts);
+            assert_eq!(plan.total_send_entries(), set.halo_send_slots());
+
+            let mut received_per_owner = vec![0usize; parts];
+            for r in 0..parts {
+                let rx = plan.rank(r);
+                // Owned boundary slots point at real boundary nodes of r.
+                let shard = set.shard(r);
+                for &slot in &rx.owned_boundary_slots {
+                    assert!((slot as usize) >= shard.num_interior());
+                    assert!((slot as usize) < shard.num_local_nodes());
+                }
+                for (to, list) in &rx.sends {
+                    assert_ne!(*to as usize, r, "self-send scheduled");
+                    assert!(!list.is_empty(), "empty message scheduled");
+                    let owner = set.shard(*to as usize);
+                    // Owner-slot-sorted, unique (no double counting), and
+                    // both endpoints agree on the global node.
+                    assert!(list.windows(2).all(|w| w[0].1 < w[1].1));
+                    for &(mine, theirs) in list {
+                        let g = shard.global_nodes()[mine as usize];
+                        assert_eq!(owner.global_nodes()[theirs as usize], g);
+                        // The receiver owns the node: it's in its owned set.
+                        assert!(plan
+                            .rank(*to as usize)
+                            .owned_boundary_slots
+                            .binary_search(&theirs)
+                            .is_ok());
+                    }
+                    received_per_owner[*to as usize] += 1;
+                    // The receiver expects exactly this sender.
+                    assert!(plan
+                        .rank(*to as usize)
+                        .recv_peers
+                        .binary_search(&(r as u32))
+                        .is_ok());
+                }
+            }
+            for r in 0..parts {
+                assert_eq!(
+                    plan.rank(r).recv_peers.len(),
+                    received_per_owner[r],
+                    "rank {r}: recv expectation does not match scheduled senders"
+                );
+            }
+            if parts == 1 {
+                assert_eq!(plan.num_messages(), 0);
+                assert_eq!(set.halo_send_slots(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_slot_finds_every_boundary_node_and_only_those() {
+        let mesh = BoxMeshBuilder::new(4, 3, 3).build();
+        let set = shard_set(&mesh, 4);
+        for shard in set.shards() {
+            for (b, &g) in shard.boundary_global_nodes().iter().enumerate() {
+                assert_eq!(
+                    shard.boundary_slot(g),
+                    Some((shard.num_interior() + b) as u32)
+                );
+            }
+            for &g in &shard.global_nodes()[..shard.num_interior()] {
+                assert_eq!(shard.boundary_slot(g), None, "interior node resolved");
+            }
+        }
     }
 
     #[test]

@@ -9,13 +9,15 @@
 //! message-volume accounting, since communication is what the paper's
 //! future-work section worries about at exascale.
 
+use std::collections::BTreeMap;
+
 use alya_core::drivers::assemble_element;
 use alya_core::gather::ScatterSink;
 use alya_core::layout::Layout;
 use alya_core::{AssemblyInput, Variant};
 use alya_fem::VectorField;
 use alya_machine::{NoRecord, Recorder};
-use alya_mesh::{Partition, TetMesh};
+use alya_mesh::{Partition, ShardSet, TetMesh};
 
 /// One rank's view of the distributed mesh.
 #[derive(Debug, Clone)]
@@ -42,61 +44,71 @@ pub struct DistributedMesh {
 impl DistributedMesh {
     /// Decomposes a mesh over `num_ranks` ranks by RCB. Node ownership goes
     /// to the lowest-numbered rank touching the node (Alya-style).
+    ///
+    /// The touched/interior/shared classification is **not** re-derived
+    /// here: it comes from [`alya_mesh::ShardSet`] — the same compact
+    /// decomposition the sharded and distributed drivers use — so there is
+    /// exactly one implementation of that sweep in the workspace. A node
+    /// interior to shard `r` is touched only by rank `r` (hence owned by
+    /// it); interface ownership follows the shard set's lowest-toucher
+    /// convention ([`ShardSet::boundary_touch_map`]).
     pub fn build(mesh: &TetMesh, num_ranks: usize) -> Self {
         let partition = Partition::rcb(mesh, num_ranks);
+        let set = ShardSet::build(mesh, &partition);
         let nn = mesh.num_nodes();
+
         let mut node_owner = vec![u32::MAX; nn];
-        let mut touched: Vec<Vec<u32>> = vec![Vec::new(); nn]; // ranks per node
-        for r in 0..num_ranks {
-            for &e in partition.part(r) {
-                for &n in &mesh.element(e as usize) {
-                    let t = &mut touched[n as usize];
-                    if !t.contains(&(r as u32)) {
-                        t.push(r as u32);
-                    }
-                    let owner = &mut node_owner[n as usize];
-                    *owner = (*owner).min(r as u32);
-                }
+        for (r, shard) in set.shards().enumerate() {
+            for &g in &shard.global_nodes()[..shard.num_interior()] {
+                node_owner[g as usize] = r as u32;
             }
+        }
+        // Ranks touching each interface node (sorted; lowest owns).
+        let mut boundary_touchers: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (g, touchers) in set.boundary_touch_map() {
+            node_owner[g as usize] = touchers[0];
+            boundary_touchers.insert(g, touchers);
         }
 
         let mut ranks = Vec::with_capacity(num_ranks);
         for r in 0..num_ranks as u32 {
-            // Local node set: owned nodes first, halo after.
-            let mut owned = Vec::new();
-            let mut halo = Vec::new();
-            for n in 0..nn as u32 {
-                if touched[n as usize].contains(&r) {
-                    if node_owner[n as usize] == r {
-                        owned.push(n);
-                    } else {
-                        halo.push(n);
-                    }
+            let shard = set.shard(r as usize);
+            // Local node set: owned nodes first (interior plus the
+            // interface nodes this rank owns), halo after; both blocks
+            // ascending by global id.
+            let mut owned: Vec<u32> = Vec::with_capacity(shard.num_local_nodes());
+            let mut halo: Vec<u32> = Vec::new();
+            for &g in shard.global_nodes() {
+                if node_owner[g as usize] == r {
+                    owned.push(g);
+                } else {
+                    halo.push(g);
                 }
             }
+            owned.sort_unstable();
+            halo.sort_unstable();
             let num_owned = owned.len();
             let mut local_to_global = owned;
-            local_to_global.extend_from_slice(&halo);
+            local_to_global.append(&mut halo);
 
-            // Neighbour lists: every other rank sharing one of my nodes.
-            let mut neighbours: Vec<(u32, Vec<u32>)> = Vec::new();
+            // Neighbour lists: every other rank sharing one of my nodes —
+            // only interface nodes have co-touchers, by definition.
+            let mut neighbours: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
             for (local, &g) in local_to_global.iter().enumerate() {
-                for &other in &touched[g as usize] {
-                    if other == r {
-                        continue;
-                    }
-                    match neighbours.iter_mut().find(|(nb, _)| *nb == other) {
-                        Some((_, list)) => list.push(local as u32),
-                        None => neighbours.push((other, vec![local as u32])),
+                let Some(touchers) = boundary_touchers.get(&g) else {
+                    continue;
+                };
+                for &other in touchers {
+                    if other != r {
+                        neighbours.entry(other).or_default().push(local as u32);
                     }
                 }
             }
-            neighbours.sort_by_key(|(nb, _)| *nb);
 
             ranks.push(RankTopology {
                 local_to_global,
                 num_owned,
-                neighbours,
+                neighbours: neighbours.into_iter().collect(),
                 elements: partition.part(r as usize).to_vec(),
             });
         }
