@@ -324,6 +324,43 @@ pub fn check_bench_comm(json: &str) -> BenchCommReport {
                 ranks as usize
             ));
         }
+
+        // Overlap accounting: the row must carry both schedules' timings
+        // and a win consistent with its own blocked-wait measurements.
+        let (Some(overlap_median), Some(wait_off), Some(wait_on), Some(win)) = (
+            row_num(obj, "overlap_median_s"),
+            row_num(obj, "blocked_wait_off_s"),
+            row_num(obj, "blocked_wait_on_s"),
+            row_num(obj, "overlap_win"),
+        ) else {
+            violations.push(format!(
+                "row at ranks={ranks} is missing overlap accounting fields"
+            ));
+            continue;
+        };
+        if overlap_median <= 0.0 {
+            violations.push(format!(
+                "ranks={}: nonpositive overlap-on runtime {overlap_median}",
+                ranks as usize
+            ));
+        }
+        if wait_off < 0.0 || wait_on < 0.0 {
+            violations.push(format!(
+                "ranks={}: negative blocked-wait time ({wait_off} / {wait_on})",
+                ranks as usize
+            ));
+        }
+        let recomputed = if wait_off > 0.0 {
+            1.0 - wait_on / wait_off
+        } else {
+            0.0
+        };
+        if (win - recomputed).abs() > 5e-3 {
+            violations.push(format!(
+                "ranks={}: overlap_win {win} inconsistent with its own waits (recomputes {recomputed:.4})",
+                ranks as usize
+            ));
+        }
     }
     if rows_checked == 0 {
         violations.push("no rank-sweep rows found in the report".into());
@@ -424,9 +461,17 @@ mod tests {
             let set = ShardSet::build(&mesh, &Partition::rcb(&mesh, ranks));
             let bytes = set.halo_send_slots() * HALO_ENTRY_BYTES;
             let msgs = ExchangePlan::build(&set).num_messages();
+            let (wait_off, wait_on) = if ranks == 1 { (0.0, 0.0) } else { (2e-3, 5e-4) };
+            let win = if wait_off > 0.0 {
+                1.0 - wait_on / wait_off
+            } else {
+                0.0
+            };
             rows.push_str(&format!(
                 "{{\"ranks\": {ranks}, \"halo_bytes\": {bytes}, \
-                 \"predicted_halo_bytes\": {bytes}, \"messages\": {msgs}}},"
+                 \"predicted_halo_bytes\": {bytes}, \"messages\": {msgs}, \
+                 \"overlap_median_s\": 1.5e-3, \"blocked_wait_off_s\": {wait_off}, \
+                 \"blocked_wait_on_s\": {wait_on}, \"overlap_win\": {win}}},"
             ));
         }
         let honest = format!(
@@ -442,5 +487,16 @@ mod tests {
         let bad = check_bench_comm(&forged);
         assert!(!bad.is_clean());
         assert!(check_bench_comm("{}").violations.len() == 1);
+
+        // An overlap win the row's own waits don't support is caught too.
+        let forged = honest.replace(
+            "\"blocked_wait_on_s\": 0.0005",
+            "\"blocked_wait_on_s\": 0.002",
+        );
+        let bad = check_bench_comm(&forged);
+        assert!(
+            bad.violations.iter().any(|v| v.contains("overlap_win")),
+            "{bad}"
+        );
     }
 }

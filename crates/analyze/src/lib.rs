@@ -3,7 +3,7 @@
 //! The instrumented kernels in `alya-core` don't just feed the performance
 //! models — their event streams, the modelled address-space layout, and
 //! the coloring infrastructure together make the paper's optimization
-//! claims *mechanically checkable*. This crate runs three passes:
+//! claims *mechanically checkable*. This crate runs five passes:
 //!
 //! 1. **Contract checker** ([`contracts`]) — per variant, captures element
 //!    traces under **both** addressing conventions (`Layout::gpu` and
@@ -29,6 +29,12 @@
 //!    delivered (dual-sided counters), no self-sends, and each traced
 //!    slot list matches the exchange plan exactly once (no double
 //!    count). The same budget validates a committed `BENCH_comm.json`.
+//! 5. **Schedule contract** ([`sched`]) — replays each rank's
+//!    `alya-sched` pipeline trace from a live overlapped assembly:
+//!    every stage enqueued/started/retired exactly once and only after
+//!    its dependencies, no buffer read before its producer retired, and
+//!    the halo combine folds senders in ascending rank order — overlap
+//!    may reorder arrival, never the combine.
 //!
 //! Run all passes via the audit binary:
 //!
@@ -44,6 +50,7 @@ pub mod comm;
 pub mod contracts;
 pub mod fixture;
 pub mod races;
+pub mod sched;
 pub mod sources;
 
 pub use fixture::Fixture;
@@ -55,7 +62,7 @@ use std::path::Path;
 /// properly; the invariants are count-independent).
 pub const AUDIT_SHARDS: usize = 8;
 
-/// Combined result of all three passes.
+/// Combined result of all five passes.
 #[derive(Debug)]
 pub struct AuditReport {
     /// Kernel-contract violations (pass 1).
@@ -70,6 +77,9 @@ pub struct AuditReport {
     /// Comm-contract report of a fully-traced distributed assembly on the
     /// fixture mesh (pass 4).
     pub comm: comm::CommContractReport,
+    /// Schedule-contract report of an overlapped distributed assembly on
+    /// the fixture mesh (pass 5).
+    pub sched: sched::SchedContractReport,
 }
 
 impl AuditReport {
@@ -80,6 +90,7 @@ impl AuditReport {
             && self.shards.is_valid()
             && self.source_violations.is_empty()
             && self.comm.is_clean()
+            && self.sched.is_clean()
     }
 
     /// Total violation count (a race counts once, a shard violation once).
@@ -89,6 +100,7 @@ impl AuditReport {
             + usize::from(!self.shards.is_valid())
             + self.source_violations.len()
             + self.comm.violations.len()
+            + self.sched.violations.len()
     }
 }
 
@@ -99,6 +111,7 @@ pub fn run_audit(workspace_root: Option<&Path>) -> AuditReport {
     let fx = Fixture::new();
     let input = fx.input();
     let (comm_report, _, _) = comm::check_distributed(&input, AUDIT_SHARDS);
+    let (sched_report, _, _) = sched::check_distributed_schedule(&input, AUDIT_SHARDS, true);
     AuditReport {
         contract_violations: contracts::check_all(&input),
         races: races::check_mesh(&fx.mesh),
@@ -107,6 +120,7 @@ pub fn run_audit(workspace_root: Option<&Path>) -> AuditReport {
             .map(sources::check_workspace)
             .unwrap_or_default(),
         comm: comm_report,
+        sched: sched_report,
     }
 }
 

@@ -1,0 +1,398 @@
+//! Pass 5 — the schedule contract checker.
+//!
+//! The distributed driver's overlap pipeline is only admissible if the
+//! scheduling cannot change the answer. This pass replays the
+//! [`SchedTrace`] every rank records and holds it against the contract:
+//!
+//! * **single enqueue** — every stage is enqueued, started and retired
+//!   exactly once, in that order; no stage runs twice or is skipped;
+//! * **dependency order** — a stage is never enqueued before every one
+//!   of its declared dependencies has retired;
+//! * **buffer discipline** — each buffer is published exactly once, by
+//!   its declared producer, and every read of it lands after the
+//!   publish (no stage consumes a half-built accumulator);
+//! * **deterministic combine** — the `combine` notes (one per incoming
+//!   halo message, in fold order) are exactly the exchange plan's
+//!   `recv_peers`, ascending: overlap may reorder *arrival*, never the
+//!   sender-ordered *combine*;
+//! * **full exchange** — the drain stage's `recv` notes cover every
+//!   expected peer, and the post stage's `posted` note matches the
+//!   plan's send count — nothing withheld, nothing extra.
+//!
+//! Structural checks ([`check_trace`]) apply to any pipeline; the
+//! plan-aware checks ([`check_run`]) bind rank `r`'s trace to the
+//! [`ExchangePlan`]. [`check_distributed_schedule`] runs a live
+//! assembly and audits all of its traces.
+
+use alya_core::{AssemblyInput, DistributedDriver, Variant};
+use alya_mesh::ExchangePlan;
+use alya_sched::{SchedEvent, SchedTrace};
+
+/// Outcome of checking the schedule traces of one distributed assembly.
+#[derive(Debug, Clone)]
+pub struct SchedContractReport {
+    /// Ranks whose traces were checked.
+    pub num_ranks: usize,
+    /// Whether the run used compute/exchange overlap.
+    pub overlap: bool,
+    /// Stages checked across all ranks.
+    pub stages_checked: usize,
+    /// Events replayed across all ranks.
+    pub events_checked: usize,
+    /// Every contract breach found (empty when clean).
+    pub violations: Vec<String>,
+}
+
+impl SchedContractReport {
+    /// Whether every trace honored the schedule contract.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for SchedContractReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            write!(
+                f,
+                "sched-clean: {} rank pipeline(s) (overlap {}), {} stages / {} events on contract",
+                self.num_ranks,
+                if self.overlap { "on" } else { "off" },
+                self.stages_checked,
+                self.events_checked
+            )
+        } else {
+            write!(f, "SCHED VIOLATION: {}", self.violations.join("; "))
+        }
+    }
+}
+
+/// Index of the single event matching `pred`, with multiplicity errors
+/// reported into `violations` under `what`.
+fn single_event(
+    trace: &SchedTrace,
+    what: &str,
+    violations: &mut Vec<String>,
+    pred: impl Fn(&SchedEvent) -> bool,
+) -> Option<usize> {
+    let mut found = None;
+    for (i, e) in trace.events.iter().enumerate() {
+        if pred(e) {
+            if found.is_some() {
+                violations.push(format!("{}: duplicate {what}", trace.pipeline));
+                return found;
+            }
+            found = Some(i);
+        }
+    }
+    if found.is_none() {
+        violations.push(format!("{}: missing {what}", trace.pipeline));
+    }
+    found
+}
+
+/// Structural schedule checks on one trace (no plan required). Returns
+/// the violations found.
+pub fn check_trace(trace: &SchedTrace) -> Vec<String> {
+    let mut violations = Vec::new();
+    let ns = trace.stages.len() as u32;
+    let nb = trace.buffers.len() as u32;
+
+    for e in &trace.events {
+        if e.stage() >= ns {
+            violations.push(format!(
+                "{}: event references unknown stage {}",
+                trace.pipeline,
+                e.stage()
+            ));
+        }
+        if let SchedEvent::BufPublish { buf, .. } | SchedEvent::BufRead { buf, .. } = e {
+            if *buf >= nb {
+                violations.push(format!(
+                    "{}: event references unknown buffer {buf}",
+                    trace.pipeline
+                ));
+            }
+        }
+    }
+
+    // Single enqueue/start/retire per stage, ordered, after deps retired.
+    let mut retire_at = vec![usize::MAX; trace.stages.len()];
+    for (s, meta) in trace.stages.iter().enumerate() {
+        let s = s as u32;
+        let name = meta.name;
+        let enq = single_event(
+            trace,
+            &format!("enqueue of '{name}'"),
+            &mut violations,
+            |e| matches!(e, SchedEvent::Enqueued { stage } if *stage == s),
+        );
+        let start = single_event(
+            trace,
+            &format!("start of '{name}'"),
+            &mut violations,
+            |e| matches!(e, SchedEvent::Started { stage } if *stage == s),
+        );
+        let ret = single_event(
+            trace,
+            &format!("retire of '{name}'"),
+            &mut violations,
+            |e| matches!(e, SchedEvent::Retired { stage } if *stage == s),
+        );
+        if let (Some(enq), Some(start), Some(ret)) = (enq, start, ret) {
+            if !(enq < start && start < ret) {
+                violations.push(format!(
+                    "{}: stage '{name}' not enqueued→started→retired in order",
+                    trace.pipeline
+                ));
+            }
+            retire_at[s as usize] = ret;
+        }
+    }
+    for (s, meta) in trace.stages.iter().enumerate() {
+        let enq = trace
+            .events
+            .iter()
+            .position(|e| matches!(e, SchedEvent::Enqueued { stage } if *stage == s as u32));
+        let Some(enq) = enq else { continue };
+        for &d in &meta.deps {
+            let ret_d = retire_at.get(d as usize).copied().unwrap_or(usize::MAX);
+            if ret_d == usize::MAX || ret_d > enq {
+                violations.push(format!(
+                    "{}: stage '{}' enqueued before its dependency '{}' retired",
+                    trace.pipeline,
+                    meta.name,
+                    trace.stages.get(d as usize).map_or("<unknown>", |m| m.name)
+                ));
+            }
+        }
+    }
+
+    // Buffer discipline: one publish, by the declared producer, before
+    // every read.
+    for (b, meta) in trace.buffers.iter().enumerate() {
+        let b = b as u32;
+        let publish = single_event(
+            trace,
+            &format!("publish of buffer '{}'", meta.name),
+            &mut violations,
+            |e| matches!(e, SchedEvent::BufPublish { buf, .. } if *buf == b),
+        );
+        if let Some(p) = publish {
+            if let SchedEvent::BufPublish { stage, .. } = &trace.events[p] {
+                if *stage != meta.producer {
+                    violations.push(format!(
+                        "{}: buffer '{}' published by stage {stage}, declared producer is {}",
+                        trace.pipeline, meta.name, meta.producer
+                    ));
+                }
+            }
+            for (i, e) in trace.events.iter().enumerate() {
+                if let SchedEvent::BufRead { stage, buf } = e {
+                    if *buf == b && i < p {
+                        violations.push(format!(
+                            "{}: stage {stage} read buffer '{}' before its producer retired",
+                            trace.pipeline, meta.name
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // The combine fold must walk senders in ascending order.
+    let combines = trace.notes("combine");
+    if !combines.windows(2).all(|w| w[0] < w[1]) {
+        violations.push(format!(
+            "{}: combine order is not ascending by sender rank: {combines:?}",
+            trace.pipeline
+        ));
+    }
+    violations
+}
+
+/// Checks every rank's trace of one distributed assembly against the
+/// structural contract *and* the exchange plan: sender-ordered combine,
+/// full drain coverage, and the planned number of posted messages.
+pub fn check_run(plan: &ExchangePlan, traces: &[SchedTrace], overlap: bool) -> SchedContractReport {
+    let mut violations = Vec::new();
+    if traces.len() != plan.num_ranks() {
+        violations.push(format!(
+            "{} trace(s) for {} rank(s)",
+            traces.len(),
+            plan.num_ranks()
+        ));
+    }
+    let expected_name = if overlap {
+        "rank-overlap"
+    } else {
+        "rank-serial"
+    };
+    let mut stages_checked = 0;
+    let mut events_checked = 0;
+    for (r, trace) in traces.iter().enumerate() {
+        stages_checked += trace.stages.len();
+        events_checked += trace.events.len();
+        for v in check_trace(trace) {
+            violations.push(format!("rank {r}: {v}"));
+        }
+        if trace.pipeline != expected_name {
+            violations.push(format!(
+                "rank {r}: pipeline '{}' does not match the requested overlap mode ('{expected_name}')",
+                trace.pipeline
+            ));
+        }
+        if r >= plan.num_ranks() {
+            continue;
+        }
+        let exch = plan.rank(r);
+        let expected: Vec<u64> = exch.recv_peers.iter().map(|&p| u64::from(p)).collect();
+        let combines = trace.notes("combine");
+        if combines != expected {
+            violations.push(format!(
+                "rank {r}: combined {combines:?}, plan expects senders {expected:?} — \
+                 overlap reordered the deterministic combine"
+            ));
+        }
+        let mut recvs = trace.notes("recv");
+        recvs.sort_unstable();
+        if recvs != expected {
+            violations.push(format!(
+                "rank {r}: drained messages from {recvs:?}, plan expects {expected:?}"
+            ));
+        }
+        let posted = trace.notes("posted");
+        if posted != vec![exch.sends.len() as u64] {
+            violations.push(format!(
+                "rank {r}: posted {posted:?} message batch(es), plan schedules {}",
+                exch.sends.len()
+            ));
+        }
+    }
+    SchedContractReport {
+        num_ranks: traces.len(),
+        overlap,
+        stages_checked,
+        events_checked,
+        violations,
+    }
+}
+
+/// Runs one live distributed assembly of `input` at `ranks` ranks (with
+/// the requested overlap mode) and audits every rank's schedule trace.
+/// Returns the traces too so self-tests can mutate them and re-check.
+pub fn check_distributed_schedule(
+    input: &AssemblyInput,
+    ranks: usize,
+    overlap: bool,
+) -> (SchedContractReport, DistributedDriver, Vec<SchedTrace>) {
+    let driver = DistributedDriver::new(input.mesh, ranks).overlap(overlap);
+    let traces = match driver.assemble_sched(Variant::Rsp, input, None) {
+        Ok((_, _, traces)) => traces,
+        Err(stall) => {
+            return (
+                SchedContractReport {
+                    num_ranks: ranks,
+                    overlap,
+                    stages_checked: 0,
+                    events_checked: 0,
+                    violations: vec![format!("assembly stalled: {stall}")],
+                },
+                driver,
+                Vec::new(),
+            )
+        }
+    };
+    let report = check_run(driver.exchange_plan(), &traces, overlap);
+    (report, driver, traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fixture;
+
+    #[test]
+    fn live_schedules_honor_the_contract_in_both_overlap_modes() {
+        let fx = Fixture::new();
+        let input = fx.input();
+        for overlap in [true, false] {
+            for ranks in [1, 4, 8] {
+                let (report, _, traces) = check_distributed_schedule(&input, ranks, overlap);
+                assert!(report.is_clean(), "{report}");
+                assert_eq!(report.num_ranks, ranks);
+                assert_eq!(traces.len(), ranks);
+                assert_eq!(report.stages_checked, 5 * ranks);
+            }
+        }
+    }
+
+    #[test]
+    fn reordered_combine_and_early_read_are_flagged() {
+        let fx = Fixture::new();
+        let input = fx.input();
+        let (clean, driver, mut traces) = check_distributed_schedule(&input, 4, true);
+        assert!(clean.is_clean(), "{clean}");
+        // Swap the first rank-with-two-peers' combine notes: a combine
+        // that folds arrival-order instead of sender-order looks exactly
+        // like this.
+        let victim = traces
+            .iter_mut()
+            .find(|t| t.notes("combine").len() >= 2)
+            .expect("a 4-rank decomposition has a rank with 2+ peers");
+        let mut idx = Vec::new();
+        for (i, e) in victim.events.iter().enumerate() {
+            if matches!(e, SchedEvent::Note { tag: "combine", .. }) {
+                idx.push(i);
+            }
+        }
+        victim.events.swap(idx[0], idx[1]);
+        let bad = check_run(driver.exchange_plan(), &traces, true);
+        assert!(
+            bad.violations.iter().any(|v| v.contains("combine")),
+            "{bad}"
+        );
+
+        // And an early buffer read (before its producer retired) breaks
+        // the structural contract.
+        let (_, _, mut traces) = check_distributed_schedule(&input, 4, true);
+        let t = &mut traces[0];
+        let read = t
+            .events
+            .iter()
+            .position(|e| matches!(e, SchedEvent::BufRead { .. }))
+            .expect("combine reads buffers");
+        let ev = t.events.remove(read);
+        t.events.insert(0, ev);
+        let bad = check_run(driver.exchange_plan(), &traces, true);
+        assert!(
+            bad.violations
+                .iter()
+                .any(|v| v.contains("before its producer retired")),
+            "{bad}"
+        );
+    }
+
+    #[test]
+    fn duplicate_enqueue_and_missing_retire_are_flagged() {
+        let fx = Fixture::new();
+        let input = fx.input();
+        let (_, _, mut traces) = check_distributed_schedule(&input, 2, true);
+        let t = &mut traces[0];
+        // Re-enqueueing a retired stage is the classic double-run bug.
+        t.events.push(SchedEvent::Enqueued { stage: 0 });
+        let v = check_trace(t);
+        assert!(v.iter().any(|s| s.contains("duplicate enqueue")), "{v:?}");
+
+        let (_, _, mut traces) = check_distributed_schedule(&input, 2, true);
+        let t = &mut traces[1];
+        let ret = t
+            .events
+            .iter()
+            .position(|e| matches!(e, SchedEvent::Retired { stage: 0 }))
+            .unwrap();
+        t.events.remove(ret);
+        let v = check_trace(t);
+        assert!(v.iter().any(|s| s.contains("missing retire")), "{v:?}");
+    }
+}

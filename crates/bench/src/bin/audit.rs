@@ -1,4 +1,4 @@
-//! The static-analysis audit: runs all three `alya-analyze` passes and
+//! The static-analysis audit: runs all five `alya-analyze` passes and
 //! exits nonzero on any violation, so CI can gate on it.
 //!
 //! Usage:
@@ -10,6 +10,8 @@
 //! audit --seed-violation contract-registers  # forge register pressure
 //! audit --seed-violation shard-mismatch  # validate shards against wrong mesh
 //! audit --seed-violation comm-drop       # lose a halo message, expect catch
+//! audit --seed-violation overlap-stall   # withhold a halo send, expect the
+//!                                        # scheduler watchdog to fire
 //! ```
 //!
 //! The `--seed-violation` modes are self-tests of the analyzer: they inject
@@ -17,11 +19,12 @@
 //! if the analyzer missed it — the worst outcome).
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use alya_analyze::{comm, contracts, races, sources, Fixture};
 use alya_core::drivers::trace_element;
 use alya_core::layout::{self, Layout};
-use alya_core::Variant;
+use alya_core::{DistributedDriver, HaloFault, Variant};
 use alya_machine::Event;
 use alya_mesh::{ordering, Coloring, Partition, ShardSet};
 
@@ -76,6 +79,10 @@ fn full_audit() -> ExitCode {
     println!("\ncomm contract audit");
     println!("===================");
     println!("  {}", report.comm);
+
+    println!("\nschedule contract audit");
+    println!("=======================");
+    println!("  {}", report.sched);
 
     println!("\nsource lint audit");
     println!("=================");
@@ -174,9 +181,30 @@ fn seeded(mode: &str) -> ExitCode {
             println!("{report}");
             !report.is_clean()
         }
+        "overlap-stall" => {
+            // Withhold one boundary message from an 8-rank overlapped
+            // assembly — the signature of a lost send or a wedged peer.
+            // The victim's halo-drain stage can never retire, so the
+            // scheduler watchdog must fire instead of hanging forever.
+            let driver =
+                DistributedDriver::new(&fx.mesh, 8).stall_timeout(Duration::from_millis(250));
+            let (from, to) = (0..8)
+                .find_map(|r| {
+                    let send = driver.exchange_plan().rank(r).sends.first()?;
+                    Some((r as u32, send.0))
+                })
+                .expect("8-rank decomposition exchanges halo traffic");
+            match driver.assemble_sched(Variant::Rsp, &input, Some(HaloFault { from, to })) {
+                Err(stall) => {
+                    println!("{stall}");
+                    stall.stalled.contains(&"halo-drain")
+                }
+                Ok(_) => false,
+            }
+        }
         other => {
             eprintln!(
-                "unknown seed mode {other:?}; expected coloring | contract-store | contract-registers | shard-mismatch | comm-drop"
+                "unknown seed mode {other:?}; expected coloring | contract-store | contract-registers | shard-mismatch | comm-drop | overlap-stall"
             );
             return ExitCode::FAILURE;
         }
@@ -197,7 +225,7 @@ fn main() -> ExitCode {
         [flag, mode] if flag == "--seed-violation" => seeded(mode),
         _ => {
             eprintln!(
-                "usage: audit [--seed-violation coloring|contract-store|contract-registers|shard-mismatch|comm-drop]"
+                "usage: audit [--seed-violation coloring|contract-store|contract-registers|shard-mismatch|comm-drop|overlap-stall]"
             );
             ExitCode::FAILURE
         }

@@ -3,6 +3,14 @@
 //! case, emitted as `BENCH_comm.json` so the repo carries the
 //! communication trajectory next to the throughput one.
 //!
+//! Each rank count is timed twice — once with the compute/exchange
+//! overlap pipeline off (boundary-first but fully serial per rank) and
+//! once with it on (interior assembly overlapped with the halo drain).
+//! Wall-clock deltas between the two are noise on an oversubscribed
+//! host, so the report also carries the *blocked-wait* seconds each mode
+//! accumulated inside `recv` and derives the overlap win from those:
+//! `overlap_win = 1 − blocked_wait_on / blocked_wait_off`.
+//!
 //! Usage:
 //!
 //! ```text
@@ -14,7 +22,9 @@
 //! ```
 //!
 //! Every timed configuration is first validated against the analyzer's
-//! comm contract ([`alya_analyze::comm::check_exchange`]): the binary
+//! comm contract ([`alya_analyze::comm::check_exchange`]) *and* the
+//! schedule contract ([`alya_analyze::sched::check_run`]) of a traced
+//! overlapped run, and the two modes must agree bitwise: the binary
 //! refuses to emit a report whose live exchange diverges from the
 //! closed-form halo budget — `BENCH_comm.json` is evidence, not prose.
 
@@ -22,6 +32,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use alya_analyze::comm::check_exchange;
+use alya_analyze::sched::check_run;
 use alya_bench::case::Case;
 use alya_core::nut::compute_nu_t;
 use alya_core::{DistributedDriver, Variant};
@@ -71,17 +82,20 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-/// Warm-up once, then `samples` timed runs; (median, min, max) seconds.
-fn time_runs(samples: usize, mut body: impl FnMut()) -> (f64, f64, f64) {
+/// Warm-up once, then `samples` timed runs. `body` reports the run's
+/// blocked-wait seconds; returns (median, min, max, wait-median).
+fn time_runs(samples: usize, mut body: impl FnMut() -> f64) -> (f64, f64, f64, f64) {
     body();
     let mut t = Vec::with_capacity(samples);
+    let mut w = Vec::with_capacity(samples);
     for _ in 0..samples {
         let t0 = Instant::now();
-        body();
+        w.push(body());
         t.push(t0.elapsed().as_secs_f64());
     }
     t.sort_by(f64::total_cmp);
-    (t[t.len() / 2], t[0], t[t.len() - 1])
+    w.sort_by(f64::total_cmp);
+    (t[t.len() / 2], t[0], t[t.len() - 1], w[w.len() / 2])
 }
 
 struct Row {
@@ -89,6 +103,12 @@ struct Row {
     median_s: f64,
     min_s: f64,
     max_s: f64,
+    overlap_median_s: f64,
+    overlap_min_s: f64,
+    overlap_max_s: f64,
+    blocked_wait_off_s: f64,
+    blocked_wait_on_s: f64,
+    overlap_win: f64,
     melem_s: f64,
     halo_bytes: u64,
     predicted_bytes: u64,
@@ -125,25 +145,53 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     for ranks in RANK_COUNTS {
-        let driver = DistributedDriver::new(&case.mesh, ranks);
+        let driver_off = DistributedDriver::new(&case.mesh, ranks).overlap(false);
+        let driver_on = DistributedDriver::from_shard_set(driver_off.shard_set().clone());
         // Contract gate on a traced twin of the timed configuration: the
         // timed loop itself runs with counters only.
-        let traced = DistributedDriver::from_shard_set(driver.shard_set().clone()).traced(true);
+        let traced = DistributedDriver::from_shard_set(driver_off.shard_set().clone()).traced(true);
         let (_, audit) = traced.assemble(Variant::Rsp, &input);
         let contract = check_exchange(traced.shard_set(), traced.exchange_plan(), &audit);
         if !contract.is_clean() {
             eprintln!("refusing to report a dishonest exchange: {contract}");
             std::process::exit(1);
         }
+        // Schedule-contract gate on the overlapped pipeline, plus the
+        // bitwise-equality gate between the two timed modes.
+        let (rhs_on, _, traces) = driver_on
+            .assemble_sched(Variant::Rsp, &input, None)
+            .expect("fault-free assembly does not stall");
+        let sched = check_run(driver_on.exchange_plan(), &traces, true);
+        if !sched.is_clean() {
+            eprintln!("refusing to report a dishonest schedule: {sched}");
+            std::process::exit(1);
+        }
+        let (rhs_off, _) = driver_off.assemble(Variant::Rsp, &input);
+        assert_eq!(
+            rhs_on.max_abs_diff(&rhs_off),
+            0.0,
+            "overlap changed the assembled RHS at ranks={ranks}"
+        );
 
+        let (median, min, max, wait_off) = time_runs(args.samples, || {
+            let (_, r) = driver_off.assemble(Variant::Rsp, &input);
+            r.blocked_wait_s
+        });
         let mut report = None;
-        let (median, min, max) = time_runs(args.samples, || {
-            let (_, r) = driver.assemble(Variant::Rsp, &input);
+        let (ov_median, ov_min, ov_max, wait_on) = time_runs(args.samples, || {
+            let (_, r) = driver_on.assemble(Variant::Rsp, &input);
+            let wait = r.blocked_wait_s;
             report = Some(r);
+            wait
         });
         let report = report.expect("at least one timed run");
+        let win = if wait_off > 0.0 {
+            1.0 - wait_on / wait_off
+        } else {
+            0.0
+        };
         let melem = ne as f64 / median / 1e6;
-        let predicted = driver.expected_halo_bytes() as u64;
+        let predicted = driver_off.expected_halo_bytes() as u64;
         println!(
             "  ranks {ranks}: median {:.3} ms  [{:.3} .. {:.3}]  {melem:>8.2} Melem/s  \
              {} msgs / {} B halo (closed form {} B)",
@@ -154,17 +202,32 @@ fn main() {
             report.total_bytes(),
             predicted,
         );
+        println!(
+            "           overlap on: median {:.3} ms  [{:.3} .. {:.3}]  blocked wait {:.3} ms -> {:.3} ms  win {:.1}%",
+            ov_median * 1e3,
+            ov_min * 1e3,
+            ov_max * 1e3,
+            wait_off * 1e3,
+            wait_on * 1e3,
+            win * 100.0,
+        );
         rows.push(Row {
             ranks,
             median_s: median,
             min_s: min,
             max_s: max,
+            overlap_median_s: ov_median,
+            overlap_min_s: ov_min,
+            overlap_max_s: ov_max,
+            blocked_wait_off_s: wait_off,
+            blocked_wait_on_s: wait_on,
+            overlap_win: win,
             melem_s: melem,
             halo_bytes: report.total_bytes(),
             predicted_bytes: predicted,
             messages: report.total_messages(),
             max_message_bytes: report.max_message_bytes(),
-            boundary_slots: driver.shard_set().total_boundary_slots(),
+            boundary_slots: driver_off.shard_set().total_boundary_slots(),
         });
     }
 
@@ -194,12 +257,20 @@ fn render_json(args: &Args, ne: usize, nn: usize, hw: usize, rows: &[Row]) -> St
         .map(|r| {
             format!(
                 "    {{\"ranks\": {}, \"median_s\": {:.6e}, \"min_s\": {:.6e}, \"max_s\": {:.6e}, \
+                 \"overlap_median_s\": {:.6e}, \"overlap_min_s\": {:.6e}, \"overlap_max_s\": {:.6e}, \
+                 \"blocked_wait_off_s\": {:.6e}, \"blocked_wait_on_s\": {:.6e}, \"overlap_win\": {:.6}, \
                  \"melem_per_s\": {:.3}, \"halo_bytes\": {}, \"predicted_halo_bytes\": {}, \
                  \"messages\": {}, \"max_message_bytes\": {}, \"boundary_slots\": {}}}",
                 r.ranks,
                 r.median_s,
                 r.min_s,
                 r.max_s,
+                r.overlap_median_s,
+                r.overlap_min_s,
+                r.overlap_max_s,
+                r.blocked_wait_off_s,
+                r.blocked_wait_on_s,
+                r.overlap_win,
                 r.melem_s,
                 r.halo_bytes,
                 r.predicted_bytes,

@@ -4,9 +4,14 @@
 //! how the optimization gap widens as machine balance shifts toward
 //! compute.
 //!
-//! Usage: `machines [mesh_elems]` (default 40000).
+//! Usage: `machines [mesh_elems] [--pipelined]` (default 40000).
+//! `--pipelined` runs the CPU sweep through the async harness
+//! ([`alya_bench::pipeline::cpu_report_pipelined`]): trace generation on
+//! a producer thread, model replay on this one, double-buffered hand-off
+//! — same numbers, overlapped wall clock.
 
 use alya_bench::case::Case;
+use alya_bench::pipeline::cpu_report_pipelined;
 use alya_bench::profile::{cpu_report, gpu_report};
 use alya_bench::report::{num, Table};
 use alya_bench::{CALLS_PER_RUNTIME, PAPER_ELEMS};
@@ -17,10 +22,20 @@ use alya_machine::gpu::GpuModel;
 use alya_machine::spec::{CpuSpec, GpuSpec};
 
 fn main() {
-    let elems: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(40_000);
+    let mut pipelined = false;
+    let mut elems: usize = 40_000;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--pipelined" => pipelined = true,
+            other => match other.parse() {
+                Ok(n) => elems = n,
+                Err(_) => {
+                    eprintln!("usage: machines [mesh_elems] [--pipelined]");
+                    std::process::exit(1);
+                }
+            },
+        }
+    }
 
     eprintln!("building case (~{elems} tets)...");
     let case = Case::bolund(elems);
@@ -67,8 +82,13 @@ fn main() {
         let workers = spec.total_cores() - 1; // paper convention: 1 master
         let mut model = CpuModel::new(spec);
         model.sample_packs = 64;
-        let b = cpu_report(Variant::B, &input, &model, PAPER_ELEMS);
-        let rsp = cpu_report(Variant::Rsp, &input, &model, PAPER_ELEMS);
+        let run = if pipelined {
+            cpu_report_pipelined
+        } else {
+            cpu_report
+        };
+        let b = run(Variant::B, &input, &model, PAPER_ELEMS);
+        let rsp = run(Variant::Rsp, &input, &model, PAPER_ELEMS);
         let tb = model.scale(&b, PAPER_ELEMS, workers) * CALLS_PER_RUNTIME * 1e3;
         let tr = model.scale(&rsp, PAPER_ELEMS, workers) * CALLS_PER_RUNTIME * 1e3;
         t.row([

@@ -1,0 +1,116 @@
+//! Pipelined trace-generation / model-replay harness.
+//!
+//! The fused CPU path ([`crate::profile::cpu_report`]) interleaves two
+//! very different workloads in one thread: *generating* a pack's event
+//! stream (kernel trace + register allocation) and *replaying* it through
+//! the cache/port model. Here the generator moves to its own thread and
+//! hands finished packs to the replay through an
+//! [`alya_sched::DoubleBuffer`] — depth 2, so pack `k+1` is being lowered
+//! while pack `k` is being replayed, the same compute/exchange overlap
+//! shape the distributed driver uses for halo traffic.
+//!
+//! The replay consumes versions in order and asserts it never sees a gap,
+//! so the pipelined report is bit-identical to the fused one (enforced by
+//! a test): pipelining changes *when* work happens, never *what* the
+//! model observes.
+
+use std::time::Duration;
+
+use alya_core::drivers::CPU_VECTOR_DIM;
+use alya_core::{AssemblyInput, Variant};
+use alya_machine::cpu::{CpuModel, CpuReport};
+use alya_machine::Event;
+use alya_sched::DoubleBuffer;
+
+use crate::profile::cpu_pack_trace;
+
+/// Generous bound on one hand-off; a healthy pipeline passes batches in
+/// microseconds, so hitting this means the peer thread died.
+const HANDOFF_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Runs `produce(k)` for `k in 0..batches` on a dedicated thread and
+/// feeds the results, in order, to the `next` closure handed to
+/// `consume`. Panics if the consumer requests batches out of order or
+/// either side of the hand-off stalls.
+pub fn pipelined<T, R>(
+    batches: usize,
+    produce: impl Fn(usize) -> T + Sync,
+    consume: impl FnOnce(&mut dyn FnMut(usize) -> T) -> R,
+) -> R
+where
+    T: Send,
+{
+    let buf: DoubleBuffer<T> = DoubleBuffer::new();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            for k in 0..batches {
+                if buf.publish(produce(k), HANDOFF_TIMEOUT).is_err() {
+                    // Consumer gone or wedged; its own take() reports why.
+                    return;
+                }
+            }
+            buf.close();
+        });
+        let mut next = |want: usize| -> T {
+            match buf.take(HANDOFF_TIMEOUT) {
+                Ok((version, batch)) => {
+                    assert_eq!(
+                        version as usize, want,
+                        "pipelined consumer requested batch {want} but the stream is at {version}"
+                    );
+                    batch
+                }
+                Err(e) => panic!("pipelined hand-off failed at batch {want}: {e}"),
+            }
+        };
+        consume(&mut next)
+    })
+}
+
+/// [`crate::profile::cpu_report`] with trace generation overlapped
+/// against the model replay on a second thread. Same result, bit for
+/// bit — only the wall-clock shape differs.
+pub fn cpu_report_pipelined(
+    variant: Variant,
+    input: &AssemblyInput,
+    model: &CpuModel,
+    scale_to_elems: usize,
+) -> CpuReport {
+    pipelined::<Vec<Event>, CpuReport>(
+        model.sample_packs,
+        |p| cpu_pack_trace(variant, input, p),
+        |next| model.execute(variant.name(), scale_to_elems, CPU_VECTOR_DIM, next),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::Case;
+    use crate::profile::cpu_report;
+    use alya_machine::spec::CpuSpec;
+
+    #[test]
+    fn pipelined_batches_arrive_complete_and_in_order() {
+        let sum = pipelined::<Vec<usize>, usize>(
+            20,
+            |k| vec![k; k + 1],
+            |next| (0..20).map(|k| next(k).into_iter().sum::<usize>()).sum(),
+        );
+        // Σ k·(k+1) for k in 0..20.
+        assert_eq!(sum, (0..20).map(|k| k * (k + 1)).sum::<usize>());
+    }
+
+    #[test]
+    fn pipelined_cpu_report_is_bit_identical_to_the_fused_one() {
+        let case = Case::bolund(2_000);
+        let input = case.input();
+        let mut model = CpuModel::new(CpuSpec::icelake_8360y());
+        model.sample_packs = 24;
+        for variant in [Variant::B, Variant::Rsp, Variant::Rspr] {
+            let fused = cpu_report(variant, &input, &model, 1_000_000);
+            let piped = cpu_report_pipelined(variant, &input, &model, 1_000_000);
+            assert_eq!(fused, piped, "{} diverged under pipelining", variant.name());
+        }
+    }
+}

@@ -117,7 +117,12 @@ pub struct MessageTrace {
 }
 
 /// Aggregated communication accounting of one [`Communicator::run`].
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Equality deliberately ignores [`CommReport::blocked_wait_s`]: the
+/// message accounting is deterministic (and tests assert reports equal
+/// across runs), while blocked time is a wall-clock measurement that
+/// legitimately varies run to run.
+#[derive(Debug, Clone, Default)]
 pub struct CommReport {
     /// Ranks that participated.
     pub num_ranks: usize,
@@ -134,6 +139,22 @@ pub struct CommReport {
     /// Per-message traces in rank-major posting order
     /// ([`RecordMode::Full`] only).
     pub traces: Vec<MessageTrace>,
+    /// Total wall-clock seconds ranks spent blocked inside
+    /// [`RankHandle::recv_from`] / [`RankHandle::recv_from_timeout`],
+    /// summed over ranks. This is the exchange dead time that
+    /// compute/exchange overlap exists to shrink; excluded from `==`.
+    pub blocked_wait_s: f64,
+}
+
+impl PartialEq for CommReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Everything but `blocked_wait_s`, which is timing, not protocol.
+        self.num_ranks == other.num_ranks
+            && self.channels == other.channels
+            && self.self_send_attempts == other.self_send_attempts
+            && self.dropped_sends == other.dropped_sends
+            && self.traces == other.traces
+    }
 }
 
 impl CommReport {
@@ -196,6 +217,7 @@ struct RankStats {
     self_send_attempts: u64,
     dropped_sends: u64,
     traces: Vec<MessageTrace>,
+    blocked: Duration,
 }
 
 /// One rank's endpoint of the communicator.
@@ -281,26 +303,46 @@ impl<M: Payload> RankHandle<M> {
     /// receives. Panics after [`RECV_TIMEOUT`] — a missing message is a
     /// protocol bug, and hanging forever would mask it.
     pub fn recv_from(&mut self, peer: u32) -> M {
-        if let Some(m) = self.take_stashed(peer) {
-            return m;
+        match self.recv_from_deadline(peer, RECV_TIMEOUT) {
+            Some(m) => m,
+            None => panic!(
+                "rank {}: no message from rank {peer} ({} stashed from other peers) — \
+                 halo exchange protocol violated",
+                self.rank,
+                self.stash.len()
+            ),
         }
-        let deadline = Instant::now() + RECV_TIMEOUT;
-        loop {
+    }
+
+    /// Bounded blocking receive from `peer`: waits up to `timeout`, then
+    /// returns `None` instead of panicking. The overlap drain stage uses
+    /// short slices of this so the scheduler watchdog — not this handle —
+    /// decides when a missing message becomes an error.
+    pub fn recv_from_timeout(&mut self, peer: u32, timeout: Duration) -> Option<M> {
+        self.recv_from_deadline(peer, timeout)
+    }
+
+    fn recv_from_deadline(&mut self, peer: u32, timeout: Duration) -> Option<M> {
+        if let Some(m) = self.take_stashed(peer) {
+            return Some(m);
+        }
+        let start = Instant::now();
+        let deadline = start + timeout;
+        let got = loop {
             let left = deadline.saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(left) {
-                Ok((from, msg)) if from == peer => {
-                    self.account_received(from, &msg);
-                    return msg;
-                }
+                Ok((from, msg)) if from == peer => break Some(msg),
                 Ok(pair) => self.stash.push(pair),
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => panic!(
-                    "rank {}: no message from rank {peer} ({} stashed from other peers) — \
-                     halo exchange protocol violated",
-                    self.rank,
-                    self.stash.len()
-                ),
+                // Disconnected means every other rank already finished:
+                // the message can no longer arrive, so waiting is futile.
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break None,
             }
+        };
+        self.stats.blocked += start.elapsed();
+        if let Some(msg) = &got {
+            self.account_received(peer, msg);
         }
+        got
     }
 
     fn take_stashed(&mut self, peer: u32) -> Option<M> {
@@ -349,13 +391,113 @@ impl NeighborExchange {
         handle: &mut RankHandle<M>,
         sends: Vec<(u32, M)>,
     ) -> Vec<(u32, M)> {
+        let mut progress = self.post(handle, sends);
+        progress.block(handle);
+        progress.into_sorted()
+    }
+
+    /// Posts every outgoing message immediately and returns an
+    /// [`ExchangeProgress`] to collect the incoming ones incrementally —
+    /// the split the overlap pipeline needs: sends go out before interior
+    /// assembly starts, receives drain while it runs.
+    pub fn post<M: Payload>(
+        &self,
+        handle: &mut RankHandle<M>,
+        sends: Vec<(u32, M)>,
+    ) -> ExchangeProgress<M> {
         for (to, msg) in sends {
             handle.send(to, msg);
         }
-        self.recv_peers
-            .iter()
-            .map(|&p| (p, handle.recv_from(p)))
-            .collect()
+        ExchangeProgress {
+            pending: self.recv_peers.clone(),
+            got: Vec::new(),
+        }
+    }
+}
+
+/// Incremental receive side of one posted exchange round.
+///
+/// Collect with any mix of [`ExchangeProgress::poll`] (nonblocking),
+/// [`ExchangeProgress::wait_any`] (bounded blocking) and
+/// [`ExchangeProgress::block`]; arrival order does not matter because
+/// [`ExchangeProgress::into_sorted`] always hands the messages back
+/// sorted by sender rank — overlap cannot reorder the combine.
+#[derive(Debug)]
+pub struct ExchangeProgress<M> {
+    /// Peers still owed a message, ascending.
+    pending: Vec<u32>,
+    /// Collected `(peer, message)` pairs, in arrival order.
+    got: Vec<(u32, M)>,
+}
+
+impl<M: Payload> ExchangeProgress<M> {
+    /// Peers still owed a message (sorted ascending).
+    pub fn pending(&self) -> &[u32] {
+        &self.pending
+    }
+
+    /// Whether every expected message has arrived.
+    pub fn is_complete(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Nonblocking sweep: takes whatever already arrived from any pending
+    /// peer. Returns how many messages were collected.
+    pub fn poll(&mut self, handle: &mut RankHandle<M>) -> usize {
+        let before = self.pending.len();
+        let mut i = 0;
+        while i < self.pending.len() {
+            let p = self.pending[i];
+            if let Some(m) = handle.try_recv_from(p) {
+                self.got.push((p, m));
+                self.pending.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        before - self.pending.len()
+    }
+
+    /// Bounded wait: blocks up to `timeout` for the lowest pending peer,
+    /// then sweeps the rest nonblockingly (the wait may have stashed
+    /// them). Returns how many messages were collected.
+    pub fn wait_any(&mut self, handle: &mut RankHandle<M>, timeout: Duration) -> usize {
+        let Some(&first) = self.pending.first() else {
+            return 0;
+        };
+        let mut n = 0;
+        if let Some(m) = handle.recv_from_timeout(first, timeout) {
+            self.got.push((first, m));
+            self.pending.remove(0);
+            n = 1;
+        }
+        n + self.poll(handle)
+    }
+
+    /// Blocks (panicking on [`RECV_TIMEOUT`]) until every pending peer
+    /// has delivered — the non-overlapped path.
+    pub fn block(&mut self, handle: &mut RankHandle<M>) {
+        while let Some(&p) = self.pending.first() {
+            let m = handle.recv_from(p);
+            self.got.push((p, m));
+            self.pending.remove(0);
+        }
+    }
+
+    /// Consumes the progress, returning `(peer, message)` pairs sorted by
+    /// sender rank.
+    ///
+    /// # Panics
+    /// If the exchange is incomplete — combining early would silently
+    /// drop contributions.
+    pub fn into_sorted(mut self) -> Vec<(u32, M)> {
+        assert!(
+            self.pending.is_empty(),
+            "exchange incomplete: still waiting on peers {:?}",
+            self.pending
+        );
+        self.got.sort_by_key(|&(p, _)| p);
+        self.got
     }
 }
 
@@ -411,6 +553,7 @@ impl Communicator {
                     self_send_attempts: 0,
                     dropped_sends: 0,
                     traces: Vec::new(),
+                    blocked: Duration::ZERO,
                 },
             })
             .collect();
@@ -443,6 +586,7 @@ fn merge_stats(num_ranks: usize, stats: Vec<RankStats>) -> CommReport {
     for (r, s) in stats.into_iter().enumerate() {
         report.self_send_attempts += s.self_send_attempts;
         report.dropped_sends += s.dropped_sends;
+        report.blocked_wait_s += s.blocked.as_secs_f64();
         report.traces.extend(s.traces);
         for (to, c) in s.sent.iter().enumerate() {
             if c.messages == 0 {
@@ -627,5 +771,110 @@ mod tests {
             }
         });
         assert_eq!(run.results[1], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn try_recv_from_is_oldest_first_per_peer_with_interleaved_senders() {
+        // Ranks 0 and 1 each stream 5 messages to rank 2, which drains
+        // them with an interleaved mix of try_recv_from / recv_from
+        // calls. Per-peer FIFO order and zero loss must hold no matter
+        // how the two streams interleave on the shared inbox.
+        let run = Communicator::run(3, RecordMode::Counters, |r, h: &mut RankHandle<HaloMsg>| {
+            if r < 2 {
+                for k in 0..5u32 {
+                    h.send(2, msg(10 * r + k, f64::from(k)));
+                }
+                return (Vec::new(), Vec::new());
+            }
+            // Block for peer 1's first message: anything rank 0 delivered
+            // ahead of it is forced through the stash.
+            let mut from1 = vec![h.recv_from(1).entries[0].0];
+            let mut from0 = Vec::new();
+            while from0.len() < 5 || from1.len() < 5 {
+                // Alternate nonblocking drains of both peers mid-stream.
+                if from0.len() < 5 {
+                    match h.try_recv_from(0) {
+                        Some(m) => from0.push(m.entries[0].0),
+                        None => from0.push(h.recv_from(0).entries[0].0),
+                    }
+                }
+                if from1.len() < 5 {
+                    if let Some(m) = h.try_recv_from(1) {
+                        from1.push(m.entries[0].0);
+                    }
+                }
+            }
+            assert!(h.try_recv_from(0).is_none());
+            assert!(h.try_recv_from(1).is_none());
+            (from0, from1)
+        });
+        let (from0, from1) = &run.results[2];
+        assert_eq!(*from0, vec![0, 1, 2, 3, 4], "peer 0 stream reordered");
+        assert_eq!(*from1, vec![10, 11, 12, 13, 14], "peer 1 stream reordered");
+        assert!(run.report.all_delivered());
+    }
+
+    #[test]
+    fn recv_from_timeout_returns_none_on_silence_and_accounts_blocked_time() {
+        let run = Communicator::run(2, RecordMode::Counters, |r, h: &mut RankHandle<HaloMsg>| {
+            if r == 0 {
+                // Stay alive past the peer's wait window so the timeout —
+                // not channel disconnection — ends it.
+                std::thread::sleep(Duration::from_millis(100));
+            } else {
+                let t0 = Instant::now();
+                let got = h.recv_from_timeout(0, Duration::from_millis(40));
+                assert!(got.is_none(), "no message was ever sent");
+                assert!(t0.elapsed() >= Duration::from_millis(20));
+            }
+        });
+        assert!(
+            run.report.blocked_wait_s > 0.0,
+            "timed-out wait must count as blocked time: {:?}",
+            run.report.blocked_wait_s
+        );
+        // And blocked time must not leak into report equality.
+        let mut twin = run.report.clone();
+        twin.blocked_wait_s = 0.0;
+        assert_eq!(run.report, twin);
+    }
+
+    #[test]
+    fn posted_exchange_collected_by_polling_matches_the_blocking_run() {
+        let n = 5usize;
+        let run = Communicator::run(n, RecordMode::Counters, |r, h: &mut RankHandle<HaloMsg>| {
+            let peers: Vec<u32> = (0..n as u32).filter(|&p| p != r).collect();
+            let sends: Vec<_> = peers.iter().map(|&p| (p, msg(r, f64::from(r)))).collect();
+            let ex = NeighborExchange::new(peers.clone());
+            let mut progress = ex.post(h, sends);
+            // Mix nonblocking polls with bounded waits until complete.
+            let mut spins = 0u32;
+            while !progress.is_complete() {
+                if progress.poll(h) == 0 {
+                    progress.wait_any(h, Duration::from_millis(5));
+                }
+                spins += 1;
+                assert!(spins < 1_000_000, "exchange never completed");
+            }
+            assert_eq!(progress.wait_any(h, Duration::from_millis(1)), 0);
+            let got = progress.into_sorted();
+            let order: Vec<u32> = got.iter().map(|&(p, _)| p).collect();
+            assert_eq!(order, peers, "rank {r}: polled collect not sorted");
+            for (p, m) in &got {
+                assert_eq!(m.entries[0].1[0], f64::from(*p));
+            }
+        });
+        assert!(run.report.all_delivered());
+        assert_eq!(run.report.total_messages(), (n * (n - 1)) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "exchange incomplete")]
+    fn combining_an_incomplete_exchange_panics() {
+        let progress: ExchangeProgress<HaloMsg> = ExchangeProgress {
+            pending: vec![3],
+            got: Vec::new(),
+        };
+        let _ = progress.into_sorted();
     }
 }

@@ -1,4 +1,5 @@
-//! Rank-parallel distributed assembly over the `alya-comm` runtime.
+//! Rank-parallel distributed assembly over the `alya-comm` runtime,
+//! scheduled by an `alya-sched` stage pipeline.
 //!
 //! Where [`crate::drivers::ParallelStrategy::Sharded`] keeps all shards in
 //! one address space and merges boundary lists in-process, the
@@ -10,13 +11,41 @@
 //! interface nodes it does not own to the owning rank as a sparse sorted
 //! `(local_slot, value)` message ([`alya_comm::HaloMsg`]).
 //!
-//! Determinism: every owner combines incoming messages **in ascending
-//! sender rank order** (the [`alya_comm::NeighborExchange`] contract), and
-//! message contents are a pure function of the rank's serial assembly, so
-//! the assembled RHS is bitwise reproducible run-to-run at any fixed rank
-//! count — thread caps, scheduling and message arrival order cannot
-//! change a single bit. Across *different* rank counts the summation
-//! order legitimately differs (floating-point reassociation), which the
+//! ## The overlap pipeline
+//!
+//! Every rank runs one [`alya_sched::Pipeline`] of five stages:
+//!
+//! ```text
+//! assemble-pre ──► halo-post ──► assemble-overlap ──┐
+//!                      │                            ├──► combine
+//!                      └────────► halo-drain ───────┘
+//! ```
+//!
+//! With overlap **on** (the default), `assemble-pre` covers only the
+//! *boundary* elements — the ones touching an interface node — so the
+//! halo sends go out as early as possible; `assemble-overlap` then chews
+//! through the interior bulk in chunks while `halo-drain` polls
+//! [`alya_comm::RankHandle::try_recv_from`] between chunks, switching to
+//! short parked waits once compute retires. With overlap **off**,
+//! `assemble-pre` covers *all* elements (still boundary-first) and the
+//! drain stage simply blocks. Either way a stall/deadlock surfaces as an
+//! [`alya_sched::Stall`] from the watchdog instead of a hang, and the
+//! run's [`SchedTrace`]s are what the analyzer's pass-5 schedule
+//! contract audits.
+//!
+//! ## Why overlap cannot change a bit
+//!
+//! Interior elements never touch boundary slots (an element writing a
+//! boundary node is by definition a boundary element), so the boundary
+//! slot values are final once `assemble-pre` retires — posting the sends
+//! before the interior bulk ships exactly the bytes the non-overlapped
+//! schedule would. Both modes assemble in the same boundary-first element
+//! order, and the combine folds incoming messages **in ascending sender
+//! rank order** ([`alya_comm::ExchangeProgress::into_sorted`]) whatever
+//! order they arrived in. The assembled RHS is therefore bitwise
+//! reproducible run-to-run *and* across overlap modes at any fixed rank
+//! count — only across *different* rank counts does the summation order
+//! legitimately differ (floating-point reassociation), which the
 //! equivalence suite bounds at 1e-12 against the serial reference.
 //!
 //! Communication volume is closed-form:
@@ -24,11 +53,16 @@
 //! assembly — the number the analyzer's comm contract checks the live
 //! [`CommReport`] against.
 
+use std::time::Duration;
+
 use alya_comm::HALO_ENTRY_BYTES;
-use alya_comm::{CommReport, Communicator, HaloMsg, NeighborExchange, RankHandle, RecordMode};
+use alya_comm::{
+    CommReport, Communicator, ExchangeProgress, HaloMsg, NeighborExchange, RankHandle, RecordMode,
+};
 use alya_fem::VectorField;
 use alya_machine::NoRecord;
 use alya_mesh::{ExchangePlan, Partition, ShardSet, TetMesh};
+use alya_sched::{Pipeline, SchedTrace, StageStatus, Stall, Watchdog};
 
 use crate::drivers::{assemble_element, with_nut, CompactSink, CPU_VECTOR_DIM};
 use crate::input::AssemblyInput;
@@ -38,16 +72,61 @@ use crate::variant::Variant;
 /// One rank's owned output: `(global node, summed contribution)` pairs.
 type OwnedValues = Vec<(u32, [f64; 3])>;
 
+/// Elements a cooperative assembly stage processes per call — small
+/// enough that the drain stage gets to poll between chunks, large enough
+/// that scheduling overhead stays invisible next to the kernel work.
+const ASSEMBLY_CHUNK: usize = 256;
+
+/// How long one `halo-drain` parked wait lasts once compute has retired.
+/// Short slices keep the stage cooperative so the watchdog — not the
+/// comm layer — owns the stall decision.
+const DRAIN_SLICE: Duration = Duration::from_millis(1);
+
+/// A deliberately withheld halo message, for watchdog self-tests: rank
+/// `from` skips its send to rank `to`, so `to`'s drain stage can never
+/// complete and the scheduler watchdog must fire.
+#[derive(Debug, Clone, Copy)]
+pub struct HaloFault {
+    /// The rank that withholds a send.
+    pub from: u32,
+    /// The rank robbed of its message.
+    pub to: u32,
+}
+
+/// Per-rank element order: boundary positions first, then interior, each
+/// ascending. Both overlap modes assemble in exactly this order.
+#[derive(Debug, Clone)]
+struct ElemSplit {
+    order: Vec<u32>,
+    num_boundary: usize,
+}
+
 /// Rank-parallel distributed assembly driver.
 ///
-/// Owns the mesh decomposition ([`ShardSet`], compact renumbering) and
-/// the halo-exchange schedule ([`ExchangePlan`], owner/sender slots); one
-/// driver is built once and reused across assembly calls, like the other
-/// strategies' state.
+/// Owns the mesh decomposition ([`ShardSet`], compact renumbering), the
+/// halo-exchange schedule ([`ExchangePlan`], owner/sender slots) and the
+/// per-rank boundary-first element order; one driver is built once and
+/// reused across assembly calls, like the other strategies' state.
 pub struct DistributedDriver {
     shards: ShardSet,
     plan: ExchangePlan,
+    splits: Vec<ElemSplit>,
     record: RecordMode,
+    overlap: bool,
+    stall_timeout: Duration,
+}
+
+/// Shared mutable state of one rank's pipeline run. Stages communicate
+/// only through this context and the recorded trace — there is nothing
+/// else to race on.
+struct RankCtx<'h> {
+    local: Vec<f64>,
+    ws_buf: Vec<f64>,
+    pre_done: usize,
+    rest_done: usize,
+    progress: Option<ExchangeProgress<HaloMsg>>,
+    handle: &'h mut RankHandle<HaloMsg>,
+    owned: OwnedValues,
 }
 
 impl DistributedDriver {
@@ -61,10 +140,26 @@ impl DistributedDriver {
     /// [`crate::drivers::ParallelStrategy::Sharded`] strategy).
     pub fn from_shard_set(shards: ShardSet) -> Self {
         let plan = ExchangePlan::build(&shards);
+        let splits = shards
+            .shards()
+            .map(|s| {
+                let (boundary, interior) = s.element_split();
+                let num_boundary = boundary.len();
+                let mut order = boundary;
+                order.extend(interior);
+                ElemSplit {
+                    order,
+                    num_boundary,
+                }
+            })
+            .collect();
         Self {
             shards,
             plan,
+            splits,
             record: RecordMode::Counters,
+            overlap: true,
+            stall_timeout: Watchdog::default().stall_timeout,
         }
     }
 
@@ -77,6 +172,28 @@ impl DistributedDriver {
             RecordMode::Counters
         };
         self
+    }
+
+    /// Enables (default) or disables compute/exchange overlap. Off means
+    /// every rank assembles everything before posting its sends — the
+    /// back-to-back schedule, kept as the bitwise-identical baseline the
+    /// bench compares against.
+    pub fn overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
+        self
+    }
+
+    /// Sets the scheduler watchdog window (default 30 s): how long a
+    /// rank's pipeline may sit idle before the run aborts with a
+    /// [`Stall`].
+    pub fn stall_timeout(mut self, window: Duration) -> Self {
+        self.stall_timeout = window;
+        self
+    }
+
+    /// Whether compute/exchange overlap is enabled.
+    pub fn overlap_enabled(&self) -> bool {
+        self.overlap
     }
 
     /// Number of ranks.
@@ -104,8 +221,29 @@ impl DistributedDriver {
     ///
     /// Equal to [`crate::assemble_serial`] up to floating-point
     /// reassociation of the nodal sums; bitwise reproducible across runs
-    /// at this rank count.
+    /// *and* across overlap modes at this rank count.
+    ///
+    /// # Panics
+    /// If the scheduler watchdog fires (a halo message never arrived) —
+    /// use [`DistributedDriver::assemble_sched`] to handle that case.
     pub fn assemble(&self, variant: Variant, input: &AssemblyInput) -> (VectorField, CommReport) {
+        match self.assemble_sched(variant, input, None) {
+            Ok((rhs, report, _)) => (rhs, report),
+            Err(stall) => panic!("distributed assembly stalled: {stall}"),
+        }
+    }
+
+    /// [`DistributedDriver::assemble`] with the scheduler surfaced: also
+    /// returns each rank's [`SchedTrace`] (rank order) for the pass-5
+    /// schedule contract, reports a watchdog [`Stall`] as an error
+    /// instead of panicking, and can inject a [`HaloFault`] so tests can
+    /// prove the watchdog fires.
+    pub fn assemble_sched(
+        &self,
+        variant: Variant,
+        input: &AssemblyInput,
+        fault: Option<HaloFault>,
+    ) -> Result<(VectorField, CommReport, Vec<SchedTrace>), Stall> {
         with_nut(variant, input, |input| {
             let nn = input.mesh.num_nodes();
             let nval = variant.nvalues().max(1);
@@ -113,24 +251,39 @@ impl DistributedDriver {
                 self.num_ranks(),
                 self.record,
                 |r, handle: &mut RankHandle<HaloMsg>| {
-                    self.rank_assemble(variant, input, nval, r, handle)
+                    self.rank_assemble(variant, input, nval, r, handle, fault)
                 },
             );
             // Scatter the owned outputs: node ownership is a partition of
             // the mesh nodes, so every node is written exactly once and
             // rank order cannot matter.
             let mut rhs = VectorField::zeros(nn);
-            for owned in run.results {
-                for (g, v) in owned {
-                    rhs.add(g as usize, v);
+            let mut traces = Vec::with_capacity(self.num_ranks());
+            let mut stall = None;
+            for res in run.results {
+                match res {
+                    Ok((owned, trace)) => {
+                        for (g, v) in owned {
+                            rhs.add(g as usize, v);
+                        }
+                        traces.push(trace);
+                    }
+                    Err(s) => {
+                        if stall.is_none() {
+                            stall = Some(s);
+                        }
+                    }
                 }
             }
-            (rhs, run.report)
+            match stall {
+                Some(s) => Err(s),
+                None => Ok((rhs, run.report, traces)),
+            }
         })
     }
 
-    /// The per-rank body: local assembly, halo exchange, deterministic
-    /// owner-side combine, owned writeback list.
+    /// The per-rank body: the five-stage pipeline described in the
+    /// module docs, run to completion under the stall watchdog.
     fn rank_assemble(
         &self,
         variant: Variant,
@@ -138,24 +291,34 @@ impl DistributedDriver {
         nval: usize,
         r: u32,
         handle: &mut RankHandle<HaloMsg>,
-    ) -> OwnedValues {
+        fault: Option<HaloFault>,
+    ) -> Result<(OwnedValues, SchedTrace), Stall> {
         let shard = self.shards.shard(r as usize);
         let sched = self.plan.rank(r as usize);
+        let split = &self.splits[r as usize];
         let nn = input.mesh.num_nodes();
         let nl = shard.num_local_nodes();
+        // Overlap on: pre = boundary elements only, rest = interior.
+        // Overlap off: pre = everything (same order), rest = empty.
+        let cut = if self.overlap {
+            split.num_boundary
+        } else {
+            split.order.len()
+        };
+        let (pre, rest) = split.order.split_at(cut);
 
-        // 1. Local assembly into the compact buffer — identical inner
-        //    loop to the sharded strategy (CompactSink, ≤4-compare corner
-        //    resolution, no global→local map in the hot path).
-        let mut local = vec![0.0; 3 * nl];
-        let mut ws_buf = vec![0.0; nval];
-        for (i, &e) in shard.elements().iter().enumerate() {
-            let e = e as usize;
+        // The compact per-element assembly both compute stages share —
+        // identical inner loop to the sharded strategy (CompactSink,
+        // ≤4-compare corner resolution, no global→local map in the hot
+        // path).
+        let assemble_at = |c: &mut RankCtx<'_>, i: u32| {
+            let i = i as usize;
+            let e = shard.elements()[i] as usize;
             let mut sink = CompactSink {
                 gnodes: input.mesh.element(e),
                 lnodes: shard.local_conn()[i],
                 stride: nl,
-                buf: &mut local,
+                buf: &mut c.local,
             };
             let lay = Layout::cpu(e, CPU_VECTOR_DIM, nn);
             assemble_element(
@@ -163,58 +326,153 @@ impl DistributedDriver {
                 input,
                 e,
                 &lay,
-                &mut ws_buf,
+                &mut c.ws_buf,
                 1,
                 0,
                 &mut sink,
                 &mut NoRecord,
             );
-        }
+        };
 
-        // 2. Post one message per owner neighbor: the contributions of
-        //    every boundary node they own, addressed by *their* compact
-        //    slot, sorted by that slot (the plan pre-sorts).
-        let sends: Vec<(u32, HaloMsg)> = sched
-            .sends
-            .iter()
-            .map(|(to, list)| {
-                let entries = list
-                    .iter()
-                    .map(|&(mine, theirs)| {
-                        let m = mine as usize;
-                        (theirs, [local[m], local[nl + m], local[2 * nl + m]])
-                    })
-                    .collect();
-                (*to, HaloMsg { entries })
-            })
-            .collect();
+        let mut pipe: Pipeline<'_, RankCtx<'_>> = Pipeline::new(if self.overlap {
+            "rank-overlap"
+        } else {
+            "rank-serial"
+        });
 
-        // 3. Exchange; returned messages are sorted by sender rank, so
-        //    this combine order — and therefore every bit of the result —
-        //    is a pure function of the decomposition.
-        let exchange = NeighborExchange::new(sched.recv_peers.clone());
-        for (_, msg) in exchange.run(handle, sends) {
-            for (slot, v) in msg.entries {
-                let s = slot as usize;
-                local[s] += v[0];
-                local[nl + s] += v[1];
-                local[2 * nl + s] += v[2];
+        let s_pre = pipe.stage("assemble-pre", &[], |c, _ctx| {
+            let end = (c.pre_done + ASSEMBLY_CHUNK).min(pre.len());
+            for &i in &pre[c.pre_done..end] {
+                assemble_at(c, i);
             }
-        }
+            c.pre_done = end;
+            if end == pre.len() {
+                StageStatus::Done
+            } else {
+                StageStatus::Progress
+            }
+        });
+        let b_pre = pipe.buffer("pre-acc", s_pre);
 
-        // 4. Owned writeback list: all interior nodes plus the boundary
-        //    nodes this rank owns.
-        let ni = shard.num_interior();
-        let mut owned = Vec::with_capacity(ni + sched.owned_boundary_slots.len());
-        for (l, &g) in shard.global_nodes()[..ni].iter().enumerate() {
-            owned.push((g, [local[l], local[nl + l], local[2 * nl + l]]));
-        }
-        for &slot in &sched.owned_boundary_slots {
-            let l = slot as usize;
-            let g = shard.global_nodes()[l];
-            owned.push((g, [local[l], local[nl + l], local[2 * nl + l]]));
-        }
-        owned
+        let s_post = pipe.stage("halo-post", &[s_pre], |c, ctx| {
+            // Boundary slot values are final here (interior elements never
+            // touch them), so these are the exact bytes the back-to-back
+            // schedule would send.
+            ctx.buf_read(b_pre);
+            let sends: Vec<(u32, HaloMsg)> = sched
+                .sends
+                .iter()
+                .filter(|(to, _)| !matches!(fault, Some(f) if f.from == r && f.to == *to))
+                .map(|(to, list)| {
+                    let entries = list
+                        .iter()
+                        .map(|&(mine, theirs)| {
+                            let m = mine as usize;
+                            (theirs, [c.local[m], c.local[nl + m], c.local[2 * nl + m]])
+                        })
+                        .collect();
+                    (*to, HaloMsg { entries })
+                })
+                .collect();
+            ctx.note("posted", sends.len() as u64);
+            let exchange = NeighborExchange::new(sched.recv_peers.clone());
+            c.progress = Some(exchange.post(c.handle, sends));
+            StageStatus::Done
+        });
+
+        let s_rest = pipe.stage("assemble-overlap", &[s_post], |c, _ctx| {
+            let end = (c.rest_done + ASSEMBLY_CHUNK).min(rest.len());
+            for &i in &rest[c.rest_done..end] {
+                assemble_at(c, i);
+            }
+            c.rest_done = end;
+            if end == rest.len() {
+                StageStatus::Done
+            } else {
+                StageStatus::Progress
+            }
+        });
+        let b_rest = pipe.buffer("overlap-acc", s_rest);
+
+        let s_drain = pipe.stage("halo-drain", &[s_post], move |c, ctx| {
+            let p = c.progress.as_mut().expect("halo-post retired first");
+            if p.is_complete() {
+                return StageStatus::Done;
+            }
+            let before: Vec<u32> = p.pending().to_vec();
+            // While compute still runs, poll without blocking; once it
+            // retired, park in short slices so other rank threads get the
+            // core but the watchdog can still fire.
+            let n = if ctx.retired(s_rest) {
+                p.wait_any(c.handle, DRAIN_SLICE)
+            } else {
+                p.poll(c.handle)
+            };
+            if n > 0 {
+                for peer in before {
+                    if !p.pending().contains(&peer) {
+                        ctx.note("recv", u64::from(peer));
+                    }
+                }
+            }
+            if p.is_complete() {
+                StageStatus::Done
+            } else if n > 0 {
+                StageStatus::Progress
+            } else {
+                StageStatus::Idle
+            }
+        });
+        let b_in = pipe.buffer("halo-in", s_drain);
+
+        let _s_combine = pipe.stage("combine", &[s_rest, s_drain], |c, ctx| {
+            ctx.buf_read(b_pre);
+            ctx.buf_read(b_rest);
+            ctx.buf_read(b_in);
+            // Messages fold in ascending sender rank order whatever order
+            // they arrived in — the bitwise-reproducibility anchor.
+            let msgs = c
+                .progress
+                .take()
+                .expect("halo-post retired first")
+                .into_sorted();
+            for (peer, msg) in msgs {
+                ctx.note("combine", u64::from(peer));
+                for (slot, v) in msg.entries {
+                    let s = slot as usize;
+                    c.local[s] += v[0];
+                    c.local[nl + s] += v[1];
+                    c.local[2 * nl + s] += v[2];
+                }
+            }
+            // Owned writeback list: all interior nodes plus the boundary
+            // nodes this rank owns.
+            let ni = shard.num_interior();
+            c.owned.reserve(ni + sched.owned_boundary_slots.len());
+            for (l, &g) in shard.global_nodes()[..ni].iter().enumerate() {
+                c.owned
+                    .push((g, [c.local[l], c.local[nl + l], c.local[2 * nl + l]]));
+            }
+            for &slot in &sched.owned_boundary_slots {
+                let l = slot as usize;
+                let g = shard.global_nodes()[l];
+                c.owned
+                    .push((g, [c.local[l], c.local[nl + l], c.local[2 * nl + l]]));
+            }
+            StageStatus::Done
+        });
+
+        let mut ctx = RankCtx {
+            local: vec![0.0; 3 * nl],
+            ws_buf: vec![0.0; nval],
+            pre_done: 0,
+            rest_done: 0,
+            progress: None,
+            handle,
+            owned: Vec::new(),
+        };
+        let trace = pipe.run(&mut ctx, Watchdog::after(self.stall_timeout))?;
+        Ok((ctx.owned, trace))
     }
 }
 
@@ -278,6 +536,62 @@ mod tests {
         let (b, _) = driver.assemble(Variant::Rspr, &input);
         par::set_thread_cap(None);
         assert_eq!(a.max_abs_diff(&b), 0.0, "rank combine is nondeterministic");
+    }
+
+    #[test]
+    fn overlap_modes_agree_bitwise_and_trace_both_pipeline_shapes() {
+        let mesh = BoxMeshBuilder::new(4, 3, 3).jitter(0.09).seed(5).build();
+        let (v, p, t) = setup(&mesh);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t).props(ConstantProperties::AIR);
+        let on = DistributedDriver::new(&mesh, 4);
+        let off = DistributedDriver::new(&mesh, 4).overlap(false);
+        assert!(on.overlap_enabled() && !off.overlap_enabled());
+        let (ra, _, ta) = on.assemble_sched(Variant::Rsp, &input, None).unwrap();
+        let (rb, _, tb) = off.assemble_sched(Variant::Rsp, &input, None).unwrap();
+        assert_eq!(
+            ra.max_abs_diff(&rb),
+            0.0,
+            "overlap changed the assembled bits"
+        );
+        assert_eq!(ta.len(), 4);
+        assert_eq!(tb.len(), 4);
+        for (r, (a, b)) in ta.iter().zip(&tb).enumerate() {
+            assert_eq!(a.pipeline, "rank-overlap");
+            assert_eq!(b.pipeline, "rank-serial");
+            // Both modes combine in ascending sender order, and the order
+            // is exactly the plan's.
+            let expected: Vec<u64> = on
+                .exchange_plan()
+                .rank(r)
+                .recv_peers
+                .iter()
+                .map(|&p| u64::from(p))
+                .collect();
+            assert_eq!(a.notes("combine"), expected);
+            assert_eq!(b.notes("combine"), expected);
+        }
+    }
+
+    #[test]
+    fn a_withheld_halo_message_trips_the_watchdog() {
+        let mesh = BoxMeshBuilder::new(3, 3, 2).build();
+        let (v, p, t) = setup(&mesh);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t);
+        let driver = DistributedDriver::new(&mesh, 4).stall_timeout(Duration::from_millis(150));
+        // Pick a real channel so the withheld message is actually owed.
+        let plan = driver.exchange_plan();
+        let (from, to) = (0..4u32)
+            .find_map(|r| plan.rank(r as usize).sends.first().map(|&(to, _)| (r, to)))
+            .expect("a 4-rank decomposition always exchanges something");
+        let err = driver
+            .assemble_sched(Variant::Rsp, &input, Some(HaloFault { from, to }))
+            .unwrap_err();
+        assert_eq!(err.pipeline, "rank-overlap");
+        assert!(
+            err.stalled.contains(&"halo-drain"),
+            "the drain stage must be the one stalled: {err}"
+        );
+        assert!(err.waited >= Duration::from_millis(150));
     }
 
     #[test]

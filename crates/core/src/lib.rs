@@ -47,7 +47,7 @@ pub mod ops;
 pub mod variant;
 pub mod workspace;
 
-pub use distributed::DistributedDriver;
+pub use distributed::{DistributedDriver, HaloFault};
 pub use drivers::{assemble_parallel, assemble_serial, assemble_traced, ParallelStrategy};
 pub use input::AssemblyInput;
 pub use variant::{KernelContract, Variant, CONTRACT_F64_BUDGET, CONTRACT_REGISTER_BUDGET};

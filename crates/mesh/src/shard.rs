@@ -104,6 +104,34 @@ impl Shard {
             .ok()
             .map(|b| (self.num_interior + b) as u32)
     }
+
+    /// Whether element position `i` (an index into [`Shard::elements`])
+    /// touches at least one boundary node. Boundary elements are the only
+    /// producers of halo-message contributions: assembling them first lets
+    /// the distributed driver post its sends before the interior bulk.
+    #[inline]
+    pub fn is_boundary_element(&self, i: usize) -> bool {
+        let ni = self.num_interior as u32;
+        self.local_conn[i].iter().any(|&l| l >= ni)
+    }
+
+    /// Element positions split into `(boundary, interior)`, each ascending.
+    ///
+    /// Concatenated they enumerate every element exactly once; the
+    /// boundary-first order is what both overlap modes of the distributed
+    /// driver assemble in, so the split cannot perturb a single bit.
+    pub fn element_split(&self) -> (Vec<u32>, Vec<u32>) {
+        let mut boundary = Vec::new();
+        let mut interior = Vec::new();
+        for i in 0..self.elements.len() {
+            if self.is_boundary_element(i) {
+                boundary.push(i as u32);
+            } else {
+                interior.push(i as u32);
+            }
+        }
+        (boundary, interior)
+    }
 }
 
 /// A full decomposition of a mesh into [`Shard`]s.
@@ -496,6 +524,35 @@ mod tests {
             set.validate(&mesh).unwrap();
             let total: usize = set.shards().map(|s| s.elements().len()).sum();
             assert_eq!(total, mesh.num_elements());
+        }
+    }
+
+    #[test]
+    fn element_split_is_an_exact_partition_consistent_with_the_classifier() {
+        let mesh = BoxMeshBuilder::new(4, 3, 3).jitter(0.08).seed(11).build();
+        for parts in [1, 2, 4, 6] {
+            let set = shard_set(&mesh, parts);
+            for shard in set.shards() {
+                let (boundary, interior) = shard.element_split();
+                assert_eq!(boundary.len() + interior.len(), shard.elements().len());
+                // Each list ascending; concatenation covers every position
+                // exactly once.
+                assert!(boundary.windows(2).all(|w| w[0] < w[1]));
+                assert!(interior.windows(2).all(|w| w[0] < w[1]));
+                let mut all: Vec<u32> = boundary.iter().chain(&interior).copied().collect();
+                all.sort_unstable();
+                assert_eq!(all, (0..shard.elements().len() as u32).collect::<Vec<_>>());
+                for &i in &boundary {
+                    assert!(shard.is_boundary_element(i as usize));
+                }
+                for &i in &interior {
+                    assert!(!shard.is_boundary_element(i as usize));
+                }
+                if parts == 1 {
+                    // A single shard has no interface nodes at all.
+                    assert!(boundary.is_empty());
+                }
+            }
         }
     }
 

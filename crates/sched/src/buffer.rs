@@ -1,0 +1,177 @@
+//! Depth-2 versioned channel between a producer and a consumer thread.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a [`DoubleBuffer`] operation did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferError {
+    /// The peer side did not keep up within the timeout.
+    Stalled,
+    /// The channel was closed and no batches remain.
+    Closed,
+}
+
+impl fmt::Display for BufferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufferError::Stalled => write!(f, "double buffer stalled: peer did not keep up"),
+            BufferError::Closed => write!(f, "double buffer closed"),
+        }
+    }
+}
+
+impl std::error::Error for BufferError {}
+
+struct Slots<T> {
+    queue: VecDeque<(u64, T)>,
+    next_version: u64,
+    closed: bool,
+}
+
+/// A bounded (depth 2) versioned hand-off between exactly one producer
+/// and one consumer thread.
+///
+/// Depth 2 is the point of the exercise: the producer can fill batch
+/// `k+1` while the consumer replays batch `k` — more depth would only
+/// hide latency the bench is trying to measure. Every batch carries a
+/// monotonically increasing version so the consumer can assert it never
+/// observes a gap or reorder.
+pub struct DoubleBuffer<T> {
+    slots: Mutex<Slots<T>>,
+    ready: Condvar,
+    space: Condvar,
+}
+
+impl<T> Default for DoubleBuffer<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> DoubleBuffer<T> {
+    /// Capacity of the hand-off: one in-flight batch plus one being
+    /// produced.
+    pub const DEPTH: usize = 2;
+
+    /// New empty buffer.
+    pub fn new() -> Self {
+        Self {
+            slots: Mutex::new(Slots {
+                queue: VecDeque::with_capacity(Self::DEPTH),
+                next_version: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+        }
+    }
+
+    /// Publishes one batch, blocking up to `timeout` for a free slot.
+    /// Returns the batch's version.
+    pub fn publish(&self, value: T, timeout: Duration) -> Result<u64, BufferError> {
+        let mut slots = self.slots.lock().unwrap();
+        while slots.queue.len() >= Self::DEPTH {
+            if slots.closed {
+                return Err(BufferError::Closed);
+            }
+            let (guard, wait) = self.space.wait_timeout(slots, timeout).unwrap();
+            slots = guard;
+            if wait.timed_out() && slots.queue.len() >= Self::DEPTH {
+                return Err(BufferError::Stalled);
+            }
+        }
+        if slots.closed {
+            return Err(BufferError::Closed);
+        }
+        let version = slots.next_version;
+        slots.next_version += 1;
+        slots.queue.push_back((version, value));
+        self.ready.notify_one();
+        Ok(version)
+    }
+
+    /// Takes the oldest published batch, blocking up to `timeout`.
+    /// Returns `(version, batch)`; versions are consecutive from 0.
+    pub fn take(&self, timeout: Duration) -> Result<(u64, T), BufferError> {
+        let mut slots = self.slots.lock().unwrap();
+        loop {
+            if let Some(item) = slots.queue.pop_front() {
+                self.space.notify_one();
+                return Ok(item);
+            }
+            if slots.closed {
+                return Err(BufferError::Closed);
+            }
+            let (guard, wait) = self.ready.wait_timeout(slots, timeout).unwrap();
+            slots = guard;
+            if wait.timed_out() && slots.queue.is_empty() {
+                return if slots.closed {
+                    Err(BufferError::Closed)
+                } else {
+                    Err(BufferError::Stalled)
+                };
+            }
+        }
+    }
+
+    /// Marks the stream finished. Pending batches stay takeable; after
+    /// they drain, `take` reports [`BufferError::Closed`].
+    pub fn close(&self) {
+        let mut slots = self.slots.lock().unwrap();
+        slots.closed = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    const T: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn versions_are_consecutive_and_fifo_across_threads() {
+        let buf: DoubleBuffer<Vec<u32>> = DoubleBuffer::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for k in 0..16u32 {
+                    let v = buf.publish(vec![k, k + 100], T).unwrap();
+                    assert_eq!(v, u64::from(k));
+                }
+                buf.close();
+            });
+            for k in 0..16u64 {
+                let (v, batch) = buf.take(T).unwrap();
+                assert_eq!(v, k);
+                assert_eq!(batch[0] as u64, k);
+            }
+            assert_eq!(buf.take(T), Err(BufferError::Closed));
+        });
+    }
+
+    #[test]
+    fn publisher_blocks_at_depth_two_and_stalls_without_a_consumer() {
+        let buf: DoubleBuffer<u32> = DoubleBuffer::new();
+        let short = Duration::from_millis(30);
+        assert_eq!(buf.publish(0, short), Ok(0));
+        assert_eq!(buf.publish(1, short), Ok(1));
+        assert_eq!(buf.publish(2, short), Err(BufferError::Stalled));
+        // Draining one slot unblocks exactly one publish.
+        assert_eq!(buf.take(short).unwrap().0, 0);
+        assert_eq!(buf.publish(2, short), Ok(2));
+    }
+
+    #[test]
+    fn take_on_a_silent_buffer_stalls_then_reports_closed_after_close() {
+        let buf: DoubleBuffer<u32> = DoubleBuffer::new();
+        let short = Duration::from_millis(30);
+        assert_eq!(buf.take(short), Err(BufferError::Stalled));
+        buf.close();
+        assert_eq!(buf.take(short), Err(BufferError::Closed));
+    }
+}

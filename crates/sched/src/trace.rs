@@ -1,0 +1,117 @@
+//! Schedule trace: the auditable record of one [`crate::Pipeline`] run.
+
+/// Identifies a stage within one pipeline (index in creation order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StageId(pub(crate) u32);
+
+impl StageId {
+    /// The stage's index in creation order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a buffer within one pipeline (index in creation order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BufId(pub(crate) u32);
+
+impl BufId {
+    /// The buffer's index in creation order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Static description of a stage: its name and dependency edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageMeta {
+    /// Stage name (unique within the pipeline by convention).
+    pub name: &'static str,
+    /// Stages that must retire before this one is enqueued.
+    pub deps: Vec<u32>,
+}
+
+/// Static description of a buffer: its name and producing stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufMeta {
+    /// Buffer name.
+    pub name: &'static str,
+    /// The stage whose retirement publishes this buffer.
+    pub producer: u32,
+}
+
+/// One event in a pipeline run, in executor order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// Stage became runnable (all deps retired). Exactly once per stage.
+    Enqueued { stage: u32 },
+    /// Stage body was called for the first time. Exactly once per stage.
+    Started { stage: u32 },
+    /// Stage reported [`crate::StageStatus::Done`]. Exactly once per stage.
+    Retired { stage: u32 },
+    /// Buffer contents became final (recorded when its producer retires).
+    BufPublish { stage: u32, buf: u32 },
+    /// A stage consumed a buffer's contents.
+    BufRead { stage: u32, buf: u32 },
+    /// Free-form, checker-visible breadcrumb from a stage body.
+    Note {
+        /// Emitting stage.
+        stage: u32,
+        /// Note kind (e.g. `"combine"`, `"posted"`).
+        tag: &'static str,
+        /// Payload (e.g. a peer rank).
+        value: u64,
+    },
+}
+
+impl SchedEvent {
+    /// The stage this event concerns.
+    pub fn stage(&self) -> u32 {
+        match *self {
+            SchedEvent::Enqueued { stage }
+            | SchedEvent::Started { stage }
+            | SchedEvent::Retired { stage }
+            | SchedEvent::BufPublish { stage, .. }
+            | SchedEvent::BufRead { stage, .. }
+            | SchedEvent::Note { stage, .. } => stage,
+        }
+    }
+}
+
+/// The full record of one pipeline run: static shape plus event log.
+///
+/// This is what the analyzer's pass-5 schedule contract consumes; it is
+/// deliberately plain data so checks replay it without re-running
+/// anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedTrace {
+    /// Pipeline name.
+    pub pipeline: &'static str,
+    /// Stages in creation order.
+    pub stages: Vec<StageMeta>,
+    /// Buffers in creation order.
+    pub buffers: Vec<BufMeta>,
+    /// Events in executor order.
+    pub events: Vec<SchedEvent>,
+}
+
+impl SchedTrace {
+    /// All `Note` values with tag `tag`, in event order.
+    pub fn notes(&self, tag: &str) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                SchedEvent::Note { tag: t, value, .. } if *t == tag => Some(*value),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Index of the stage named `name`, if present.
+    pub fn stage_named(&self, name: &str) -> Option<u32> {
+        self.stages
+            .iter()
+            .position(|s| s.name == name)
+            .map(|i| i as u32)
+    }
+}
