@@ -3,7 +3,7 @@
 //! The instrumented kernels in `alya-core` don't just feed the performance
 //! models — their event streams, the modelled address-space layout, and
 //! the coloring infrastructure together make the paper's optimization
-//! claims *mechanically checkable*. This crate runs five passes:
+//! claims *mechanically checkable*. This crate runs six passes:
 //!
 //! 1. **Contract checker** ([`contracts`]) — per variant, captures element
 //!    traces under **both** addressing conventions (`Layout::gpu` and
@@ -35,6 +35,14 @@
 //!    its dependencies, no buffer read before its producer retired, and
 //!    the halo combine folds senders in ascending rank order — overlap
 //!    may reorder arrival, never the combine.
+//! 6. **Telemetry contract** ([`telemetry`]) — runs a distributed
+//!    assembly inside an `alya-telemetry` session and holds the emitted
+//!    report against the same closed forms: every counter equals its
+//!    kernel-contract rate × elements (live Table-I deviation is zero),
+//!    halo byte counters equal the exchange plan's budget, blocked-wait
+//!    matches the `CommReport` (single chokepoint, no double count),
+//!    span trees nest, every rank's trace carries all five pipeline
+//!    stage spans, and the chrome-trace export parses.
 //!
 //! Run all passes via the audit binary:
 //!
@@ -52,6 +60,7 @@ pub mod fixture;
 pub mod races;
 pub mod sched;
 pub mod sources;
+pub mod telemetry;
 
 pub use fixture::Fixture;
 
@@ -62,7 +71,7 @@ use std::path::Path;
 /// properly; the invariants are count-independent).
 pub const AUDIT_SHARDS: usize = 8;
 
-/// Combined result of all five passes.
+/// Combined result of all six passes.
 #[derive(Debug)]
 pub struct AuditReport {
     /// Kernel-contract violations (pass 1).
@@ -80,6 +89,9 @@ pub struct AuditReport {
     /// Schedule-contract report of an overlapped distributed assembly on
     /// the fixture mesh (pass 5).
     pub sched: sched::SchedContractReport,
+    /// Telemetry-contract report of a distributed assembly run inside a
+    /// telemetry session on the fixture mesh (pass 6).
+    pub telemetry: telemetry::TelemetryContractReport,
 }
 
 impl AuditReport {
@@ -91,6 +103,7 @@ impl AuditReport {
             && self.source_violations.is_empty()
             && self.comm.is_clean()
             && self.sched.is_clean()
+            && self.telemetry.is_clean()
     }
 
     /// Total violation count (a race counts once, a shard violation once).
@@ -101,6 +114,7 @@ impl AuditReport {
             + self.source_violations.len()
             + self.comm.violations.len()
             + self.sched.violations.len()
+            + self.telemetry.violations.len()
     }
 }
 
@@ -112,6 +126,7 @@ pub fn run_audit(workspace_root: Option<&Path>) -> AuditReport {
     let input = fx.input();
     let (comm_report, _, _) = comm::check_distributed(&input, AUDIT_SHARDS);
     let (sched_report, _, _) = sched::check_distributed_schedule(&input, AUDIT_SHARDS, true);
+    let (telemetry_report, _, _) = telemetry::check_distributed_telemetry(&input, AUDIT_SHARDS);
     AuditReport {
         contract_violations: contracts::check_all(&input),
         races: races::check_mesh(&fx.mesh),
@@ -121,6 +136,7 @@ pub fn run_audit(workspace_root: Option<&Path>) -> AuditReport {
             .unwrap_or_default(),
         comm: comm_report,
         sched: sched_report,
+        telemetry: telemetry_report,
     }
 }
 

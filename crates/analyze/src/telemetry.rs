@@ -1,0 +1,369 @@
+//! Pass 6 — the telemetry contract checker.
+//!
+//! The telemetry layer is only trustworthy if it cannot silently drift
+//! from the machinery it observes. This pass runs one distributed
+//! assembly inside a telemetry session and holds the emitted report
+//! against the same closed forms the other passes prove:
+//!
+//! * **counter totals** — every assembly counter equals its kernel
+//!   contract's per-element amount × the elements assembled (the live
+//!   Table-I profile shows zero deviation), and `ElementsAssembled`
+//!   equals the mesh's element count;
+//! * **comm counters** — halo bytes posted *and* received both equal the
+//!   `ExchangePlan` closed-form budget, and the blocked-wait counter
+//!   agrees with [`CommReport::blocked_wait_s`] — one measurement feeds
+//!   both views, so any double-count shows up as a divergence here;
+//! * **span tree** — every parent link resolves to a recorded span on
+//!   the same thread whose interval encloses the child's;
+//! * **timeline** — each rank's trace process carries all five pipeline
+//!   stage spans, and (when the mesh is large enough to guarantee it)
+//!   the `halo-drain` span overlaps the `assemble-overlap` span in time
+//!   — the compute/exchange overlap, visible in the chrome export;
+//! * **export** — the chrome `trace_event` JSON actually parses.
+
+use alya_comm::CommReport;
+use alya_core::metrics;
+use alya_core::{AssemblyInput, DistributedDriver, Variant};
+use alya_telemetry::export::validate_json;
+use alya_telemetry::{Metric, Scope, SpanRecord, TelemetryReport};
+
+/// The five per-rank pipeline stages of the distributed driver, in
+/// creation order — pass 6 requires a span for each on every rank.
+pub const PIPELINE_STAGES: [&str; 5] = [
+    "assemble-pre",
+    "halo-post",
+    "assemble-overlap",
+    "halo-drain",
+    "combine",
+];
+
+/// What the checked run was supposed to produce — recomputed from the
+/// driver and the mesh, never from the telemetry under test.
+#[derive(Debug, Clone)]
+pub struct TelemetryExpectation {
+    /// Ranks that assembled.
+    pub num_ranks: usize,
+    /// The kernel variant the run used.
+    pub variant: Variant,
+    /// Elements the mesh holds (= elements the run must have tallied).
+    pub elements: u64,
+    /// Closed-form halo bytes per assembly.
+    pub halo_bytes: u64,
+    /// The run's [`CommReport::blocked_wait_s`], which the blocked-wait
+    /// counter must reproduce.
+    pub blocked_wait_s: f64,
+    /// Whether to demand a time overlap between `halo-drain` and
+    /// `assemble-overlap` spans. Overlap is structurally guaranteed only
+    /// when each rank's interior exceeds one assembly chunk, so small
+    /// fixtures check the stage spans exist without demanding the
+    /// intersection.
+    pub require_overlap_evidence: bool,
+}
+
+/// Outcome of checking one session's telemetry against the contracts.
+#[derive(Debug, Clone)]
+pub struct TelemetryContractReport {
+    /// Ranks the expectation covered.
+    pub num_ranks: usize,
+    /// Elements the session tallied for the checked variant.
+    pub observed_elements: u64,
+    /// Largest |measured − predicted| across the Table-I profile.
+    pub max_deviation: u64,
+    /// Spans the session recorded.
+    pub spans_checked: usize,
+    /// Every contract breach found (empty when clean).
+    pub violations: Vec<String>,
+}
+
+impl TelemetryContractReport {
+    /// Whether the telemetry honored the contracts.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for TelemetryContractReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            write!(
+                f,
+                "telemetry-clean: {} rank(s) tallied {} element(s) at contract rates \
+                 (0 deviation), {} span(s) nest and export",
+                self.num_ranks, self.observed_elements, self.spans_checked
+            )
+        } else {
+            write!(f, "TELEMETRY VIOLATION: {}", self.violations.join("; "))
+        }
+    }
+}
+
+/// Checks a finished session's report against `exp`. Pure — self-tests
+/// tamper the report and re-run this to prove the checker catches skew.
+pub fn check_report(
+    report: &TelemetryReport,
+    exp: &TelemetryExpectation,
+) -> TelemetryContractReport {
+    let mut violations = Vec::new();
+    let sc = metrics::scope(exp.variant);
+
+    // Counter totals vs. the closed-form contract rates.
+    let observed_elements = report.counter(sc, Metric::ElementsAssembled);
+    if observed_elements != exp.elements {
+        violations.push(format!(
+            "elements tallied for {} diverge: counter has {observed_elements}, \
+             the mesh holds {}",
+            exp.variant, exp.elements
+        ));
+    }
+    let profile = metrics::table_one(report);
+    let max_deviation = profile.max_abs_deviation();
+    if !profile.is_exact() {
+        for row in &profile.rows {
+            for cell in &row.cells {
+                if cell.deviation() != 0 {
+                    violations.push(format!(
+                        "{} {} diverges from the contract: measured {}, \
+                         {} per element × {} elements predicts {}",
+                        row.label,
+                        cell.metric,
+                        cell.measured,
+                        cell.predicted / row.elements.max(1),
+                        row.elements,
+                        cell.predicted
+                    ));
+                }
+            }
+        }
+    }
+
+    // Comm byte counters vs. the exchange plan's halo budget.
+    for (metric, what) in [
+        (Metric::HaloBytesPosted, "posted"),
+        (Metric::HaloBytesReceived, "received"),
+    ] {
+        let got = report.counter(Scope::GLOBAL, metric);
+        if got != exp.halo_bytes {
+            violations.push(format!(
+                "halo bytes {what} diverge from the closed form: counter has {got}, \
+                 the exchange plan budgets {}",
+                exp.halo_bytes
+            ));
+        }
+    }
+
+    // Blocked-wait: the telemetry counter and the CommReport field are
+    // fed by one chokepoint, so they must agree to rounding; any
+    // double-count or missed wait breaks the equality.
+    let counter_s = report.counter(Scope::GLOBAL, Metric::BlockedWaitNs) as f64 * 1e-9;
+    if (counter_s - exp.blocked_wait_s).abs() > 1e-6 {
+        violations.push(format!(
+            "blocked-wait accounting diverges: counter has {counter_s:.9} s, \
+             CommReport has {:.9} s — the single-chokepoint invariant is broken",
+            exp.blocked_wait_s
+        ));
+    }
+
+    // Span-tree nesting: every parent link resolves, same thread,
+    // enclosing interval.
+    for s in &report.spans {
+        if s.end_ns < s.start_ns {
+            violations.push(format!("span '{}' ends before it starts", s.name));
+        }
+        let Some(pid) = s.parent else {
+            continue;
+        };
+        match report.spans.iter().find(|p| p.id == pid) {
+            None => violations.push(format!(
+                "span '{}' links to parent {pid}, which was never recorded",
+                s.name
+            )),
+            Some(p) => {
+                if (p.pid, p.tid) != (s.pid, s.tid) {
+                    violations.push(format!(
+                        "span '{}' and its parent '{}' live on different threads",
+                        s.name, p.name
+                    ));
+                } else if s.start_ns < p.start_ns || s.end_ns > p.end_ns {
+                    violations.push(format!(
+                        "span '{}' is not enclosed by its parent '{}'",
+                        s.name, p.name
+                    ));
+                }
+            }
+        }
+    }
+
+    // Timeline: all five stage spans on every rank's trace process, and
+    // (when demanded) drain/compute overlap on at least one rank.
+    for rank in 0..exp.num_ranks {
+        let pid = rank as u32 + 1;
+        for stage in PIPELINE_STAGES {
+            if !report.spans.iter().any(|s| s.pid == pid && s.name == stage) {
+                violations.push(format!("rank {rank} recorded no '{stage}' span"));
+            }
+        }
+    }
+    if exp.require_overlap_evidence {
+        let overlapped = (0..exp.num_ranks).any(|rank| {
+            let pid = rank as u32 + 1;
+            let find = |name: &str| -> Option<&SpanRecord> {
+                report.spans.iter().find(|s| s.pid == pid && s.name == name)
+            };
+            match (find("assemble-overlap"), find("halo-drain")) {
+                (Some(a), Some(d)) => a.start_ns < d.end_ns && d.start_ns < a.end_ns,
+                _ => false,
+            }
+        });
+        if !overlapped {
+            violations.push(
+                "no rank's halo-drain span overlaps its assemble-overlap span — \
+                 the pipeline ran back-to-back"
+                    .into(),
+            );
+        }
+    }
+
+    // The chrome export must be well-formed JSON.
+    if let Err(e) = validate_json(&report.chrome_trace()) {
+        violations.push(format!("chrome-trace export does not parse: {e}"));
+    }
+
+    TelemetryContractReport {
+        num_ranks: exp.num_ranks,
+        observed_elements,
+        max_deviation,
+        spans_checked: report.spans.len(),
+        violations,
+    }
+}
+
+/// Runs one distributed assembly of `input` at `ranks` ranks inside a
+/// telemetry session and checks the emitted telemetry against the closed
+/// forms. Returns the expectation and the live report too, so self-tests
+/// can tamper the report and re-check.
+pub fn check_distributed_telemetry(
+    input: &AssemblyInput,
+    ranks: usize,
+) -> (
+    TelemetryContractReport,
+    TelemetryExpectation,
+    TelemetryReport,
+) {
+    let variant = Variant::Rsp;
+    let driver = DistributedDriver::new(input.mesh, ranks);
+    let session = alya_telemetry::session();
+    let (_, comm) = driver.assemble(variant, input);
+    let report = session.finish();
+    let exp = expectation(&driver, variant, &comm, false);
+    let checked = check_report(&report, &exp);
+    (checked, exp, report)
+}
+
+/// Builds the expectation for a run of `driver` — closed forms only,
+/// nothing read from the telemetry under test.
+pub fn expectation(
+    driver: &DistributedDriver,
+    variant: Variant,
+    comm: &CommReport,
+    require_overlap_evidence: bool,
+) -> TelemetryExpectation {
+    TelemetryExpectation {
+        num_ranks: driver.num_ranks(),
+        variant,
+        elements: driver
+            .shard_set()
+            .shards()
+            .map(|s| s.elements().len() as u64)
+            .sum(),
+        halo_bytes: driver.expected_halo_bytes() as u64,
+        blocked_wait_s: comm.blocked_wait_s,
+        require_overlap_evidence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fixture;
+    use alya_telemetry::profile::TableOneProfile;
+
+    #[test]
+    fn live_session_on_the_fixture_honors_the_contracts() {
+        let fx = Fixture::new();
+        let input = fx.input();
+        for ranks in [1, 4, 8] {
+            let (report, exp, live) = check_distributed_telemetry(&input, ranks);
+            assert!(report.is_clean(), "{ranks} ranks: {report}");
+            assert_eq!(report.observed_elements, exp.elements);
+            assert_eq!(report.max_deviation, 0);
+            assert!(report.spans_checked > 0);
+            // The profile the counters render is exact.
+            let profile: TableOneProfile = metrics::table_one(&live);
+            assert!(profile.is_exact(), "{profile}");
+        }
+    }
+
+    #[test]
+    fn a_skewed_counter_is_flagged() {
+        let fx = Fixture::new();
+        let input = fx.input();
+        let (clean, exp, mut live) = check_distributed_telemetry(&input, 8);
+        assert!(clean.is_clean(), "{clean}");
+        // Shave one element's flops off the counter — the drift a missed
+        // tally or a wrong contract rate would produce.
+        let sc = metrics::scope(exp.variant);
+        let flops = live.counter(sc, Metric::Flops);
+        live.set_counter(sc, Metric::Flops, flops - exp.variant.contract().flops);
+        let bad = check_report(&live, &exp);
+        assert!(!bad.is_clean());
+        assert!(bad.violations.iter().any(|v| v.contains("flops")), "{bad}");
+        assert_eq!(bad.max_deviation, exp.variant.contract().flops);
+    }
+
+    #[test]
+    fn a_forged_halo_counter_and_a_broken_span_tree_are_flagged() {
+        let fx = Fixture::new();
+        let input = fx.input();
+        let (clean, exp, mut live) = check_distributed_telemetry(&input, 4);
+        assert!(clean.is_clean(), "{clean}");
+        live.set_counter(Scope::GLOBAL, Metric::HaloBytesPosted, exp.halo_bytes + 1);
+        let bad = check_report(&live, &exp);
+        assert!(bad.violations.iter().any(|v| v.contains("posted")), "{bad}");
+        // Orphan a parent link: the span tree no longer resolves.
+        live.set_counter(Scope::GLOBAL, Metric::HaloBytesPosted, exp.halo_bytes);
+        let child = live
+            .spans
+            .iter_mut()
+            .find(|s| s.parent.is_some())
+            .expect("the rank pipeline records parented spans");
+        child.parent = Some(u64::MAX);
+        let bad = check_report(&live, &exp);
+        assert!(
+            bad.violations.iter().any(|v| v.contains("never recorded")),
+            "{bad}"
+        );
+    }
+
+    #[test]
+    fn missing_stage_spans_and_blocked_wait_drift_are_flagged() {
+        let fx = Fixture::new();
+        let input = fx.input();
+        let (clean, mut exp, mut live) = check_distributed_telemetry(&input, 2);
+        assert!(clean.is_clean(), "{clean}");
+        // A blocked-wait report the counter does not reproduce.
+        exp.blocked_wait_s += 0.5;
+        let bad = check_report(&live, &exp);
+        assert!(
+            bad.violations.iter().any(|v| v.contains("chokepoint")),
+            "{bad}"
+        );
+        exp.blocked_wait_s -= 0.5;
+        // Erase every combine span: the per-rank timeline is incomplete.
+        live.spans.retain(|s| s.name != "combine");
+        let bad = check_report(&live, &exp);
+        assert!(
+            bad.violations.iter().any(|v| v.contains("combine")),
+            "{bad}"
+        );
+    }
+}

@@ -1,4 +1,4 @@
-//! The static-analysis audit: runs all five `alya-analyze` passes and
+//! The static-analysis audit: runs all six `alya-analyze` passes and
 //! exits nonzero on any violation, so CI can gate on it.
 //!
 //! Usage:
@@ -12,6 +12,8 @@
 //! audit --seed-violation comm-drop       # lose a halo message, expect catch
 //! audit --seed-violation overlap-stall   # withhold a halo send, expect the
 //!                                        # scheduler watchdog to fire
+//! audit --seed-violation telemetry-skew  # skew a live counter off its
+//!                                        # contract rate, expect catch
 //! ```
 //!
 //! The `--seed-violation` modes are self-tests of the analyzer: they inject
@@ -21,12 +23,13 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use alya_analyze::{comm, contracts, races, sources, Fixture};
+use alya_analyze::{comm, contracts, races, sources, telemetry, Fixture};
 use alya_core::drivers::trace_element;
 use alya_core::layout::{self, Layout};
 use alya_core::{DistributedDriver, HaloFault, Variant};
 use alya_machine::Event;
 use alya_mesh::{ordering, Coloring, Partition, ShardSet};
+use alya_telemetry::Metric;
 
 fn full_audit() -> ExitCode {
     let root = sources::workspace_root_from(env!("CARGO_MANIFEST_DIR"));
@@ -83,6 +86,10 @@ fn full_audit() -> ExitCode {
     println!("\nschedule contract audit");
     println!("=======================");
     println!("  {}", report.sched);
+
+    println!("\ntelemetry contract audit");
+    println!("========================");
+    println!("  {}", report.telemetry);
 
     println!("\nsource lint audit");
     println!("=================");
@@ -202,9 +209,26 @@ fn seeded(mode: &str) -> ExitCode {
                 Ok(_) => false,
             }
         }
+        "telemetry-skew" => {
+            // Shave one element's flops off a live counter — the drift a
+            // missed tally or a wrong contract rate would produce. The
+            // telemetry pass recomputes the closed forms independently
+            // and must flag the skew.
+            let (clean, exp, mut live) = telemetry::check_distributed_telemetry(&input, 8);
+            if !clean.is_clean() {
+                eprintln!("fixture telemetry unexpectedly dirty: {clean}");
+                return ExitCode::FAILURE;
+            }
+            let sc = alya_core::metrics::scope(exp.variant);
+            let flops = live.counter(sc, Metric::Flops);
+            live.set_counter(sc, Metric::Flops, flops - exp.variant.contract().flops);
+            let report = telemetry::check_report(&live, &exp);
+            println!("{report}");
+            !report.is_clean()
+        }
         other => {
             eprintln!(
-                "unknown seed mode {other:?}; expected coloring | contract-store | contract-registers | shard-mismatch | comm-drop | overlap-stall"
+                "unknown seed mode {other:?}; expected coloring | contract-store | contract-registers | shard-mismatch | comm-drop | overlap-stall | telemetry-skew"
             );
             return ExitCode::FAILURE;
         }
@@ -225,7 +249,7 @@ fn main() -> ExitCode {
         [flag, mode] if flag == "--seed-violation" => seeded(mode),
         _ => {
             eprintln!(
-                "usage: audit [--seed-violation coloring|contract-store|contract-registers|shard-mismatch|comm-drop|overlap-stall]"
+                "usage: audit [--seed-violation coloring|contract-store|contract-registers|shard-mismatch|comm-drop|overlap-stall|telemetry-skew]"
             );
             ExitCode::FAILURE
         }

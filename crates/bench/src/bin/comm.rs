@@ -9,7 +9,10 @@
 //! Wall-clock deltas between the two are noise on an oversubscribed
 //! host, so the report also carries the *blocked-wait* seconds each mode
 //! accumulated inside `recv` and derives the overlap win from those:
-//! `overlap_win = 1 − blocked_wait_on / blocked_wait_off`.
+//! `overlap_win = 1 − blocked_wait_on / blocked_wait_off`. The wait
+//! comes from the telemetry `BlockedWaitNs` counter — the same single
+//! accounting chokepoint every other consumer reads — not from summing
+//! report fields by hand.
 //!
 //! Usage:
 //!
@@ -19,6 +22,8 @@
 //! comm --elems 200000          # override the element target
 //! comm --samples 7             # timed iterations per rank count
 //! comm --json PATH             # write the JSON report to PATH
+//! comm --trace PATH            # dump the run's telemetry spans as
+//!                              # chrome trace JSON (chrome://tracing)
 //! ```
 //!
 //! Every timed configuration is first validated against the analyzer's
@@ -37,6 +42,7 @@ use alya_bench::case::Case;
 use alya_core::nut::compute_nu_t;
 use alya_core::{DistributedDriver, Variant};
 use alya_machine::par;
+use alya_telemetry::{self as telemetry, Metric};
 
 const DEFAULT_ELEMS: usize = 100_000;
 const QUICK_ELEMS: usize = 8_000;
@@ -48,12 +54,14 @@ struct Args {
     elems: usize,
     samples: usize,
     json: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut elems = None;
     let mut samples = None;
     let mut json = None;
+    let mut trace = None;
     let mut quick = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -68,6 +76,7 @@ fn parse_args() -> Result<Args, String> {
                 samples = Some(v.parse::<usize>().map_err(|e| format!("--samples: {e}"))?);
             }
             "--json" => json = Some(it.next().ok_or("--json needs a path")?),
+            "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -79,19 +88,25 @@ fn parse_args() -> Result<Args, String> {
             DEFAULT_SAMPLES
         }),
         json,
+        trace,
     })
 }
 
-/// Warm-up once, then `samples` timed runs. `body` reports the run's
-/// blocked-wait seconds; returns (median, min, max, wait-median).
-fn time_runs(samples: usize, mut body: impl FnMut() -> f64) -> (f64, f64, f64, f64) {
+/// Warm-up once, then `samples` timed runs. Each run's blocked-wait
+/// seconds are read as a delta of the telemetry `BlockedWaitNs` counter
+/// — the single accounting chokepoint — so this binary cannot drift
+/// from what the analyzer's telemetry pass certifies. Returns
+/// (median, min, max, wait-median).
+fn time_runs(samples: usize, mut body: impl FnMut()) -> (f64, f64, f64, f64) {
     body();
     let mut t = Vec::with_capacity(samples);
     let mut w = Vec::with_capacity(samples);
     for _ in 0..samples {
+        let w0 = telemetry::counter_total(Metric::BlockedWaitNs);
         let t0 = Instant::now();
-        w.push(body());
+        body();
         t.push(t0.elapsed().as_secs_f64());
+        w.push((telemetry::counter_total(Metric::BlockedWaitNs) - w0) as f64 * 1e-9);
     }
     t.sort_by(f64::total_cmp);
     w.sort_by(f64::total_cmp);
@@ -122,10 +137,15 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");
-            eprintln!("usage: comm [--quick] [--elems N] [--samples N] [--json PATH]");
+            eprintln!(
+                "usage: comm [--quick] [--elems N] [--samples N] [--json PATH] [--trace PATH]"
+            );
             std::process::exit(1);
         }
     };
+    // The session stays open for the whole sweep: the blocked-wait
+    // numbers come from its counters, and --trace dumps its spans.
+    let session = telemetry::session();
 
     let case = Case::bolund(args.elems);
     let ne = case.mesh.num_elements();
@@ -174,15 +194,12 @@ fn main() {
         );
 
         let (median, min, max, wait_off) = time_runs(args.samples, || {
-            let (_, r) = driver_off.assemble(Variant::Rsp, &input);
-            r.blocked_wait_s
+            let _ = driver_off.assemble(Variant::Rsp, &input);
         });
         let mut report = None;
         let (ov_median, ov_min, ov_max, wait_on) = time_runs(args.samples, || {
             let (_, r) = driver_on.assemble(Variant::Rsp, &input);
-            let wait = r.blocked_wait_s;
             report = Some(r);
-            wait
         });
         let report = report.expect("at least one timed run");
         let win = if wait_off > 0.0 {
@@ -229,6 +246,11 @@ fn main() {
             max_message_bytes: report.max_message_bytes(),
             boundary_slots: driver_off.shard_set().total_boundary_slots(),
         });
+    }
+
+    let t_report = session.finish();
+    if let Some(path) = &args.trace {
+        alya_bench::trace::write_chrome_trace(path, &t_report);
     }
 
     let json = render_json(&args, ne, nn, hw, &rows);

@@ -11,6 +11,8 @@
 //! drivers --elems 200000       # override the element target
 //! drivers --samples 7          # timed iterations per configuration
 //! drivers --json PATH          # write the JSON report to PATH
+//! drivers --trace PATH         # dump the run's telemetry spans as
+//!                              # chrome trace JSON (chrome://tracing)
 //! ```
 //!
 //! Thread counts are swept with [`par::set_thread_cap`]: every power of
@@ -38,12 +40,14 @@ struct Args {
     elems: usize,
     samples: usize,
     json: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut elems = None;
     let mut samples = None;
     let mut json = None;
+    let mut trace = None;
     let mut quick = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -58,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
                 samples = Some(v.parse::<usize>().map_err(|e| format!("--samples: {e}"))?);
             }
             "--json" => json = Some(it.next().ok_or("--json needs a path")?),
+            "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?),
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -69,6 +74,7 @@ fn parse_args() -> Result<Args, String> {
             DEFAULT_SAMPLES
         }),
         json,
+        trace,
     })
 }
 
@@ -111,10 +117,15 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");
-            eprintln!("usage: drivers [--quick] [--elems N] [--samples N] [--json PATH]");
+            eprintln!(
+                "usage: drivers [--quick] [--elems N] [--samples N] [--json PATH] [--trace PATH]"
+            );
             std::process::exit(1);
         }
     };
+    // A telemetry session costs one span per timed assembly, nothing in
+    // the hot loops — only opened when a trace was asked for.
+    let session = args.trace.as_ref().map(|_| alya_telemetry::session());
 
     let case = Case::bolund(args.elems);
     let ne = case.mesh.num_elements();
@@ -202,6 +213,10 @@ fn main() {
         }
     }
     par::set_thread_cap(None);
+
+    if let (Some(path), Some(s)) = (&args.trace, session) {
+        alya_bench::trace::write_chrome_trace(path, &s.finish());
+    }
 
     let json = render_json(&args, ne, nn, hw, &thread_counts, &shard_stats, &rows);
     match &args.json {

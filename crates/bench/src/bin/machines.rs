@@ -4,11 +4,12 @@
 //! how the optimization gap widens as machine balance shifts toward
 //! compute.
 //!
-//! Usage: `machines [mesh_elems] [--pipelined]` (default 40000).
-//! `--pipelined` runs the CPU sweep through the async harness
-//! ([`alya_bench::pipeline::cpu_report_pipelined`]): trace generation on
-//! a producer thread, model replay on this one, double-buffered hand-off
-//! — same numbers, overlapped wall clock.
+//! Usage: `machines [mesh_elems] [--pipelined] [--trace PATH]`
+//! (default 40000). `--pipelined` runs the CPU sweep through the async
+//! harness ([`alya_bench::pipeline::cpu_report_pipelined`]): trace
+//! generation on a producer thread, model replay on this one,
+//! double-buffered hand-off — same numbers, overlapped wall clock.
+//! `--trace` dumps per-machine simulation spans as chrome trace JSON.
 
 use alya_bench::case::Case;
 use alya_bench::pipeline::cpu_report_pipelined;
@@ -20,22 +21,33 @@ use alya_core::Variant;
 use alya_machine::cpu::CpuModel;
 use alya_machine::gpu::GpuModel;
 use alya_machine::spec::{CpuSpec, GpuSpec};
+use alya_telemetry as telemetry;
 
 fn main() {
     let mut pipelined = false;
     let mut elems: usize = 40_000;
-    for a in std::env::args().skip(1) {
+    let mut trace = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--pipelined" => pipelined = true,
+            "--trace" => match it.next() {
+                Some(p) => trace = Some(p),
+                None => {
+                    eprintln!("--trace needs a path");
+                    std::process::exit(1);
+                }
+            },
             other => match other.parse() {
                 Ok(n) => elems = n,
                 Err(_) => {
-                    eprintln!("usage: machines [mesh_elems] [--pipelined]");
+                    eprintln!("usage: machines [mesh_elems] [--pipelined] [--trace PATH]");
                     std::process::exit(1);
                 }
             },
         }
     }
+    let session = trace.as_ref().map(|_| telemetry::session());
 
     eprintln!("building case (~{elems} tets)...");
     let case = Case::bolund(elems);
@@ -62,6 +74,7 @@ fn main() {
         let name = spec.name;
         let intensity = spec.machine_intensity();
         let model = GpuModel::new(spec);
+        let _sp = telemetry::span(format!("gpu-sim:{name}"));
         let b = gpu_report(Variant::B, &input, &model, PAPER_ELEMS);
         let rspr = gpu_report(Variant::Rspr, &input, &model, PAPER_ELEMS);
         t.row([
@@ -80,6 +93,7 @@ fn main() {
         eprintln!("simulating {}...", spec.name);
         let name = spec.name;
         let workers = spec.total_cores() - 1; // paper convention: 1 master
+        let _sp = telemetry::span(format!("cpu-sim:{name}"));
         let mut model = CpuModel::new(spec);
         model.sample_packs = 64;
         let run = if pipelined {
@@ -100,4 +114,8 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+
+    if let (Some(path), Some(s)) = (&trace, session) {
+        alya_bench::trace::write_chrome_trace(path, &s.finish());
+    }
 }

@@ -27,6 +27,7 @@ pub mod paper;
 pub mod pipeline;
 pub mod profile;
 pub mod report;
+pub mod trace;
 
 /// Elements of the paper's Bolund mesh (runtime scaling target).
 pub const PAPER_ELEMS: usize = 32_000_000;

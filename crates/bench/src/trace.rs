@@ -1,0 +1,26 @@
+//! `--trace` support for the reproduction binaries: dump a finished
+//! telemetry session as chrome `trace_event` JSON.
+//!
+//! The export is validated with the telemetry crate's own JSON parser
+//! before it touches disk, so a written file always opens in
+//! `chrome://tracing` or Perfetto.
+
+use alya_telemetry::export::validate_json;
+use alya_telemetry::TelemetryReport;
+
+/// Renders `report` as chrome trace JSON and writes it to `path`.
+///
+/// # Panics
+/// If the export fails its own JSON validation (a telemetry bug, not a
+/// caller error) or the file cannot be written.
+pub fn write_chrome_trace(path: &str, report: &TelemetryReport) {
+    let json = report.chrome_trace();
+    if let Err(e) = validate_json(&json) {
+        panic!("chrome-trace export failed validation: {e}");
+    }
+    std::fs::write(path, &json).expect("write chrome trace");
+    println!(
+        "wrote {path} ({} spans; open in chrome://tracing or Perfetto)",
+        report.spans.len()
+    );
+}

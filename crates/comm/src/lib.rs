@@ -33,6 +33,8 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
 use alya_machine::par;
+use alya_telemetry as telemetry;
+use alya_telemetry::{Metric, Scope};
 
 /// How long a blocking receive waits before declaring the exchange dead
 /// (a missing message means a protocol bug, not a slow peer — every send
@@ -276,6 +278,7 @@ impl<M: Payload> RankHandle<M> {
         match tx.send((self.rank, msg)) {
             Ok(()) => {
                 self.stats.sent[to as usize].record(bytes);
+                telemetry::add(Scope::GLOBAL, Metric::HaloBytesPosted, bytes);
                 true
             }
             Err(_) => {
@@ -286,7 +289,23 @@ impl<M: Payload> RankHandle<M> {
     }
 
     fn account_received(&mut self, from: u32, msg: &M) {
-        self.stats.received[from as usize].record(msg.payload_bytes() as u64);
+        let bytes = msg.payload_bytes() as u64;
+        self.stats.received[from as usize].record(bytes);
+        telemetry::add(Scope::GLOBAL, Metric::HaloBytesReceived, bytes);
+    }
+
+    /// The single blocked-wait accounting point: every nanosecond a rank
+    /// spends blocked in a receive flows through here, updating both the
+    /// per-rank [`CommReport`] field and the session's
+    /// [`Metric::BlockedWaitNs`] counter from one measurement — so the
+    /// two views can never double-count or disagree.
+    fn note_blocked(&mut self, waited: Duration) {
+        self.stats.blocked += waited;
+        telemetry::add(
+            Scope::GLOBAL,
+            Metric::BlockedWaitNs,
+            waited.as_nanos() as u64,
+        );
     }
 
     /// Nonblocking receive from `peer`: drains the channel into the stash
@@ -338,7 +357,7 @@ impl<M: Payload> RankHandle<M> {
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break None,
             }
         };
-        self.stats.blocked += start.elapsed();
+        self.note_blocked(start.elapsed());
         if let Some(msg) = &got {
             self.account_received(peer, msg);
         }
@@ -405,6 +424,7 @@ impl NeighborExchange {
         handle: &mut RankHandle<M>,
         sends: Vec<(u32, M)>,
     ) -> ExchangeProgress<M> {
+        let _sp = telemetry::span("comm-post");
         for (to, msg) in sends {
             handle.send(to, msg);
         }
@@ -477,6 +497,7 @@ impl<M: Payload> ExchangeProgress<M> {
     /// Blocks (panicking on [`RECV_TIMEOUT`]) until every pending peer
     /// has delivered — the non-overlapped path.
     pub fn block(&mut self, handle: &mut RankHandle<M>) {
+        let _sp = telemetry::span("comm-block");
         while let Some(&p) = self.pending.first() {
             let m = handle.recv_from(p);
             self.got.push((p, m));
@@ -560,6 +581,10 @@ impl Communicator {
         drop(txs);
 
         let out = par::dedicated_threads(handles, |r, mut handle| {
+            // Each rank gets its own trace process row (pid 0 is the main
+            // thread); the guard restores the caller's row because a
+            // single-rank run executes on the calling thread.
+            let _track = telemetry::set_thread_track(r as u32 + 1, &format!("rank {r}"));
             let result = f(r as u32, &mut handle);
             (result, handle.finish())
         });

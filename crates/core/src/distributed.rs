@@ -63,10 +63,12 @@ use alya_fem::VectorField;
 use alya_machine::NoRecord;
 use alya_mesh::{ExchangePlan, Partition, ShardSet, TetMesh};
 use alya_sched::{Pipeline, SchedTrace, StageStatus, Stall, Watchdog};
+use alya_telemetry as telemetry;
 
 use crate::drivers::{assemble_element, with_nut, CompactSink, CPU_VECTOR_DIM};
 use crate::input::AssemblyInput;
 use crate::layout::Layout;
+use crate::metrics;
 use crate::variant::Variant;
 
 /// One rank's owned output: `(global node, summed contribution)` pairs.
@@ -334,11 +336,12 @@ impl DistributedDriver {
             );
         };
 
-        let mut pipe: Pipeline<'_, RankCtx<'_>> = Pipeline::new(if self.overlap {
+        let pipe_name = if self.overlap {
             "rank-overlap"
         } else {
             "rank-serial"
-        });
+        };
+        let mut pipe: Pipeline<'_, RankCtx<'_>> = Pipeline::new(pipe_name);
 
         let s_pre = pipe.stage("assemble-pre", &[], |c, _ctx| {
             let end = (c.pre_done + ASSEMBLY_CHUNK).min(pre.len());
@@ -471,7 +474,14 @@ impl DistributedDriver {
             handle,
             owned: Vec::new(),
         };
-        let trace = pipe.run(&mut ctx, Watchdog::after(self.stall_timeout))?;
+        // The whole pipeline run is one span on this rank's main trace
+        // row; the executor puts each stage on its own sub-row, so a
+        // chrome export shows halo-drain overlapping assemble-overlap.
+        let trace = {
+            let _sp = telemetry::span(format!("{}:{}", pipe_name, variant.name()));
+            pipe.run(&mut ctx, Watchdog::after(self.stall_timeout))?
+        };
+        metrics::tally_elements(variant, shard.elements().len() as u64);
         Ok((ctx.owned, trace))
     }
 }

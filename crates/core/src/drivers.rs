@@ -27,11 +27,13 @@ use alya_fem::VectorField;
 use alya_machine::par;
 use alya_machine::{NoRecord, Recorder, TraceRecorder};
 use alya_mesh::{Coloring, ElementGraph, NodeToElements, Partition, ShardSet};
+use alya_telemetry as telemetry;
 
 use crate::gather::{DirectSink, ScatterSink};
 use crate::input::AssemblyInput;
 use crate::kernels;
 use crate::layout::Layout;
+use crate::metrics;
 use crate::nut::compute_nu_t;
 use crate::variant::Variant;
 use crate::workspace::Ws;
@@ -92,9 +94,11 @@ pub(crate) fn with_nut<T>(
 
 /// Serial assembly over the whole mesh (the reference implementation).
 pub fn assemble_serial(variant: Variant, input: &AssemblyInput) -> VectorField {
+    let _sp = telemetry::span(format!("assemble:serial:{}", variant.name()));
     with_nut(variant, input, |input| {
         let nn = input.mesh.num_nodes();
         let ne = input.mesh.num_elements();
+        metrics::tally_elements(variant, ne as u64);
         let mut rhs = VectorField::zeros(nn);
         let nval = variant.nvalues().max(1);
         let mut ws_buf = vec![0.0; nval * CPU_VECTOR_DIM];
@@ -212,8 +216,9 @@ pub const SHARD_AUTO_MIN_ELEMS_PER_WORKER: usize = 2048;
 /// [`ParallelStrategy::auto`] consults this instead of trusting the
 /// element-count heuristic alone: when the repo carries measurements for
 /// this host class, the strategy that actually ran faster wins. Absent or
-/// unparseable data degrades silently to the heuristic — a bench file must
-/// never be able to break assembly.
+/// unparseable data degrades to the heuristic — a bench file must never
+/// be able to break assembly — but the degradation is *reported* through
+/// the telemetry event channel ([`alya_telemetry::warn`]), never silent.
 #[derive(Debug, Clone, Default)]
 pub struct ThroughputDb {
     /// `(strategy, threads, melem_per_s)` rows.
@@ -247,9 +252,30 @@ impl ThroughputDb {
         }
     }
 
-    /// Loads and parses a report file.
+    /// Loads and parses a report file. A missing or unparseable file
+    /// returns `None` *and* pushes a warning onto the telemetry event
+    /// channel, so `auto`'s fallback to the heuristic is observable.
     pub fn load(path: &std::path::Path) -> Option<Self> {
-        Self::parse(&std::fs::read_to_string(path).ok()?)
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                telemetry::warn(format!(
+                    "ThroughputDb: cannot read {}: {e}; strategy auto-selection falls \
+                     back to the element-count heuristic",
+                    path.display()
+                ));
+                return None;
+            }
+        };
+        let db = Self::parse(&text);
+        if db.is_none() {
+            telemetry::warn(format!(
+                "ThroughputDb: no well-formed throughput rows in {}; strategy \
+                 auto-selection falls back to the element-count heuristic",
+                path.display()
+            ));
+        }
+        db
     }
 
     /// The committed workspace baseline (`BENCH_drivers.json` at the
@@ -547,9 +573,11 @@ pub fn assemble_parallel(
     input: &AssemblyInput,
     strategy: &ParallelStrategy,
 ) -> VectorField {
+    let _sp = telemetry::span(format!("assemble:{}:{}", strategy.name(), variant.name()));
     with_nut(variant, input, |input| {
         let nn = input.mesh.num_nodes();
         let ne = input.mesh.num_elements();
+        metrics::tally_elements(variant, ne as u64);
         let nval = variant.nvalues().max(1);
 
         // Workspace buffers are reused per worker thread (the *_init
@@ -677,6 +705,7 @@ pub fn assemble_parallel(
                     shards.num_shards(),
                     || vec![0.0; nval],
                     |ws_buf, s| {
+                        let _shard_sp = telemetry::span(format!("shard:{s}"));
                         let shard = shards.shard(s);
                         let nl = shard.num_local_nodes();
                         // Compact accumulation: O(nodes-in-shard), not O(nn).

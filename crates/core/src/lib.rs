@@ -42,6 +42,7 @@ pub mod input;
 pub mod kernels;
 pub mod layout;
 pub mod listing3;
+pub mod metrics;
 pub mod nut;
 pub mod ops;
 pub mod variant;

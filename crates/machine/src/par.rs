@@ -10,8 +10,15 @@
 //!
 //! Small inputs take a serial fast path so tests and tiny meshes do not
 //! pay thread-spawn latency.
+//!
+//! Every helper propagates the spawner's [`alya_telemetry::Context`] into
+//! the threads it creates, so counters tallied inside worker closures land
+//! in the live telemetry session exactly when the spawning thread
+//! participates in one — and never otherwise.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use alya_telemetry as telemetry;
 
 /// Work items below this threshold run serially.
 const SERIAL_CUTOFF: usize = 256;
@@ -64,6 +71,7 @@ where
         return (0..n).map(|i| f(&mut w, i)).collect();
     }
     let chunk = n.div_ceil(workers);
+    let ctx = telemetry::current_context();
     let mut parts: Vec<Vec<T>> = Vec::with_capacity(workers);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
@@ -73,6 +81,7 @@ where
                 let init = &init;
                 let f = &f;
                 s.spawn(move || {
+                    telemetry::adopt_context(ctx);
                     let mut state = init();
                     (lo..hi).map(|i| f(&mut state, i)).collect::<Vec<T>>()
                 })
@@ -110,12 +119,14 @@ where
     }
     const BATCH: usize = 64;
     let cursor = AtomicUsize::new(0);
+    let ctx = telemetry::current_context();
     std::thread::scope(|s| {
         for _ in 0..workers {
             let cursor = &cursor;
             let init = &init;
             let f = &f;
             s.spawn(move || {
+                telemetry::adopt_context(ctx);
                 let mut state = init();
                 loop {
                     let lo = cursor.fetch_add(BATCH, Ordering::Relaxed);
@@ -146,6 +157,7 @@ where
         return;
     }
     let chunk = n.div_ceil(workers);
+    let ctx = telemetry::current_context();
     std::thread::scope(|s| {
         let mut rest = data;
         let mut offset = 0;
@@ -153,7 +165,10 @@ where
             let take = chunk.min(rest.len());
             let (head, tail) = rest.split_at_mut(take);
             let f = &f;
-            s.spawn(move || f(offset, head));
+            s.spawn(move || {
+                telemetry::adopt_context(ctx);
+                f(offset, head);
+            });
             offset += take;
             rest = tail;
         }
@@ -179,13 +194,17 @@ where
     if items.len() <= 1 {
         return items.into_iter().map(|t| f(0, t)).collect();
     }
+    let ctx = telemetry::current_context();
     std::thread::scope(|s| {
         let handles: Vec<_> = items
             .into_iter()
             .enumerate()
             .map(|(i, t)| {
                 let f = &f;
-                s.spawn(move || f(i, t))
+                s.spawn(move || {
+                    telemetry::adopt_context(ctx);
+                    f(i, t)
+                })
             })
             .collect();
         handles
@@ -222,11 +241,17 @@ where
         if num_threads() <= 1 || pairs.len() < 2 {
             next.extend(pairs.into_iter().map(|(a, b)| combine(a, b)));
         } else {
+            let ctx = telemetry::current_context();
             std::thread::scope(|s| {
                 let combine = &combine;
                 let handles: Vec<_> = pairs
                     .into_iter()
-                    .map(|(a, b)| s.spawn(move || combine(a, b)))
+                    .map(|(a, b)| {
+                        s.spawn(move || {
+                            telemetry::adopt_context(ctx);
+                            combine(a, b)
+                        })
+                    })
                     .collect();
                 for h in handles {
                     next.push(h.join().expect("tree-reduce worker panicked"));

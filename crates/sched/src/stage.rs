@@ -3,6 +3,8 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use alya_telemetry as telemetry;
+
 use crate::trace::{BufId, BufMeta, SchedEvent, SchedTrace, StageId, StageMeta};
 
 /// What a stage body reports after one cooperative slice of work.
@@ -193,6 +195,16 @@ impl<'a, C> Pipeline<'a, C> {
             buffers: self.buffers.clone(),
             events: Vec::new(),
         };
+        // Telemetry: each stage lives on its own sub-track (tid = stage
+        // index + 1; tid 0 is the rank's main row) of the calling
+        // thread's trace process, so concurrent stages of one rank render
+        // as overlapping rows in the chrome export. The `SchedTrace`
+        // events below and these spans are two views of one timeline:
+        // a span opens at `Started` and closes at `Retired`.
+        for (s, stage) in self.stages.iter().enumerate() {
+            telemetry::set_track_label_here(s as u32 + 1, stage.name);
+        }
+        let mut span_start = vec![0u64; n];
         let mut enqueued = vec![false; n];
         let mut started = vec![false; n];
         let mut retired = vec![false; n];
@@ -212,6 +224,7 @@ impl<'a, C> Pipeline<'a, C> {
                 }
                 if !started[s] {
                     started[s] = true;
+                    span_start[s] = telemetry::stamp();
                     trace.events.push(SchedEvent::Started { stage: s as u32 });
                 }
                 let status = {
@@ -235,6 +248,11 @@ impl<'a, C> Pipeline<'a, C> {
                             }
                         }
                         retired[s] = true;
+                        telemetry::record_span_raw(
+                            self.stages[s].name,
+                            s as u32 + 1,
+                            span_start[s],
+                        );
                         trace.events.push(SchedEvent::Retired { stage: s as u32 });
                         for (t, stage) in self.stages.iter().enumerate() {
                             if !enqueued[t] && stage.deps.iter().all(|&d| retired[d as usize]) {

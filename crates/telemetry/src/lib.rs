@@ -1,0 +1,742 @@
+//! # alya-telemetry — unified in-process spans and performance counters
+//!
+//! The paper's CPU analysis (Table I) is a LIKWID counter study:
+//! loads/stores and flops per element, measured *while the code runs*.
+//! This crate gives the reproduction the same capability in-process: a
+//! lock-light span/counter layer every subsystem (drivers, comm runtime,
+//! stage scheduler) reports into, sharing **one monotonic clock** and one
+//! metric taxonomy, with exporters that render a live Table-I-shaped
+//! profile ([`profile::TableOneProfile`]) and a Chrome `trace_event` JSON
+//! timeline ([`export::chrome_trace`]) that opens directly in
+//! `chrome://tracing` / Perfetto.
+//!
+//! ## Design rules
+//!
+//! * **Sessions are exclusive.** [`session`] takes a process-wide lock,
+//!   bumps the session epoch and enables collection; [`Session::finish`]
+//!   disables it and merges everything into a [`TelemetryReport`]. Only
+//!   one measurement window exists at a time, so counter totals are
+//!   attributable to exactly one run.
+//! * **Participation is inherited, not ambient.** A thread contributes
+//!   only if it adopted the current session's [`Context`] — the session
+//!   opener does so automatically, and `alya-machine::par` propagates the
+//!   spawner's context into every worker/rank thread it creates. Threads
+//!   of unrelated work running concurrently in the same process stay
+//!   invisible, which is what makes exact counter assertions possible.
+//! * **Counters are per-thread sharded and merge deterministically.**
+//!   Each participating thread owns a shard of relaxed atomics it alone
+//!   writes; the merge is a commutative `u64` sum, so totals do not
+//!   depend on thread interleaving. Spans are sorted by
+//!   `(pid, tid, start, id)` at merge.
+//! * **Telemetry never touches numerics.** No instrumentation site adds,
+//!   reorders or reassociates a floating-point operation, so enabling a
+//!   session cannot perturb bitwise reproducibility — the equivalence
+//!   suite asserts identical RHS bits with telemetry on and off.
+//!
+//! No external dependencies, no unsafe code.
+
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod profile;
+
+use std::borrow::Cow;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// The paper's metric taxonomy, one typed counter per entry.
+///
+/// Assembly metrics are tallied per kernel-variant [`Scope`] so a single
+/// session can profile several variants side by side; the comm metrics
+/// live in [`Scope::GLOBAL`] (halo traffic is a property of the
+/// decomposition, not the variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Metric {
+    /// Elements assembled.
+    ElementsAssembled,
+    /// Floating-point operations (1 FMA = 2).
+    Flops,
+    /// Global loads of nodal/elemental inputs.
+    InputLoads,
+    /// Loads from the RHS region (read-modify-write scatter).
+    RhsLoads,
+    /// Stores to the RHS region (the final scatter).
+    RhsStores,
+    /// Loads from the staged intermediate workspace.
+    WsLoads,
+    /// Stores to the staged intermediate workspace.
+    WsStores,
+    /// Elements assembled by a variant that spills at the contract
+    /// register budget (RSP's residual-spill story).
+    SpillElements,
+    /// Halo payload bytes posted by senders.
+    HaloBytesPosted,
+    /// Halo payload bytes delivered to receivers.
+    HaloBytesReceived,
+    /// Nanoseconds spent blocked inside a comm receive — the single
+    /// accounting point all blocked-wait reporting derives from.
+    BlockedWaitNs,
+}
+
+/// Number of [`Metric`] entries.
+pub const NUM_METRICS: usize = 11;
+
+impl Metric {
+    /// Every metric, in declaration order.
+    pub const ALL: [Metric; NUM_METRICS] = [
+        Metric::ElementsAssembled,
+        Metric::Flops,
+        Metric::InputLoads,
+        Metric::RhsLoads,
+        Metric::RhsStores,
+        Metric::WsLoads,
+        Metric::WsStores,
+        Metric::SpillElements,
+        Metric::HaloBytesPosted,
+        Metric::HaloBytesReceived,
+        Metric::BlockedWaitNs,
+    ];
+
+    /// Stable snake-case name (report keys, JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::ElementsAssembled => "elements_assembled",
+            Metric::Flops => "flops",
+            Metric::InputLoads => "input_loads",
+            Metric::RhsLoads => "rhs_loads",
+            Metric::RhsStores => "rhs_stores",
+            Metric::WsLoads => "ws_loads",
+            Metric::WsStores => "ws_stores",
+            Metric::SpillElements => "spill_elements",
+            Metric::HaloBytesPosted => "halo_bytes_posted",
+            Metric::HaloBytesReceived => "halo_bytes_received",
+            Metric::BlockedWaitNs => "blocked_wait_ns",
+        }
+    }
+
+    fn index(self) -> usize {
+        Metric::ALL
+            .iter()
+            .position(|&m| m == self)
+            .expect("metric in ALL")
+    }
+}
+
+/// Counter attribution bucket: [`Scope::GLOBAL`] for cross-cutting
+/// metrics (comm traffic, blocked wait), one scope per kernel variant for
+/// the assembly metrics. `alya-core` owns the variant → scope mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Scope(u8);
+
+/// Number of scopes: the global one plus one per kernel variant.
+pub const NUM_SCOPES: usize = 6;
+
+impl Scope {
+    /// The cross-cutting scope (comm traffic, blocked wait).
+    pub const GLOBAL: Scope = Scope(0);
+
+    /// The scope of kernel-variant `i` (presentation order).
+    ///
+    /// # Panics
+    /// If `i + 1 >= NUM_SCOPES`.
+    pub fn variant(i: usize) -> Scope {
+        assert!(i + 1 < NUM_SCOPES, "variant scope {i} out of range");
+        Scope(1 + i as u8)
+    }
+
+    /// All scopes, global first.
+    pub fn all() -> impl Iterator<Item = Scope> {
+        (0..NUM_SCOPES as u8).map(Scope)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One thread's private accumulation: counters it alone writes (relaxed
+/// atomics — the atomicity is only for the merge read at session end) and
+/// the spans it completed.
+struct Shard {
+    counters: Vec<AtomicU64>,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            counters: (0..NUM_SCOPES * NUM_METRICS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// The process-wide registry behind the free functions of this crate.
+struct Registry {
+    /// Current session epoch; 0 = no session has ever run. A thread
+    /// participates iff its adopted epoch equals this and `enabled`.
+    epoch: AtomicU64,
+    enabled: AtomicBool,
+    shards: Mutex<Vec<Arc<Shard>>>,
+    warnings: Mutex<Vec<String>>,
+    labels: Mutex<BTreeMap<(u32, u32), String>>,
+    next_span_id: AtomicU64,
+    next_tid: AtomicU32,
+    session_lock: Mutex<()>,
+    clock: Instant,
+}
+
+/// Warning-channel capacity; beyond it new warnings are dropped (the
+/// channel reports rare config problems, not a stream).
+const MAX_WARNINGS: usize = 256;
+
+fn reg() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| Registry {
+        epoch: AtomicU64::new(0),
+        enabled: AtomicBool::new(false),
+        shards: Mutex::new(Vec::new()),
+        warnings: Mutex::new(Vec::new()),
+        labels: Mutex::new(BTreeMap::new()),
+        next_span_id: AtomicU64::new(0),
+        next_tid: AtomicU32::new(16),
+        session_lock: Mutex::new(()),
+        clock: Instant::now(),
+    })
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Tls {
+    /// Session epoch this thread adopted (0 = none).
+    epoch: u64,
+    /// This thread's shard, valid for `epoch`.
+    shard: Option<Arc<Shard>>,
+    /// Chrome-trace process id ("rank" in distributed runs).
+    pid: u32,
+    /// Chrome-trace thread id within `pid`.
+    tid: u32,
+    /// Open RAII span ids, innermost last.
+    stack: Vec<u64>,
+}
+
+thread_local! {
+    static TLS: RefCell<Tls> = const {
+        RefCell::new(Tls {
+            epoch: 0,
+            shard: None,
+            pid: 0,
+            tid: 0,
+            stack: Vec::new(),
+        })
+    };
+}
+
+/// A thread's participation token: capture with [`current_context`]
+/// before spawning, hand to [`adopt_context`] inside the new thread.
+/// `alya-machine::par` does this for every thread it creates.
+#[derive(Debug, Clone, Copy)]
+pub struct Context {
+    epoch: u64,
+    pid: u32,
+}
+
+/// The calling thread's participation token (cheap; callable anywhere).
+pub fn current_context() -> Context {
+    TLS.with(|t| {
+        let t = t.borrow();
+        Context {
+            epoch: t.epoch,
+            pid: t.pid,
+        }
+    })
+}
+
+/// Adopts `ctx` on the calling thread. If `ctx` belongs to the live
+/// session, the thread gets its own counter shard and a fresh trace `tid`
+/// under the spawner's `pid`; otherwise the thread stays invisible.
+pub fn adopt_context(ctx: Context) {
+    let r = reg();
+    let live = r.enabled.load(Ordering::Acquire) && ctx.epoch == r.epoch.load(Ordering::Acquire);
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        t.epoch = ctx.epoch;
+        t.pid = ctx.pid;
+        t.stack.clear();
+        if live && ctx.epoch != 0 {
+            t.tid = r.next_tid.fetch_add(1, Ordering::Relaxed);
+            let shard = Arc::new(Shard::new());
+            lock(&r.shards).push(Arc::clone(&shard));
+            t.shard = Some(shard);
+        } else {
+            t.shard = None;
+        }
+    });
+}
+
+/// Whether the calling thread is inside the live session's measurement
+/// window. All recording free functions are no-ops when this is false.
+pub fn active() -> bool {
+    let r = reg();
+    r.enabled.load(Ordering::Acquire)
+        && TLS.with(|t| {
+            let e = t.borrow().epoch;
+            e != 0 && e == r.epoch.load(Ordering::Acquire)
+        })
+}
+
+fn with_shard(f: impl FnOnce(&Shard, &mut Tls)) {
+    if !active() {
+        return;
+    }
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.shard.is_none() {
+            // The session opener's own thread adopts lazily via session().
+            return;
+        }
+        let shard = t.shard.take().expect("checked above");
+        f(&shard, &mut t);
+        t.shard = Some(shard);
+    });
+}
+
+/// Adds `n` to a counter in the calling thread's shard. No-op outside the
+/// live session.
+pub fn add(scope: Scope, metric: Metric, n: u64) {
+    if n == 0 {
+        return;
+    }
+    with_shard(|s, _| {
+        s.counters[scope.index() * NUM_METRICS + metric.index()].fetch_add(n, Ordering::Relaxed);
+    });
+}
+
+/// Live sum of `metric` across all scopes and shards of the current
+/// session — the "what has accumulated so far" read benchmarks use for
+/// per-run deltas. Zero outside a session.
+pub fn counter_total(metric: Metric) -> u64 {
+    let r = reg();
+    if !r.enabled.load(Ordering::Acquire) {
+        return 0;
+    }
+    let mi = metric.index();
+    lock(&r.shards)
+        .iter()
+        .map(|s| {
+            (0..NUM_SCOPES)
+                .map(|sc| s.counters[sc * NUM_METRICS + mi].load(Ordering::Relaxed))
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+/// Nanoseconds since the registry clock started; 0 when the calling
+/// thread is not in the live session (callers use it to skip work).
+pub fn stamp() -> u64 {
+    if !active() {
+        return 0;
+    }
+    now_ns()
+}
+
+fn now_ns() -> u64 {
+    reg().clock.elapsed().as_nanos() as u64
+}
+
+/// One completed span on the shared timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique id within the process.
+    pub id: u64,
+    /// Enclosing RAII span, if any (same thread).
+    pub parent: Option<u64>,
+    /// Display name.
+    pub name: String,
+    /// Trace process id (rank).
+    pub pid: u32,
+    /// Trace thread id within `pid`.
+    pub tid: u32,
+    /// Start, nanoseconds on the registry clock.
+    pub start_ns: u64,
+    /// End, nanoseconds on the registry clock.
+    pub end_ns: u64,
+}
+
+/// An open RAII span: records itself (with its parent link) when dropped.
+/// Inert outside the live session.
+#[must_use = "a span measures the scope it lives in"]
+pub struct Span {
+    inner: Option<OpenSpan>,
+}
+
+struct OpenSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: Cow<'static, str>,
+    start_ns: u64,
+}
+
+/// Opens a parent-linked RAII span on the calling thread's track.
+pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
+    if !active() {
+        return Span { inner: None };
+    }
+    let id = reg().next_span_id.fetch_add(1, Ordering::Relaxed) + 1;
+    let mut parent = None;
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        parent = t.stack.last().copied();
+        t.stack.push(id);
+    });
+    Span {
+        inner: Some(OpenSpan {
+            id,
+            parent,
+            name: name.into(),
+            start_ns: now_ns(),
+        }),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(open) = self.inner.take() else {
+            return;
+        };
+        let end_ns = now_ns();
+        with_shard(|shard, t| {
+            // RAII discipline makes this a pop of our own id; a guard
+            // outliving its parent is removed positionally.
+            if let Some(pos) = t.stack.iter().rposition(|&x| x == open.id) {
+                t.stack.remove(pos);
+            }
+            lock(&shard.spans).push(SpanRecord {
+                id: open.id,
+                parent: open.parent,
+                name: open.name.clone().into_owned(),
+                pid: t.pid,
+                tid: t.tid,
+                start_ns: open.start_ns,
+                end_ns,
+            });
+        });
+    }
+}
+
+/// Records a completed span on an explicit sub-track of the calling
+/// thread's `pid`, from `start_ns` (a [`stamp`]) to now — how the stage
+/// scheduler puts each stage on its own trace row. Unparented; no-op
+/// outside the live session or when `start_ns` is 0.
+pub fn record_span_raw(name: impl Into<Cow<'static, str>>, tid: u32, start_ns: u64) {
+    if start_ns == 0 {
+        return;
+    }
+    let end_ns = now_ns();
+    let name = name.into();
+    with_shard(|shard, t| {
+        let id = reg().next_span_id.fetch_add(1, Ordering::Relaxed) + 1;
+        lock(&shard.spans).push(SpanRecord {
+            id,
+            parent: None,
+            name: name.clone().into_owned(),
+            pid: t.pid,
+            tid,
+            start_ns,
+            end_ns,
+        });
+    });
+}
+
+/// Restores the thread's previous `pid` when dropped (see
+/// [`set_thread_track`]).
+#[must_use = "dropping restores the previous track immediately"]
+pub struct TrackGuard {
+    prev_pid: u32,
+}
+
+impl Drop for TrackGuard {
+    fn drop(&mut self) {
+        TLS.with(|t| t.borrow_mut().pid = self.prev_pid);
+    }
+}
+
+/// Moves the calling thread onto trace process `pid` (labelled in the
+/// chrome export) until the guard drops — the comm runtime does this so
+/// every rank becomes its own process row. No-op outside the session.
+pub fn set_thread_track(pid: u32, label: &str) -> TrackGuard {
+    let prev_pid = TLS.with(|t| t.borrow().pid);
+    if !active() {
+        return TrackGuard { prev_pid };
+    }
+    TLS.with(|t| t.borrow_mut().pid = pid);
+    lock(&reg().labels)
+        .entry((pid, 0))
+        .or_insert_with(|| label.to_string());
+    TrackGuard { prev_pid }
+}
+
+/// Labels sub-track `tid` of the calling thread's `pid` (e.g. one row per
+/// pipeline stage). No-op outside the session.
+pub fn set_track_label_here(tid: u32, label: &str) {
+    if !active() {
+        return;
+    }
+    let pid = TLS.with(|t| t.borrow().pid);
+    lock(&reg().labels)
+        .entry((pid, tid))
+        .or_insert_with(|| label.to_string());
+}
+
+/// Pushes a warning onto the registry's event channel (bounded; works
+/// with or without a live session) — the "never fail silently" path for
+/// configuration problems like an unreadable bench baseline.
+pub fn warn(message: impl Into<String>) {
+    let mut w = lock(&reg().warnings);
+    if w.len() < MAX_WARNINGS {
+        w.push(message.into());
+    }
+}
+
+/// Takes every pending warning (oldest first). [`Session::finish`] also
+/// drains the channel into its report.
+pub fn drain_warnings() -> Vec<String> {
+    std::mem::take(&mut *lock(&reg().warnings))
+}
+
+/// Everything one session collected, deterministically merged.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryReport {
+    /// Counter totals, indexed `[scope][metric]` (see accessors).
+    counters: Vec<u64>,
+    /// Completed spans, sorted by `(pid, tid, start_ns, id)`.
+    pub spans: Vec<SpanRecord>,
+    /// Warnings drained from the event channel.
+    pub warnings: Vec<String>,
+    /// `(pid, tid) → label` rows registered during the session, sorted.
+    pub track_labels: Vec<((u32, u32), String)>,
+}
+
+impl TelemetryReport {
+    /// Counter value of `metric` in `scope`.
+    pub fn counter(&self, scope: Scope, metric: Metric) -> u64 {
+        self.counters[scope.index() * NUM_METRICS + metric.index()]
+    }
+
+    /// Sum of `metric` across all scopes.
+    pub fn total(&self, metric: Metric) -> u64 {
+        Scope::all().map(|s| self.counter(s, metric)).sum()
+    }
+
+    /// Overwrites a counter — the analyzer's seeded-violation self-tests
+    /// use this to forge a skew and prove the cross-check catches it.
+    pub fn set_counter(&mut self, scope: Scope, metric: Metric, value: u64) {
+        self.counters[scope.index() * NUM_METRICS + metric.index()] = value;
+    }
+
+    /// Spans named `name`, in merged order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// The chrome `trace_event` export of this report (see
+    /// [`export::chrome_trace`]).
+    pub fn chrome_trace(&self) -> String {
+        export::chrome_trace(self)
+    }
+}
+
+/// An exclusive measurement window. Collection is enabled while this
+/// guard lives; [`Session::finish`] produces the merged report.
+#[must_use = "finish() the session to obtain its report"]
+pub struct Session {
+    _guard: MutexGuard<'static, ()>,
+}
+
+/// Opens the process's single telemetry session: locks out other
+/// sessions, clears residue from the previous window, enables collection
+/// and adopts the new context on the calling thread (pid 0, tid 0).
+pub fn session() -> Session {
+    let r = reg();
+    let guard = lock(&r.session_lock);
+    // Disable while clearing so stragglers from a previous session (none
+    // should exist — sessions join their threads) cannot interleave.
+    r.enabled.store(false, Ordering::Release);
+    lock(&r.shards).clear();
+    lock(&r.labels).clear();
+    lock(&r.warnings).clear();
+    r.next_tid.store(16, Ordering::Relaxed);
+    let epoch = r.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+    r.enabled.store(true, Ordering::Release);
+    adopt_context(Context { epoch, pid: 0 });
+    TLS.with(|t| t.borrow_mut().tid = 0);
+    lock(&r.labels).insert((0, 0), "main".to_string());
+    Session { _guard: guard }
+}
+
+impl Session {
+    /// Disables collection and merges every shard into a report:
+    /// counters by commutative sum, spans sorted by
+    /// `(pid, tid, start_ns, id)` — both independent of thread timing.
+    pub fn finish(self) -> TelemetryReport {
+        let r = reg();
+        r.enabled.store(false, Ordering::Release);
+        let mut counters = vec![0u64; NUM_SCOPES * NUM_METRICS];
+        let mut spans = Vec::new();
+        {
+            let mut shards = lock(&r.shards);
+            for shard in shards.iter() {
+                for (i, c) in shard.counters.iter().enumerate() {
+                    counters[i] += c.load(Ordering::Acquire);
+                }
+                spans.append(&mut lock(&shard.spans));
+            }
+            shards.clear();
+        }
+        spans.sort_by_key(|s| (s.pid, s.tid, s.start_ns, s.id));
+        let track_labels = lock(&r.labels)
+            .iter()
+            .map(|(&k, v)| (k, v.clone()))
+            .collect();
+        TLS.with(|t| {
+            let mut t = t.borrow_mut();
+            t.epoch = 0;
+            t.shard = None;
+            t.stack.clear();
+        });
+        TelemetryReport {
+            counters,
+            spans,
+            warnings: drain_warnings(),
+            track_labels,
+        }
+        // The session lock releases here, after collection is disabled.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_require_an_adopted_context_and_merge_across_threads() {
+        let s = session();
+        add(Scope::GLOBAL, Metric::Flops, 5);
+        let ctx = current_context();
+        std::thread::scope(|scope| {
+            // A participating thread contributes ...
+            scope.spawn(|| {
+                adopt_context(ctx);
+                add(Scope::GLOBAL, Metric::Flops, 7);
+            });
+            // ... a non-participating one does not.
+            scope.spawn(|| {
+                add(Scope::GLOBAL, Metric::Flops, 1000);
+                assert!(!active());
+            });
+        });
+        assert_eq!(counter_total(Metric::Flops), 12);
+        let report = s.finish();
+        assert_eq!(report.counter(Scope::GLOBAL, Metric::Flops), 12);
+        assert_eq!(report.total(Metric::Flops), 12);
+        // Outside the window everything is inert.
+        add(Scope::GLOBAL, Metric::Flops, 9);
+        assert!(!active());
+        assert_eq!(counter_total(Metric::Flops), 0);
+    }
+
+    #[test]
+    fn scoped_counters_do_not_bleed_between_scopes() {
+        let s = session();
+        add(Scope::variant(0), Metric::ElementsAssembled, 3);
+        add(Scope::variant(4), Metric::ElementsAssembled, 4);
+        let report = s.finish();
+        assert_eq!(
+            report.counter(Scope::variant(0), Metric::ElementsAssembled),
+            3
+        );
+        assert_eq!(
+            report.counter(Scope::variant(4), Metric::ElementsAssembled),
+            4
+        );
+        assert_eq!(report.counter(Scope::GLOBAL, Metric::ElementsAssembled), 0);
+        assert_eq!(report.total(Metric::ElementsAssembled), 7);
+    }
+
+    #[test]
+    fn raii_spans_nest_and_raw_spans_land_on_their_tid() {
+        let s = session();
+        {
+            let _outer = span("outer");
+            let start = stamp();
+            {
+                let _inner = span("inner");
+            }
+            record_span_raw("staged", 3, start);
+        }
+        let report = s.finish();
+        let outer = report.spans_named("outer").next().expect("outer recorded");
+        let inner = report.spans_named("inner").next().expect("inner recorded");
+        let staged = report.spans_named("staged").next().expect("raw recorded");
+        assert_eq!(inner.parent, Some(outer.id));
+        assert!(outer.start_ns <= inner.start_ns && inner.end_ns <= outer.end_ns);
+        assert_eq!(staged.tid, 3);
+        assert_eq!(staged.parent, None);
+        assert!(staged.start_ns >= outer.start_ns);
+    }
+
+    #[test]
+    fn track_guard_restores_the_previous_pid() {
+        let s = session();
+        {
+            let _t = set_thread_track(7, "rank 7");
+            let _sp = span("on rank 7");
+        }
+        {
+            let _sp = span("back on main");
+        }
+        let report = s.finish();
+        assert_eq!(report.spans_named("on rank 7").next().unwrap().pid, 7);
+        assert_eq!(report.spans_named("back on main").next().unwrap().pid, 0);
+        assert!(report
+            .track_labels
+            .iter()
+            .any(|((p, t), l)| *p == 7 && *t == 0 && l == "rank 7"));
+    }
+
+    #[test]
+    fn warnings_flow_with_or_without_a_session() {
+        // Standalone channel (no session).
+        drain_warnings();
+        warn("standalone problem");
+        let w = drain_warnings();
+        assert_eq!(w, vec!["standalone problem".to_string()]);
+        // Session drains the channel into its report.
+        let s = session();
+        warn("in-session problem");
+        let report = s.finish();
+        assert_eq!(report.warnings, vec!["in-session problem".to_string()]);
+        assert!(drain_warnings().is_empty());
+    }
+
+    #[test]
+    fn sessions_reset_state_between_windows() {
+        let s1 = session();
+        add(Scope::GLOBAL, Metric::HaloBytesPosted, 42);
+        let _sp = span("first window");
+        drop(_sp);
+        let r1 = s1.finish();
+        assert_eq!(r1.counter(Scope::GLOBAL, Metric::HaloBytesPosted), 42);
+        let s2 = session();
+        let r2 = s2.finish();
+        assert_eq!(r2.counter(Scope::GLOBAL, Metric::HaloBytesPosted), 0);
+        assert!(r2.spans.is_empty());
+    }
+}

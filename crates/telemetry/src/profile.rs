@@ -1,0 +1,174 @@
+//! A live Table-I-shaped profile: measured per-element counters next to
+//! their closed-form contract predictions, with deviation columns.
+//!
+//! The paper's Table I reports loads/stores and flops *per element* for
+//! each kernel variant, measured with LIKWID. This module renders the
+//! same shape from a telemetry session: the builder (in `alya-core`,
+//! which owns the kernel contracts) fills in measured totals and
+//! predicted per-element amounts; the renderer here computes per-element
+//! rates and deviations. On the modeled machine the deviation column is
+//! expected to read exactly zero — the analyzer's telemetry pass gates
+//! on it.
+
+use std::fmt;
+
+/// One measured-vs-predicted pair for a single metric of a single row.
+#[derive(Debug, Clone)]
+pub struct TableOneCell {
+    /// Column label (metric name).
+    pub metric: &'static str,
+    /// Session-measured total for this row.
+    pub measured: u64,
+    /// Contract prediction: `per_element × elements`.
+    pub predicted: u64,
+}
+
+impl TableOneCell {
+    /// Signed deviation of measured from predicted, in counts.
+    pub fn deviation(&self) -> i64 {
+        self.measured as i64 - self.predicted as i64
+    }
+}
+
+/// One profile row: a kernel variant and its metric cells.
+#[derive(Debug, Clone)]
+pub struct TableOneRow {
+    /// Row label (variant name).
+    pub label: String,
+    /// Elements this row's variant assembled in the session.
+    pub elements: u64,
+    /// Measured/predicted pairs, in presentation order.
+    pub cells: Vec<TableOneCell>,
+}
+
+/// The live Table-I-shaped report. `Display` renders the table.
+#[derive(Debug, Clone, Default)]
+pub struct TableOneProfile {
+    /// Heading line (mesh / strategy description).
+    pub title: String,
+    /// One row per variant that assembled elements this session.
+    pub rows: Vec<TableOneRow>,
+}
+
+impl TableOneProfile {
+    /// Largest absolute deviation over every cell (0 for an empty
+    /// profile) — the number the analyzer gates to zero.
+    pub fn max_abs_deviation(&self) -> u64 {
+        self.rows
+            .iter()
+            .flat_map(|r| r.cells.iter())
+            .map(|c| c.deviation().unsigned_abs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether every measured counter equals its contract prediction.
+    pub fn is_exact(&self) -> bool {
+        self.max_abs_deviation() == 0
+    }
+}
+
+impl fmt::Display for TableOneProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table-I live profile — {}", self.title)?;
+        writeln!(
+            f,
+            "{:<8} {:>10}  {:<12} {:>14} {:>14} {:>12}",
+            "variant", "elements", "metric", "measured/el", "contract/el", "deviation"
+        )?;
+        for row in &self.rows {
+            for (i, cell) in row.cells.iter().enumerate() {
+                let (label, elems) = if i == 0 {
+                    (row.label.as_str(), format!("{}", row.elements))
+                } else {
+                    ("", String::new())
+                };
+                let per = |total: u64| {
+                    if row.elements == 0 {
+                        0.0
+                    } else {
+                        total as f64 / row.elements as f64
+                    }
+                };
+                let dev = cell.deviation();
+                let dev_col = if dev == 0 {
+                    "exact".to_string()
+                } else {
+                    format!("{dev:+}")
+                };
+                writeln!(
+                    f,
+                    "{label:<8} {elems:>10}  {:<12} {:>14.3} {:>14.3} {dev_col:>12}",
+                    cell.metric,
+                    per(cell.measured),
+                    per(cell.predicted),
+                )?;
+            }
+        }
+        let verdict = if self.is_exact() {
+            "PASS: every counter matches its closed-form contract exactly".to_string()
+        } else {
+            format!(
+                "FAIL: max |measured - contract| = {} counts",
+                self.max_abs_deviation()
+            )
+        };
+        writeln!(f, "{verdict}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(measured: u64) -> TableOneProfile {
+        TableOneProfile {
+            title: "384 tets, serial".into(),
+            rows: vec![TableOneRow {
+                label: "rsp".into(),
+                elements: 384,
+                cells: vec![
+                    TableOneCell {
+                        metric: "flops",
+                        measured,
+                        predicted: 1064 * 384,
+                    },
+                    TableOneCell {
+                        metric: "ws_loads",
+                        measured: 0,
+                        predicted: 0,
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn exact_profile_renders_pass_and_per_element_rates() {
+        let p = profile(1064 * 384);
+        assert!(p.is_exact());
+        assert_eq!(p.max_abs_deviation(), 0);
+        let text = p.to_string();
+        assert!(text.contains("Table-I live profile"));
+        assert!(text.contains("1064.000"));
+        assert!(text.contains("exact"));
+        assert!(text.contains("PASS"));
+    }
+
+    #[test]
+    fn skewed_profile_reports_the_deviation() {
+        let p = profile(1064 * 384 - 7);
+        assert!(!p.is_exact());
+        assert_eq!(p.max_abs_deviation(), 7);
+        let text = p.to_string();
+        assert!(text.contains("-7"));
+        assert!(text.contains("FAIL"));
+    }
+
+    #[test]
+    fn empty_profile_is_trivially_exact() {
+        let p = TableOneProfile::default();
+        assert!(p.is_exact());
+        assert!(p.to_string().contains("PASS"));
+    }
+}

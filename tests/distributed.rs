@@ -4,7 +4,9 @@
 //! process-wide thread cap — and whether compute/exchange overlap is on
 //! or off — honors the analyzer's comm contract on random meshes, and the
 //! committed `BENCH_comm.json` matches the recomputed closed-form halo
-//! budget and records a real overlap win.
+//! budget and records a real overlap win. A pipelined run inside a
+//! telemetry session must also emit a contract-exact Table-I profile and
+//! a chrome trace whose halo-drain spans overlap interior assembly.
 
 use alya_analyze::comm::{check_bench_comm, check_distributed};
 use alya_core::{assemble_serial, AssemblyInput, DistributedDriver, Variant};
@@ -102,6 +104,50 @@ fn overlap_on_and_off_agree_bitwise_for_every_variant_and_rank_count() {
             assert_eq!(ra, rb, "{variant} × {ranks} ranks: comm report diverged");
         }
     }
+}
+
+/// The PR-acceptance run: a 4-rank pipelined assembly on a mesh big
+/// enough that every rank's interior spans many assembly chunks, run
+/// inside a telemetry session. The live Table-I profile must show zero
+/// deviation from the kernel contracts, the chrome-trace export must
+/// parse, and the analyzer's telemetry pass must certify the lot —
+/// including the time overlap between each rank's `halo-drain` and
+/// `assemble-overlap` spans, the pipelining made visible.
+#[test]
+fn pipelined_run_emits_contract_exact_telemetry_and_an_overlapping_trace() {
+    use alya_analyze::telemetry::{check_report, expectation};
+    use alya_core::metrics;
+    use alya_telemetry::export::validate_json;
+
+    // 15×15×13 boxes → 17550 tets: >4k interior elements per rank, so
+    // the drain stage is structurally guaranteed to interleave with the
+    // chunked interior assembly on every rank.
+    let mesh = BoxMeshBuilder::new(15, 15, 13)
+        .jitter(0.05)
+        .seed(11)
+        .build();
+    let (v, p, t) = fields(&mesh);
+    let input = AssemblyInput::new(&mesh, &v, &p, &t).props(ConstantProperties::AIR);
+    let driver = DistributedDriver::new(&mesh, 4);
+
+    let session = alya_telemetry::session();
+    let (_, comm) = driver.assemble(Variant::Rsp, &input);
+    let report = session.finish();
+
+    // Live Table-I profile: every counter at its closed-form rate.
+    let profile = metrics::table_one(&report);
+    assert!(profile.is_exact(), "{profile}");
+    assert_eq!(profile.max_abs_deviation(), 0);
+
+    // The chrome export is well-formed trace_event JSON.
+    validate_json(&report.chrome_trace()).expect("chrome trace parses");
+
+    // Pass 6 certifies counters, span nesting, comm budget, blocked-wait
+    // and — on this mesh — the compute/exchange overlap evidence.
+    let exp = expectation(&driver, Variant::Rsp, &comm, true);
+    let checked = check_report(&report, &exp);
+    assert!(checked.is_clean(), "{checked}");
+    assert_eq!(checked.observed_elements, mesh.num_elements() as u64);
 }
 
 #[test]

@@ -183,6 +183,61 @@ fn thread_cap_never_changes_the_result() {
     par::set_thread_cap(None);
 }
 
+/// Telemetry must be a pure observer: the RHS assembled inside a
+/// telemetry session is **bitwise** identical to the one assembled with
+/// telemetry off, for every variant × strategy × worker cap. Counters
+/// tally at closed-form contract rates and spans only read the clock, so
+/// not one floating-point operation is added or reordered — this test is
+/// the enforcement.
+#[test]
+fn telemetry_on_or_off_never_changes_a_bit() {
+    use alya_machine::par;
+    use alya_telemetry::Metric;
+    let mesh = BoxMeshBuilder::new(4, 4, 3).jitter(0.12).seed(41).build();
+    let velocity = field_from_coeffs(&mesh, &[0.4, -0.2, 0.9, 0.3, -0.6, 0.1, 0.7, 0.2, -0.4]);
+    let pressure = ScalarField::from_fn(&mesh, |p| p[0] - 0.3 * p[1] + p[2] * p[2]);
+    let temperature = ScalarField::zeros(mesh.num_nodes());
+    let input = AssemblyInput::new(&mesh, &velocity, &pressure, &temperature)
+        .props(ConstantProperties::AIR);
+
+    let strategies = [
+        ParallelStrategy::TwoPhase,
+        ParallelStrategy::colored(&mesh),
+        ParallelStrategy::partitioned(&mesh, 8),
+        ParallelStrategy::sharded(&mesh, 8),
+    ];
+    // Serial first, then every parallel strategy, telemetry off/on.
+    let sweep = |variant| {
+        let mut out = vec![assemble_serial(variant, &input)];
+        out.extend(
+            strategies
+                .iter()
+                .map(|s| assemble_parallel(variant, &input, s)),
+        );
+        out
+    };
+    for cap in [1, 2, 8] {
+        par::set_thread_cap(Some(cap));
+        for variant in Variant::ALL {
+            let baseline = sweep(variant);
+            let session = alya_telemetry::session();
+            let observed = sweep(variant);
+            let report = session.finish();
+            // The session really was live and counting…
+            assert!(report.total(Metric::ElementsAssembled) > 0);
+            // …and changed nothing.
+            for (b, o) in baseline.iter().zip(&observed) {
+                assert_eq!(
+                    o.max_abs_diff(b),
+                    0.0,
+                    "cap {cap}, {variant}: telemetry perturbed the RHS"
+                );
+            }
+        }
+    }
+    par::set_thread_cap(None);
+}
+
 /// Layout invariance: the CPU pack and GPU launch addressing conventions
 /// change *where* the modelled traffic lands, never how much of it there
 /// is nor what gets computed.
