@@ -3,7 +3,7 @@
 //! The instrumented kernels in `alya-core` don't just feed the performance
 //! models — their event streams, the modelled address-space layout, and
 //! the coloring infrastructure together make the paper's optimization
-//! claims *mechanically checkable*. This crate runs six passes:
+//! claims *mechanically checkable*. This crate runs seven passes:
 //!
 //! 1. **Contract checker** ([`contracts`]) — per variant, captures element
 //!    traces under **both** addressing conventions (`Layout::gpu` and
@@ -20,8 +20,9 @@
 //!    (colored scatter), and shard-interior nodes are exclusive to their
 //!    shard with mutually consistent compact maps (sharded writeback).
 //! 3. **Source lints** ([`sources`]) — `#![forbid(unsafe_code)]` in every
-//!    crate except `alya-core`, exactly four sanctioned unsafe lines
-//!    there, and workspace-lint opt-in in every manifest.
+//!    crate except those hosting sanctioned unsafe, `unsafe` tokens only
+//!    in files on the shared `alya_lint::SANCTIONED_UNSAFE` allowlist,
+//!    and workspace-lint opt-in in every manifest.
 //! 4. **Comm contract** ([`comm`]) — runs a fully-traced distributed
 //!    assembly and holds the live exchange accounting against the
 //!    closed-form halo budget: posted bytes equal
@@ -43,6 +44,13 @@
 //!    matches the `CommReport` (single chokepoint, no double count),
 //!    span trees nest, every rank's trace carries all five pipeline
 //!    stage spans, and the chrome-trace export parses.
+//! 7. **Static hot-path lints** (`alya-lint`) — lexes every workspace
+//!    source, builds a name-based call graph, computes the set of
+//!    functions reachable from `// alya:hot` roots by fixpoint, and
+//!    enforces allocation freedom, panic freedom, hash-order freedom,
+//!    and telemetry granularity on that set, plus per-site `SAFETY:`
+//!    linkage for every sanctioned `unsafe` block (each comment must
+//!    name the proving analyzer pass and its allowlist marker).
 //!
 //! Run all passes via the audit binary:
 //!
@@ -71,7 +79,7 @@ use std::path::Path;
 /// properly; the invariants are count-independent).
 pub const AUDIT_SHARDS: usize = 8;
 
-/// Combined result of all six passes.
+/// Combined result of all seven passes.
 #[derive(Debug)]
 pub struct AuditReport {
     /// Kernel-contract violations (pass 1).
@@ -92,6 +100,10 @@ pub struct AuditReport {
     /// Telemetry-contract report of a distributed assembly run inside a
     /// telemetry session on the fixture mesh (pass 6).
     pub telemetry: telemetry::TelemetryContractReport,
+    /// Static hot-path/determinism/unsafe-linkage report (pass 7); a
+    /// default (empty) report when no workspace root was given or the
+    /// sources could not be read.
+    pub lint: alya_lint::LintReport,
 }
 
 impl AuditReport {
@@ -104,6 +116,7 @@ impl AuditReport {
             && self.comm.is_clean()
             && self.sched.is_clean()
             && self.telemetry.is_clean()
+            && self.lint.is_clean()
     }
 
     /// Total violation count (a race counts once, a shard violation once).
@@ -115,12 +128,13 @@ impl AuditReport {
             + self.comm.violations.len()
             + self.sched.violations.len()
             + self.telemetry.violations.len()
+            + self.lint.violations.len()
     }
 }
 
 /// Runs all passes on the canonical fixture. `workspace_root` enables the
-/// source pass (pass it `None` when the sources aren't on disk, e.g. from
-/// an installed binary).
+/// source passes (3 and 7; pass it `None` when the sources aren't on
+/// disk, e.g. from an installed binary).
 pub fn run_audit(workspace_root: Option<&Path>) -> AuditReport {
     let fx = Fixture::new();
     let input = fx.input();
@@ -137,6 +151,9 @@ pub fn run_audit(workspace_root: Option<&Path>) -> AuditReport {
         comm: comm_report,
         sched: sched_report,
         telemetry: telemetry_report,
+        lint: workspace_root
+            .and_then(|r| alya_lint::check_workspace(r).ok())
+            .unwrap_or_default(),
     }
 }
 
@@ -150,5 +167,10 @@ mod tests {
         let report = run_audit(Some(&root));
         assert!(report.is_clean(), "{report:#?}");
         assert_eq!(report.num_violations(), 0);
+        // Pass 7 actually ran: the workspace has hot roots and a
+        // non-trivial reachable set, not a silently-empty report.
+        assert!(report.lint.hot_roots > 0);
+        assert!(report.lint.reachable_fns >= report.lint.hot_roots);
+        assert!(report.lint.files_scanned > 50);
     }
 }

@@ -3,18 +3,26 @@
 //! Walks the workspace sources and enforces the unsafety and lint policy
 //! mechanically:
 //!
-//! * every crate's `lib.rs` carries `#![forbid(unsafe_code)]` — except
-//!   `alya-core`, which hosts the sanctioned unsafe sites (the
-//!   `SharedRhs` scatter in `drivers.rs`, whose invariants the race
-//!   detector and the shard validator prove);
-//! * `alya-core` contains exactly the four sanctioned `unsafe` tokens
-//!   (`unsafe impl Send`, `unsafe impl Sync`, the colored scatter block,
-//!   the sharded interior-writeback block), all in `drivers.rs`, and no
-//!   other crate contains any;
+//! * every crate's `lib.rs` carries `#![forbid(unsafe_code)]` — except the
+//!   crates hosting sanctioned unsafe sites (today only `alya-core`, whose
+//!   `SharedRhs` scatter invariants the race detector and the shard
+//!   validator prove);
+//! * `unsafe` tokens appear only in files on the explicit
+//!   [`alya_lint::SANCTIONED_UNSAFE`] allowlist, which this pass shares
+//!   with the static analyzer (pass 7). The per-site `SAFETY:` linkage —
+//!   each site's comment naming its proving pass and allowlist marker —
+//!   is pass 7's job; this pass holds the coarser file-level line: no
+//!   unsafe outside the allowlisted files, anywhere, including tests and
+//!   benches;
 //! * the workspace `Cargo.toml` defines `[workspace.lints]` and every
 //!   member opts in with `[lints] workspace = true`, so clippy gating in
 //!   CI covers every crate.
+//!
+//! The token scan is `alya_lint::unsafe_ident_lines`, a real lexer: the
+//! word `unsafe` inside strings, chars, or comments does not count, so no
+//! file needs to be exempted from its own scan.
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -33,17 +41,12 @@ impl std::fmt::Display for SourceViolation {
     }
 }
 
-/// The only crate allowed to contain `unsafe`.
-const UNSAFE_CRATE: &str = "core";
-/// The only file within it allowed to contain `unsafe`.
-const UNSAFE_FILE: &str = "drivers.rs";
-/// Lines of code (comments excluded) in that file that may mention
-/// `unsafe`: the two auto-trait impls, the colored scatter block, and the
-/// sharded interior-writeback block.
-const SANCTIONED_UNSAFE_LINES: usize = 4;
-
 fn rel(root: &Path, p: &Path) -> String {
-    p.strip_prefix(root).unwrap_or(p).display().to_string()
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .display()
+        .to_string()
+        .replace('\\', "/")
 }
 
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -61,38 +64,22 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
     out.sort();
 }
 
-/// Whether `code` contains the standalone token `unsafe` (word-bounded, so
-/// `forbid(unsafe_code)` and identifiers like `unsafe_code_lines` don't
-/// count).
-fn has_unsafe_token(code: &str) -> bool {
-    let bytes = code.as_bytes();
-    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
-    let mut from = 0;
-    while let Some(i) = code[from..].find("unsafe") {
-        let start = from + i;
-        let end = start + "unsafe".len();
-        let ok_before = start == 0 || !is_word(bytes[start - 1]);
-        let ok_after = end == bytes.len() || !is_word(bytes[end]);
-        if ok_before && ok_after {
-            return true;
-        }
-        from = end;
-    }
-    false
-}
-
-/// Lines with an `unsafe` token outside of `//`-comments.
-fn unsafe_code_lines(src: &str) -> usize {
-    src.lines()
-        .map(|l| l.split("//").next().unwrap_or(""))
-        .filter(|code| has_unsafe_token(code))
-        .count()
+/// Crate directory names (under `crates/`) that host sanctioned unsafe and
+/// therefore cannot carry `#![forbid(unsafe_code)]`.
+fn unsafe_crates(sanctioned: &BTreeSet<&'static str>) -> BTreeSet<&'static str> {
+    sanctioned
+        .iter()
+        .filter_map(|f| f.strip_prefix("crates/"))
+        .filter_map(|f| f.split('/').next())
+        .collect()
 }
 
 /// Runs the whole source audit over a workspace root.
 pub fn check_workspace(root: &Path) -> Vec<SourceViolation> {
     let mut out = Vec::new();
     let crates_dir = root.join("crates");
+    let sanctioned = alya_lint::sanctioned_files();
+    let exempt_crates = unsafe_crates(&sanctioned);
 
     // Workspace-level lint table.
     match fs::read_to_string(root.join("Cargo.toml")) {
@@ -142,14 +129,16 @@ pub fn check_workspace(root: &Path) -> Vec<SourceViolation> {
             }),
         }
 
-        // forbid(unsafe_code) everywhere except the sanctioned crate.
+        // forbid(unsafe_code) everywhere except crates on the allowlist.
         let lib = dir.join("src/lib.rs");
         let lib_src = fs::read_to_string(&lib).unwrap_or_default();
-        if name == UNSAFE_CRATE {
+        if exempt_crates.contains(name.as_str()) {
             if lib_src.contains("#![forbid(unsafe_code)]") {
                 out.push(SourceViolation {
                     file: rel(root, &lib),
-                    message: "alya-core hosts the sanctioned unsafe scatter; forbid(unsafe_code) here cannot compile — remove it or move the unsafe code".into(),
+                    message: format!(
+                        "crate hosts sanctioned unsafe sites; forbid(unsafe_code) in alya-{name} cannot compile — remove it or retire the allowlist entries"
+                    ),
                 });
             }
         } else if !lib_src.contains("#![forbid(unsafe_code)]") {
@@ -159,36 +148,26 @@ pub fn check_workspace(root: &Path) -> Vec<SourceViolation> {
             });
         }
 
-        // No unsafe tokens anywhere but the sanctioned file.
+        // No unsafe tokens anywhere but the allowlisted files. The per-site
+        // count and SAFETY linkage inside those files is pass 7's job.
         let mut files = Vec::new();
         rust_files(&dir.join("src"), &mut files);
         rust_files(&dir.join("tests"), &mut files);
         rust_files(&dir.join("benches"), &mut files);
         rust_files(&dir.join("examples"), &mut files);
         for f in &files {
-            // The scanner necessarily names the token it hunts; don't scan
-            // this very file (it is #![forbid(unsafe_code)]-covered anyway,
-            // so the compiler enforces what the scan would).
-            if name == "analyze" && f.file_name().is_some_and(|b| b == "sources.rs") {
+            let path = rel(root, f);
+            if sanctioned.contains(path.as_str()) {
                 continue;
             }
             let src = fs::read_to_string(f).unwrap_or_default();
-            let n = unsafe_code_lines(&src);
-            let is_sanctioned =
-                name == UNSAFE_CRATE && f.file_name().is_some_and(|b| b == UNSAFE_FILE);
-            if is_sanctioned {
-                if n != SANCTIONED_UNSAFE_LINES {
-                    out.push(SourceViolation {
-                        file: rel(root, f),
-                        message: format!(
-                            "expected exactly {SANCTIONED_UNSAFE_LINES} sanctioned unsafe code lines (Send impl, Sync impl, colored scatter block, sharded interior writeback), found {n}"
-                        ),
-                    });
-                }
-            } else if n != 0 {
+            let lines = alya_lint::unsafe_ident_lines(&src);
+            if !lines.is_empty() {
                 out.push(SourceViolation {
-                    file: rel(root, f),
-                    message: format!("contains {n} unsafe code line(s); only {UNSAFE_CRATE}/src/{UNSAFE_FILE} may"),
+                    file: path,
+                    message: format!(
+                        "contains `unsafe` at line(s) {lines:?}; only allowlisted files may (see alya_lint::SANCTIONED_UNSAFE)"
+                    ),
                 });
             }
         }
@@ -200,11 +179,11 @@ pub fn check_workspace(root: &Path) -> Vec<SourceViolation> {
     rust_files(&root.join("tests"), &mut top);
     for f in &top {
         let src = fs::read_to_string(f).unwrap_or_default();
-        let n = unsafe_code_lines(&src);
-        if n != 0 {
+        let lines = alya_lint::unsafe_ident_lines(&src);
+        if !lines.is_empty() {
             out.push(SourceViolation {
                 file: rel(root, f),
-                message: format!("contains {n} unsafe code line(s)"),
+                message: format!("contains `unsafe` at line(s) {lines:?}"),
             });
         }
     }
@@ -236,18 +215,20 @@ mod tests {
     }
 
     #[test]
-    fn unsafe_counter_ignores_comments_and_non_tokens() {
-        assert_eq!(unsafe_code_lines("// unsafe in a comment\nlet x = 1;"), 0);
-        assert_eq!(unsafe_code_lines("unsafe { *p } // the one site"), 1);
+    fn allowlist_derives_the_exempt_crate_set() {
+        let exempt = unsafe_crates(&alya_lint::sanctioned_files());
+        assert_eq!(exempt.into_iter().collect::<Vec<_>>(), vec!["core"]);
+    }
+
+    #[test]
+    fn lexer_scan_ignores_strings_and_comments() {
+        assert!(alya_lint::unsafe_ident_lines("// unsafe in a comment\nlet x = 1;").is_empty());
+        assert!(alya_lint::unsafe_ident_lines("let s = \"unsafe\";").is_empty());
         assert_eq!(
-            unsafe_code_lines("unsafe impl Send for T {}\nunsafe impl Sync for T {}"),
-            2
+            alya_lint::unsafe_ident_lines("unsafe impl Send for T {}\nunsafe impl Sync for T {}"),
+            vec![1, 2]
         );
-        // Word-bounded: the forbid attribute and identifiers don't count.
-        assert_eq!(unsafe_code_lines("#![forbid(unsafe_code)]"), 0);
-        assert_eq!(unsafe_code_lines("fn unsafe_code_lines() {}"), 0);
-        assert_eq!(unsafe_code_lines("let x = do_unsafe();"), 0);
-        assert_eq!(unsafe_code_lines("x(unsafe { y })"), 1);
+        assert!(alya_lint::unsafe_ident_lines("#![forbid(unsafe_code)]").is_empty());
     }
 
     #[test]

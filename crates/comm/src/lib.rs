@@ -310,8 +310,12 @@ impl<M: Payload> RankHandle<M> {
 
     /// Nonblocking receive from `peer`: drains the channel into the stash
     /// and returns the oldest stashed message from `peer`, if any.
+    // alya:hot
     pub fn try_recv_from(&mut self, peer: u32) -> Option<M> {
         while let Ok(pair) = self.rx.try_recv() {
+            // alya:allow(hot-alloc): the stash holds at most one in-flight
+            // message per peer rank; each append is taken back out by
+            // `take_stashed` within the same exchange.
             self.stash.push(pair);
         }
         self.take_stashed(peer)
@@ -351,6 +355,8 @@ impl<M: Payload> RankHandle<M> {
             let left = deadline.saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(left) {
                 Ok((from, msg)) if from == peer => break Some(msg),
+                // alya:allow(hot-alloc): same bounded per-peer stash as
+                // `try_recv_from` — capacity amortizes across the run.
                 Ok(pair) => self.stash.push(pair),
                 // Disconnected means every other rank already finished:
                 // the message can no longer arrive, so waiting is futile.
@@ -463,12 +469,16 @@ impl<M: Payload> ExchangeProgress<M> {
 
     /// Nonblocking sweep: takes whatever already arrived from any pending
     /// peer. Returns how many messages were collected.
+    // alya:hot
     pub fn poll(&mut self, handle: &mut RankHandle<M>) -> usize {
         let before = self.pending.len();
         let mut i = 0;
         while i < self.pending.len() {
             let p = self.pending[i];
             if let Some(m) = handle.try_recv_from(p) {
+                // alya:allow(hot-alloc): `got` is bounded by the neighbor
+                // count fixed at post time; capacity amortizes to zero
+                // after the first exchange of a run.
                 self.got.push((p, m));
                 self.pending.remove(i);
             } else {
@@ -481,12 +491,15 @@ impl<M: Payload> ExchangeProgress<M> {
     /// Bounded wait: blocks up to `timeout` for the lowest pending peer,
     /// then sweeps the rest nonblockingly (the wait may have stashed
     /// them). Returns how many messages were collected.
+    // alya:hot
     pub fn wait_any(&mut self, handle: &mut RankHandle<M>, timeout: Duration) -> usize {
         let Some(&first) = self.pending.first() else {
             return 0;
         };
         let mut n = 0;
         if let Some(m) = handle.recv_from_timeout(first, timeout) {
+            // alya:allow(hot-alloc): bounded by the neighbor count, same as
+            // the `poll` sweep above.
             self.got.push((first, m));
             self.pending.remove(0);
             n = 1;

@@ -61,7 +61,7 @@ use alya_comm::{
 };
 use alya_fem::VectorField;
 use alya_machine::NoRecord;
-use alya_mesh::{ExchangePlan, Partition, ShardSet, TetMesh};
+use alya_mesh::{ExchangePlan, Partition, Shard, ShardSet, TetMesh};
 use alya_sched::{Pipeline, SchedTrace, StageStatus, Stall, Watchdog};
 use alya_telemetry as telemetry;
 
@@ -129,6 +129,79 @@ struct RankCtx<'h> {
     progress: Option<ExchangeProgress<HaloMsg>>,
     handle: &'h mut RankHandle<HaloMsg>,
     owned: OwnedValues,
+    /// Reusable pending-peer snapshot for the drain stage — allocated once
+    /// per rank, not once per poll.
+    drain_scratch: Vec<u32>,
+}
+
+/// One compact per-element assembly step — the inner loop both compute
+/// stages share. Identical discipline to the sharded strategy: CompactSink,
+/// ≤4-compare corner resolution, no global→local map in the hot path.
+// alya:hot
+#[inline]
+fn assemble_one(
+    variant: Variant,
+    input: &AssemblyInput,
+    shard: &Shard,
+    nn: usize,
+    local: &mut [f64],
+    ws_buf: &mut [f64],
+    i: u32,
+) {
+    let i = i as usize;
+    let nl = shard.num_local_nodes();
+    let e = shard.elements()[i] as usize;
+    let mut sink = CompactSink {
+        gnodes: input.mesh.element(e),
+        lnodes: shard.local_conn()[i],
+        stride: nl,
+        buf: local,
+    };
+    let lay = Layout::cpu(e, CPU_VECTOR_DIM, nn);
+    assemble_element(
+        variant,
+        input,
+        e,
+        &lay,
+        ws_buf,
+        1,
+        0,
+        &mut sink,
+        &mut NoRecord,
+    );
+}
+
+/// One cooperative drain step: snapshot the pending peers into the reused
+/// scratch buffer, then poll (compute still running) or park for one slice
+/// (compute retired). Returns how many messages arrived.
+// alya:hot
+fn drain_step(
+    p: &mut ExchangeProgress<HaloMsg>,
+    handle: &mut RankHandle<HaloMsg>,
+    compute_retired: bool,
+    scratch: &mut Vec<u32>,
+) -> usize {
+    scratch.clear();
+    scratch.extend_from_slice(p.pending());
+    if compute_retired {
+        p.wait_any(handle, DRAIN_SLICE)
+    } else {
+        p.poll(handle)
+    }
+}
+
+/// Folds one received halo message into the compact accumulation buffer.
+/// Callers fold in ascending sender rank order — the bitwise-
+/// reproducibility anchor.
+// alya:hot
+#[inline]
+fn fold_halo_msg(local: &mut [f64], nl: usize, msg: &HaloMsg) {
+    for &(slot, v) in &msg.entries {
+        let s = slot as usize;
+        local[s] += v[0];
+        local[nl + s] += v[1];
+        local[2 * nl + s] += v[2];
+    }
 }
 
 impl DistributedDriver {
@@ -309,33 +382,6 @@ impl DistributedDriver {
         };
         let (pre, rest) = split.order.split_at(cut);
 
-        // The compact per-element assembly both compute stages share —
-        // identical inner loop to the sharded strategy (CompactSink,
-        // ≤4-compare corner resolution, no global→local map in the hot
-        // path).
-        let assemble_at = |c: &mut RankCtx<'_>, i: u32| {
-            let i = i as usize;
-            let e = shard.elements()[i] as usize;
-            let mut sink = CompactSink {
-                gnodes: input.mesh.element(e),
-                lnodes: shard.local_conn()[i],
-                stride: nl,
-                buf: &mut c.local,
-            };
-            let lay = Layout::cpu(e, CPU_VECTOR_DIM, nn);
-            assemble_element(
-                variant,
-                input,
-                e,
-                &lay,
-                &mut c.ws_buf,
-                1,
-                0,
-                &mut sink,
-                &mut NoRecord,
-            );
-        };
-
         let pipe_name = if self.overlap {
             "rank-overlap"
         } else {
@@ -346,7 +392,7 @@ impl DistributedDriver {
         let s_pre = pipe.stage("assemble-pre", &[], |c, _ctx| {
             let end = (c.pre_done + ASSEMBLY_CHUNK).min(pre.len());
             for &i in &pre[c.pre_done..end] {
-                assemble_at(c, i);
+                assemble_one(variant, input, shard, nn, &mut c.local, &mut c.ws_buf, i);
             }
             c.pre_done = end;
             if end == pre.len() {
@@ -386,7 +432,7 @@ impl DistributedDriver {
         let s_rest = pipe.stage("assemble-overlap", &[s_post], |c, _ctx| {
             let end = (c.rest_done + ASSEMBLY_CHUNK).min(rest.len());
             for &i in &rest[c.rest_done..end] {
-                assemble_at(c, i);
+                assemble_one(variant, input, shard, nn, &mut c.local, &mut c.ws_buf, i);
             }
             c.rest_done = end;
             if end == rest.len() {
@@ -398,21 +444,21 @@ impl DistributedDriver {
         let b_rest = pipe.buffer("overlap-acc", s_rest);
 
         let s_drain = pipe.stage("halo-drain", &[s_post], move |c, ctx| {
-            let p = c.progress.as_mut().expect("halo-post retired first");
+            // `halo-post` retires before this stage is scheduled (stage
+            // dependency); if the exchange is somehow absent, go idle and
+            // let the watchdog surface a stall instead of panicking mid-run.
+            let Some(p) = c.progress.as_mut() else {
+                return StageStatus::Idle;
+            };
             if p.is_complete() {
                 return StageStatus::Done;
             }
-            let before: Vec<u32> = p.pending().to_vec();
             // While compute still runs, poll without blocking; once it
             // retired, park in short slices so other rank threads get the
             // core but the watchdog can still fire.
-            let n = if ctx.retired(s_rest) {
-                p.wait_any(c.handle, DRAIN_SLICE)
-            } else {
-                p.poll(c.handle)
-            };
+            let n = drain_step(p, c.handle, ctx.retired(s_rest), &mut c.drain_scratch);
             if n > 0 {
-                for peer in before {
+                for &peer in &c.drain_scratch {
                     if !p.pending().contains(&peer) {
                         ctx.note("recv", u64::from(peer));
                     }
@@ -433,20 +479,15 @@ impl DistributedDriver {
             ctx.buf_read(b_rest);
             ctx.buf_read(b_in);
             // Messages fold in ascending sender rank order whatever order
-            // they arrived in — the bitwise-reproducibility anchor.
-            let msgs = c
-                .progress
-                .take()
-                .expect("halo-post retired first")
-                .into_sorted();
-            for (peer, msg) in msgs {
+            // they arrived in — the bitwise-reproducibility anchor. A
+            // missing exchange is a scheduler bug surfaced as a stall (the
+            // stage goes idle, the watchdog fires), not a panic.
+            let Some(exchange) = c.progress.take() else {
+                return StageStatus::Idle;
+            };
+            for (peer, msg) in exchange.into_sorted() {
                 ctx.note("combine", u64::from(peer));
-                for (slot, v) in msg.entries {
-                    let s = slot as usize;
-                    c.local[s] += v[0];
-                    c.local[nl + s] += v[1];
-                    c.local[2 * nl + s] += v[2];
-                }
+                fold_halo_msg(&mut c.local, nl, &msg);
             }
             // Owned writeback list: all interior nodes plus the boundary
             // nodes this rank owns.
@@ -473,6 +514,7 @@ impl DistributedDriver {
             progress: None,
             handle,
             owned: Vec::new(),
+            drain_scratch: Vec::new(),
         };
         // The whole pipeline run is one span on this rank's main trace
         // row; the executor puts each stage on its own sub-row, so a

@@ -11,6 +11,7 @@ use crate::input::AssemblyInput;
 use crate::layout::{self, Layout};
 
 /// Loads the four node ids of element `e`.
+// alya:hot
 #[inline]
 pub fn gather_conn<R: Recorder>(
     input: &AssemblyInput,
@@ -27,6 +28,7 @@ pub fn gather_conn<R: Recorder>(
 }
 
 /// Gathers the four node coordinates (12 loads).
+// alya:hot
 #[inline]
 pub fn gather_coords<R: Recorder>(
     input: &AssemblyInput,
@@ -48,6 +50,7 @@ pub fn gather_coords<R: Recorder>(
 }
 
 /// Gathers the four nodal velocities (12 loads).
+// alya:hot
 #[inline]
 pub fn gather_velocity<R: Recorder>(
     input: &AssemblyInput,
@@ -68,6 +71,7 @@ pub fn gather_velocity<R: Recorder>(
 }
 
 /// Gathers a nodal scalar field (4 loads).
+// alya:hot
 #[inline]
 pub fn gather_scalar<R: Recorder>(
     field: &ScalarField,
@@ -103,6 +107,7 @@ pub struct DirectSink<'a> {
     pub rhs: &'a mut VectorField,
 }
 
+// alya:hot
 impl ScatterSink for DirectSink<'_> {
     #[inline]
     fn add<R: Recorder>(&mut self, n: u32, d: usize, v: f64, layout: &Layout, rec: &mut R) {
@@ -125,6 +130,7 @@ pub const fn rhs_slots_per_element() -> u64 {
 }
 
 /// Scatters a full elemental RHS (4 nodes × 3 components).
+// alya:hot
 #[inline]
 pub fn scatter_elemental<R: Recorder, S: ScatterSink>(
     sink: &mut S,

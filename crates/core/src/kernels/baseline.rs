@@ -123,6 +123,7 @@ pub const fn input_loads_per_element() -> u64 {
 }
 
 /// Assembles one element the baseline way.
+// alya:hot
 pub fn element<R: Recorder, S: ScatterSink>(
     input: &AssemblyInput,
     e: usize,

@@ -115,6 +115,7 @@ pub const fn input_loads_per_element() -> u64 {
 }
 
 /// Assembles one element the RS way.
+// alya:hot
 pub fn element<R: Recorder, S: ScatterSink>(
     input: &AssemblyInput,
     e: usize,

@@ -18,6 +18,7 @@ use crate::layout::{self, Layout};
 use crate::ops;
 
 /// Assembles one element the RSP way.
+// alya:hot
 pub fn element<R: Recorder, S: ScatterSink>(
     input: &AssemblyInput,
     e: usize,

@@ -24,6 +24,7 @@ use crate::layout::{self, Layout};
 use crate::ops;
 
 /// Assembles one element the RSPR way.
+// alya:hot
 pub fn element<R: Recorder, S: ScatterSink>(
     input: &AssemblyInput,
     e: usize,

@@ -1,0 +1,499 @@
+//! Item extraction: functions, their impl/trait containers, hot/cold
+//! markers, allow comments, and unsafe sites.
+//!
+//! This is a structural scan over the token stream, not a parse: it tracks
+//! brace depth, `impl`/`trait` headers, and `fn` signatures, and attributes
+//! every token between a function's braces to that function (closures and
+//! nested items included — deliberately conservative for reachability).
+//!
+//! Marker grammar (line comments, attached to the item whose signature
+//! starts on the next non-comment, non-attribute line):
+//!
+//! * `// alya:hot` — the function (or every method of the `impl`) is a hot
+//!   root for the reachability fixpoint.
+//! * `// alya:cold: <reason>` — the function (or `impl`) is pruned from the
+//!   hot-reachable set even if called from hot code; for instrumentation
+//!   paths that monomorphization removes from production builds.
+//! * `// alya:allow(<lint>): <reason>` — suppresses `<lint>` on this line
+//!   and the next; the audited escape hatch.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One extracted function (free fn, method, or trait default method).
+#[derive(Debug)]
+pub struct FnItem {
+    /// Bare name (`element`, `add`, ...).
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, `None` for free functions.
+    pub container: Option<String>,
+    /// 1-based line of the `fn` token.
+    pub sig_line: u32,
+    /// Token-index range of the body (between the braces), empty for
+    /// bodyless trait declarations.
+    pub body: Range<usize>,
+    /// Marked (directly or via its impl) as a hot root.
+    pub hot: bool,
+    /// Marked (directly or via its impl) as cold — pruned from reachability.
+    pub cold: bool,
+}
+
+/// A parsed `// alya:allow(<lint>): <reason>` site.
+#[derive(Debug)]
+pub struct AllowSite {
+    pub lint: String,
+    pub reason: String,
+    pub line: u32,
+    /// Line of the first code token after the comment run — what the allow
+    /// suppresses (multi-line allow comments cover their next code line).
+    pub covers: u32,
+}
+
+/// One `unsafe` keyword occurrence (impl or block) with the comment text
+/// immediately above it.
+#[derive(Debug)]
+pub struct UnsafeSite {
+    pub line: u32,
+    /// Concatenated `//` comment lines directly above the site (empty when
+    /// there are none).
+    pub comment_above: String,
+}
+
+/// A malformed marker comment (bad `alya:allow` grammar etc.).
+#[derive(Debug)]
+pub struct MarkerError {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Everything the analyzer needs about one source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub fns: Vec<FnItem>,
+    pub allows: Vec<AllowSite>,
+    pub unsafe_sites: Vec<UnsafeSite>,
+    pub marker_errors: Vec<MarkerError>,
+}
+
+impl FileModel {
+    /// Lexes and extracts `src` (a full `.rs` file) under the given
+    /// workspace-relative `path`.
+    pub fn build(path: &str, src: &str) -> Self {
+        let tokens = lex(src);
+        let lines: Vec<&str> = src.lines().collect();
+        let (hot_lines, cold_lines, allows, marker_errors) = scan_markers(&tokens);
+        let fns = extract_fns(&tokens, &lines, &hot_lines, &cold_lines);
+        let unsafe_sites = scan_unsafe(&tokens, &lines);
+        Self {
+            path: path.to_string(),
+            tokens,
+            fns,
+            allows,
+            unsafe_sites,
+            marker_errors,
+        }
+    }
+}
+
+/// Collects marker lines and allow sites from the comment tokens.
+#[allow(clippy::type_complexity)]
+fn scan_markers(
+    tokens: &[Token],
+) -> (
+    BTreeSet<u32>,
+    BTreeSet<u32>,
+    Vec<AllowSite>,
+    Vec<MarkerError>,
+) {
+    let mut hot = BTreeSet::new();
+    let mut cold = BTreeSet::new();
+    let mut allows = Vec::new();
+    let mut errors = Vec::new();
+    for (ti, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = t.text.trim_start_matches('/').trim();
+        let Some(marker) = body.strip_prefix("alya:") else {
+            continue;
+        };
+        if marker == "hot" || marker.starts_with("hot:") || marker.starts_with("hot ") {
+            hot.insert(t.line);
+        } else if marker == "cold" || marker.starts_with("cold:") || marker.starts_with("cold ") {
+            cold.insert(t.line);
+        } else if let Some(rest) = marker.strip_prefix("allow(") {
+            let covers = tokens[ti + 1..]
+                .iter()
+                .find(|n| !n.is_comment())
+                .map_or(t.line, |n| n.line);
+            match parse_allow(rest) {
+                Ok((lint, reason)) => allows.push(AllowSite {
+                    lint,
+                    reason,
+                    line: t.line,
+                    covers,
+                }),
+                Err(message) => errors.push(MarkerError {
+                    line: t.line,
+                    message,
+                }),
+            }
+        } else {
+            errors.push(MarkerError {
+                line: t.line,
+                message: format!("unknown alya marker `alya:{marker}`"),
+            });
+        }
+    }
+    (hot, cold, allows, errors)
+}
+
+/// Parses the tail of `alya:allow(<lint>): <reason>` (everything after the
+/// opening paren).
+fn parse_allow(rest: &str) -> Result<(String, String), String> {
+    let Some(close) = rest.find(')') else {
+        return Err("alya:allow is missing its closing paren".to_string());
+    };
+    let lint = rest[..close].trim();
+    if lint.is_empty() {
+        return Err("alya:allow names no lint".to_string());
+    }
+    let after = rest[close + 1..].trim_start();
+    let Some(reason) = after.strip_prefix(':') else {
+        return Err("alya:allow is missing `: <reason>`".to_string());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("alya:allow has an empty reason".to_string());
+    }
+    Ok((lint.to_string(), reason.to_string()))
+}
+
+/// True when any marker line sits in the comment/attribute prologue
+/// directly above `sig_line`.
+fn marked(lines: &[&str], markers: &BTreeSet<u32>, sig_line: u32) -> bool {
+    let mut l = sig_line;
+    while l > 1 {
+        l -= 1;
+        let text = lines.get(l as usize - 1).map_or("", |s| s.trim());
+        let prologue = text.starts_with("//") || text.starts_with("#[") || text.starts_with("#!");
+        if !prologue {
+            return false;
+        }
+        if markers.contains(&l) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Extracts fn items, resolving container names and hot/cold markers.
+fn extract_fns(
+    tokens: &[Token],
+    lines: &[&str],
+    hot_lines: &BTreeSet<u32>,
+    cold_lines: &BTreeSet<u32>,
+) -> Vec<FnItem> {
+    let mut fns = Vec::new();
+    // (close-at-depth, container, container_hot, container_cold)
+    let mut containers: Vec<(usize, String, bool, bool)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_comment() {
+            i += 1;
+            continue;
+        }
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            containers.retain(|c| c.0 <= depth);
+            i += 1;
+            continue;
+        }
+        if t.is_ident("mod") && cfg_test_before(tokens, i) {
+            // Skip `#[cfg(test)] mod ... { ... }` entirely: test helpers
+            // legitimately unwrap/allocate and must not join the call graph.
+            i = skip_braced_block(tokens, i);
+            continue;
+        }
+        if t.is_ident("impl") || t.is_ident("trait") {
+            if let Some((name, body_start)) = container_header(tokens, i) {
+                let hot = marked(lines, hot_lines, t.line);
+                let cold = marked(lines, cold_lines, t.line);
+                containers.push((depth + 1, name, hot, cold));
+                i = body_start; // lands on the `{`
+                continue;
+            }
+        }
+        if t.is_ident("fn") {
+            if let Some(item) = fn_item(tokens, i, lines, hot_lines, cold_lines, &containers) {
+                let next = if item.body.is_empty() {
+                    i + 2
+                } else {
+                    item.body.end + 1
+                };
+                fns.push(item);
+                i = next;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+/// Parses an `impl`/`trait` header starting at token `i`; returns the
+/// container type name and the index of the opening `{`.
+fn container_header(tokens: &[Token], i: usize) -> Option<(String, usize)> {
+    let is_trait = tokens[i].is_ident("trait");
+    let mut j = i + 1;
+    let mut angle = 0i32;
+    let mut after_for = false;
+    let mut name: Option<String> = None;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_comment() {
+            j += 1;
+            continue;
+        }
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if t.is_punct('{') && angle <= 0 {
+            return name.map(|n| (n, j));
+        } else if t.is_punct(';') && angle <= 0 {
+            return None; // `impl Trait for Type;` doesn't exist; bail.
+        } else if angle == 0 && t.kind == TokenKind::Ident {
+            if t.text == "for" {
+                after_for = true;
+                name = None;
+            } else if t.text == "where" {
+                // Type name is settled before the where-clause.
+            } else if name.is_none() || (after_for && name.is_none()) {
+                name = Some(t.text.clone());
+            } else if is_trait {
+                // `trait Name: Bound` — keep the first ident.
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// True when the non-comment tokens immediately before `i` end with
+/// `#[cfg(test)]`.
+fn cfg_test_before(tokens: &[Token], i: usize) -> bool {
+    let want = ["#", "[", "cfg", "(", "test", ")", "]"];
+    let mut got: Vec<&str> = Vec::new();
+    let mut j = i;
+    while j > 0 && got.len() < want.len() {
+        j -= 1;
+        if tokens[j].is_comment() {
+            continue;
+        }
+        got.push(tokens[j].text.as_str());
+    }
+    got.reverse();
+    got == want
+}
+
+/// Skips from a `mod` token past its matching closing brace; returns the
+/// index after the block.
+fn skip_braced_block(tokens: &[Token], mut i: usize) -> usize {
+    while i < tokens.len() && !tokens[i].is_punct('{') {
+        i += 1;
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('{') {
+            depth += 1;
+        } else if tokens[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses one `fn` item starting at token `i` (the `fn` keyword).
+fn fn_item(
+    tokens: &[Token],
+    i: usize,
+    lines: &[&str],
+    hot_lines: &BTreeSet<u32>,
+    cold_lines: &BTreeSet<u32>,
+    containers: &[(usize, String, bool, bool)],
+) -> Option<FnItem> {
+    let name_tok = tokens.get(i + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let sig_line = tokens[i].line;
+    // Find the body's `{` (or `;` for a bodyless trait method). Signatures
+    // in this workspace never contain braces, so the first one wins.
+    let mut j = i + 2;
+    let mut body = 0..0;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct(';') && !t.is_comment() {
+            break;
+        }
+        if t.is_punct('{') {
+            let mut depth = 1usize;
+            let start = j + 1;
+            j += 1;
+            while j < tokens.len() && depth > 0 {
+                if tokens[j].is_punct('{') {
+                    depth += 1;
+                } else if tokens[j].is_punct('}') {
+                    depth -= 1;
+                }
+                j += 1;
+            }
+            body = start..j - 1;
+            break;
+        }
+        j += 1;
+    }
+    let enclosing = containers.last();
+    let own_hot = marked(lines, hot_lines, sig_line);
+    let own_cold = marked(lines, cold_lines, sig_line);
+    Some(FnItem {
+        name: name_tok.text.clone(),
+        container: enclosing.map(|c| c.1.clone()),
+        sig_line,
+        body,
+        hot: own_hot || enclosing.is_some_and(|c| c.2),
+        cold: own_cold || enclosing.is_some_and(|c| c.3),
+    })
+}
+
+/// Records every `unsafe` keyword with the comment text directly above it.
+fn scan_unsafe(tokens: &[Token], lines: &[&str]) -> Vec<UnsafeSite> {
+    let mut sites = Vec::new();
+    for t in tokens {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let mut comment = Vec::new();
+        let mut l = t.line;
+        while l > 1 {
+            l -= 1;
+            let text = lines.get(l as usize - 1).map_or("", |s| s.trim());
+            if text.starts_with("//") {
+                comment.push(text.trim_start_matches('/').trim().to_string());
+            } else {
+                break;
+            }
+        }
+        comment.reverse();
+        sites.push(UnsafeSite {
+            line: t.line,
+            comment_above: comment.join(" "),
+        });
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_fns_and_methods_get_containers() {
+        let src = "fn free() { body(); }\n\
+                   impl Foo {\n    fn method(&self) {}\n}\n\
+                   impl Bar for Baz<'_> {\n    fn method(&self) {}\n}\n\
+                   trait Tr { fn decl(&self); fn dflt(&self) { x(); } }\n";
+        let m = FileModel::build("a.rs", src);
+        let names: Vec<(String, Option<String>)> = m
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.container.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".into(), None),
+                ("method".into(), Some("Foo".into())),
+                ("method".into(), Some("Baz".into())),
+                ("decl".into(), Some("Tr".into())),
+                ("dflt".into(), Some("Tr".into())),
+            ]
+        );
+        assert!(m.fns[3].body.is_empty());
+        assert!(!m.fns[4].body.is_empty());
+    }
+
+    #[test]
+    fn hot_marker_attaches_through_attributes() {
+        let src = "// alya:hot\n#[inline]\npub fn kernel() {}\n\nfn other() {}\n";
+        let m = FileModel::build("a.rs", src);
+        assert!(m.fns[0].hot);
+        assert!(!m.fns[1].hot);
+    }
+
+    #[test]
+    fn impl_level_markers_cover_all_methods() {
+        let src = "// alya:cold: trace capture only\nimpl Recorder for TraceRecorder {\n\
+                   fn flop(&mut self) { self.events.push(1); }\n\
+                   fn fma(&mut self) {}\n}\n";
+        let m = FileModel::build("a.rs", src);
+        assert!(m.fns.iter().all(|f| f.cold));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_invisible() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { x.unwrap(); }\n    #[test]\n    fn t() {}\n}\nfn after() {}\n";
+        let m = FileModel::build("a.rs", src);
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real", "after"]);
+    }
+
+    #[test]
+    fn allow_sites_parse_and_malformed_ones_error() {
+        let src = "// alya:allow(hot-alloc): bounded trace append\nfn f() {}\n\
+                   // alya:allow(hot-panic)\nfn g() {}\n\
+                   // alya:frobnicate\nfn h() {}\n";
+        let m = FileModel::build("a.rs", src);
+        assert_eq!(m.allows.len(), 1);
+        assert_eq!(m.allows[0].lint, "hot-alloc");
+        assert_eq!(m.allows[0].reason, "bounded trace append");
+        assert_eq!(m.marker_errors.len(), 2);
+    }
+
+    #[test]
+    fn unsafe_sites_capture_the_comment_above() {
+        let src = "// SAFETY: proven by pass 2 (races): disjoint rows.\n\
+                   // Continued explanation.\nunsafe impl Send for X {}\n\
+                   unsafe impl Sync for X {}\n";
+        let m = FileModel::build("a.rs", src);
+        assert_eq!(m.unsafe_sites.len(), 2);
+        assert!(m.unsafe_sites[0].comment_above.contains("SAFETY:"));
+        assert!(m.unsafe_sites[0].comment_above.contains("Continued"));
+        // The second site's walk-up stops at the first `unsafe impl` line.
+        assert!(m.unsafe_sites[1].comment_above.is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_ignored() {
+        let src = "fn f() { let s = \"unsafe\"; } // unsafe in prose\n";
+        let m = FileModel::build("a.rs", src);
+        assert!(m.unsafe_sites.is_empty());
+    }
+}

@@ -1,0 +1,384 @@
+//! A minimal Rust lexer: just enough token structure for the static pass.
+//!
+//! The analyzer must never confuse the word `unsafe` inside a string literal
+//! or a doc comment with the keyword, and it must see comments (the
+//! `// alya:hot` / `// SAFETY:` markers live there), so the lexer keeps
+//! comments as first-class tokens instead of skipping them. It is not a
+//! full lexer — no token pasting, no float/int distinction — but it handles
+//! the constructs that actually appear in this workspace: nested block
+//! comments, raw strings with hashes, char literals vs. lifetimes, and
+//! multi-character punctuation split into single chars (the parser layers
+//! above match on sequences, so `::` arriving as two `:` tokens is fine).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `push`, ...).
+    Ident,
+    /// Single punctuation character (`{`, `(`, `:`, `.`, `!`, ...).
+    Punct,
+    /// Numeric literal (integer or float, suffix included).
+    Num,
+    /// String literal, raw or cooked, quotes included.
+    Str,
+    /// Char literal, quotes included.
+    Char,
+    /// Lifetime (`'a`, `'static`), tick included.
+    Lifetime,
+    /// `// ...` comment, text included without the trailing newline.
+    LineComment,
+    /// `/* ... */` comment (possibly nested), delimiters included.
+    BlockComment,
+}
+
+/// One lexeme with its location.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// The lexeme text (borrowing is not worth the lifetime plumbing here;
+    /// the analyzer runs once per audit over ~10k lines).
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// True for comment tokens (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into tokens. Unrecognized bytes are skipped (the pass is a
+/// linter, not a compiler — it must degrade gracefully on anything odd).
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokenKind::LineComment,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Token {
+                    kind: TokenKind::BlockComment,
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                let (end, nl) = cooked_string_end(b, i + 1);
+                toks.push(Token {
+                    kind: TokenKind::Str,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                line += nl;
+                i = end;
+            }
+            b'r' | b'b' if raw_string_hashes(b, i).is_some() => {
+                let (end, nl) = raw_string_end(b, i);
+                toks.push(Token {
+                    kind: TokenKind::Str,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                line += nl;
+                i = end;
+            }
+            b'b' if b.get(i + 1) == Some(&b'"') => {
+                let (end, nl) = cooked_string_end(b, i + 2);
+                toks.push(Token {
+                    kind: TokenKind::Str,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                line += nl;
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime vs. char literal: a lifetime is `'` + ident with
+                // no closing tick right after the ident's first char run.
+                if let Some(end) = lifetime_end(b, i) {
+                    toks.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: src[i..end].to_string(),
+                        line,
+                    });
+                    i = end;
+                } else {
+                    let end = char_literal_end(b, i + 1);
+                    toks.push(Token {
+                        kind: TokenKind::Char,
+                        text: src[i..end].to_string(),
+                        line,
+                    });
+                    i = end;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                    && !(b[i] == b'.' && b.get(i + 1) == Some(&b'.'))
+                {
+                    // Stop a numeric lexeme at `..` (range) but let `1.5`,
+                    // `1e-3` style literals through; `1e-3`'s `-` splits off
+                    // as punctuation, which is fine for this analyzer.
+                    if b[i] == b'.' && !b.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokenKind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                if c.is_ascii_graphic() {
+                    toks.push(Token {
+                        kind: TokenKind::Punct,
+                        text: (c as char).to_string(),
+                        line,
+                    });
+                }
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Scans a cooked (escaped) string body starting just after the opening
+/// quote; returns (index past closing quote, newlines crossed).
+fn cooked_string_end(b: &[u8], mut i: usize) -> (usize, u32) {
+    let mut nl = 0u32;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                // A line-continuation escape (`\` at end of line) still
+                // crosses a newline — count it or every later token in the
+                // file reports the wrong line.
+                if b.get(i + 1) == Some(&b'\n') {
+                    nl += 1;
+                }
+                i += 2;
+            }
+            b'"' => return (i + 1, nl),
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, nl)
+}
+
+/// If `b[i..]` starts a raw string (`r"`, `r#"`, `br"`, ...), returns the
+/// hash count.
+fn raw_string_hashes(b: &[u8], mut i: usize) -> Option<usize> {
+    if b.get(i) == Some(&b'b') {
+        i += 1;
+    }
+    if b.get(i) != Some(&b'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    (b.get(i) == Some(&b'"')).then_some(hashes)
+}
+
+/// Scans a raw string starting at its `r`/`br`; returns (end index,
+/// newlines crossed). Assumes `raw_string_hashes` matched.
+fn raw_string_end(b: &[u8], mut i: usize) -> (usize, u32) {
+    let hashes = raw_string_hashes(b, i).unwrap_or(0);
+    // Skip prefix + opening quote.
+    while b.get(i) != Some(&b'"') {
+        i += 1;
+    }
+    i += 1;
+    let mut nl = 0u32;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            nl += 1;
+            i += 1;
+        } else if b[i] == b'"' && b[i + 1..].iter().take(hashes).all(|&h| h == b'#') {
+            return (i + 1 + hashes, nl);
+        } else {
+            i += 1;
+        }
+    }
+    (i, nl)
+}
+
+/// If `b[i]` (a tick) starts a lifetime, returns the end index.
+fn lifetime_end(b: &[u8], i: usize) -> Option<usize> {
+    let first = *b.get(i + 1)?;
+    if !(first.is_ascii_alphabetic() || first == b'_') {
+        return None;
+    }
+    let mut j = i + 2;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    // `'a'` is a char literal; `'a` followed by anything else is a lifetime.
+    (b.get(j) != Some(&b'\'')).then_some(j)
+}
+
+/// Scans a char literal body starting just after the opening tick; returns
+/// the index past the closing tick.
+fn char_literal_end(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn keyword_in_string_is_not_an_ident() {
+        let toks = lex(r#"let s = "unsafe fn"; let u = 1;"#);
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn comments_are_tokens_with_lines() {
+        let toks = lex("fn a() {}\n// alya:hot\nfn b() {}\n");
+        let c: Vec<_> = toks.iter().filter(|t| t.is_comment()).collect();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].line, 2);
+        assert_eq!(c[0].text, "// alya:hot");
+    }
+
+    #[test]
+    fn nested_block_comment_swallows_inner_tokens() {
+        let toks = lex("/* outer /* unsafe */ still */ fn f() {}");
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str, c: char) { let y = 'z'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "'z'"));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let toks = lex(r##"let s = r#"fn unsafe { panic!() }"#; let t = 2;"##);
+        assert_eq!(idents(r##"let s = r#"x"#;"##), vec!["let", "s"]);
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let toks = lex(r#"let s = "a \" unsafe"; let t = 1;"#);
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+        assert!(toks.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let toks = lex("let s = \"a\nb\nc\";\nfn f() {}\n");
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 4);
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let toks = lex("for i in 0..16u32 { let x = 1.5e-3; }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(nums.contains(&"0"));
+        assert!(nums.contains(&"16u32"));
+        assert!(nums.contains(&"1.5e"));
+    }
+}

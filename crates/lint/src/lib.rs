@@ -1,0 +1,244 @@
+//! `alya-lint`: static hot-path, determinism, and unsafe-linkage analyzer.
+//!
+//! The dynamic analyzer passes (1–6) audit *traces* against closed-form
+//! contracts; this crate is the static half, auditing the *sources*. A
+//! lightweight lexer ([`lexer`]) feeds an item extractor ([`items`]) and a
+//! name-based call graph ([`callgraph`]); fixpoint reachability from
+//! `// alya:hot` roots yields the hot set, and [`lints`] enforces on it:
+//!
+//! * **hot-alloc** — no allocation inside assembly inner loops;
+//! * **hot-panic** — no panic paths (`debug_assert!` compiles out and is
+//!   allowed);
+//! * **hash-iter** — no hash-ordered collections feeding numeric work
+//!   (bitwise reproducibility is a repo invariant);
+//! * **hot-telemetry** — no per-element `tally_*`/span creation (the
+//!   batch-rate policy keeps telemetry at driver granularity);
+//! * **missing-safety** — every `unsafe` site must be on the
+//!   [`SANCTIONED_UNSAFE`] allowlist and carry a `// SAFETY:` comment
+//!   naming the analyzer pass that proves its invariant.
+//!
+//! `// alya:allow(<lint>): <reason>` is the audited escape hatch;
+//! `// alya:cold: <reason>` prunes instrumentation-only code that
+//! monomorphization removes from production builds. The whole crate is
+//! dependency-free and runs in milliseconds over the workspace.
+
+#![forbid(unsafe_code)]
+
+pub mod callgraph;
+pub mod items;
+pub mod lexer;
+pub mod lints;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use items::FileModel;
+pub use lints::{LintKind, Violation};
+
+/// One sanctioned `unsafe` site: the workspace-relative file and the marker
+/// tag its `SAFETY:` comment must carry. Adding an unsafe site anywhere in
+/// the workspace requires adding an entry here — a reviewed edit, not a
+/// count bump.
+#[derive(Debug)]
+pub struct UnsafeSanction {
+    pub file: &'static str,
+    pub marker: &'static str,
+}
+
+/// The complete allowlist of unsafe sites in this workspace. All four live
+/// in the shared-RHS scatter machinery of `alya-core`, and each is proven
+/// by analyzer pass 2 (the race detector) on every audited run.
+pub const SANCTIONED_UNSAFE: &[UnsafeSanction] = &[
+    UnsafeSanction {
+        file: "crates/core/src/drivers.rs",
+        marker: "unsafe[shared-rhs-send]",
+    },
+    UnsafeSanction {
+        file: "crates/core/src/drivers.rs",
+        marker: "unsafe[shared-rhs-sync]",
+    },
+    UnsafeSanction {
+        file: "crates/core/src/drivers.rs",
+        marker: "unsafe[colored-scatter]",
+    },
+    UnsafeSanction {
+        file: "crates/core/src/drivers.rs",
+        marker: "unsafe[sharded-writeback]",
+    },
+];
+
+/// One source file handed to [`analyze`].
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    pub text: String,
+}
+
+/// The outcome of one static analysis run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    pub violations: Vec<Violation>,
+    /// Functions marked `// alya:hot` (directly or via their impl).
+    pub hot_roots: usize,
+    /// Size of the hot-reachable set (roots included).
+    pub reachable_fns: usize,
+    pub files_scanned: usize,
+    /// `alya:allow` sites that suppressed a violation this run.
+    pub allows_honored: usize,
+}
+
+impl LintReport {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs the full static analysis over in-memory sources against an explicit
+/// allowlist. This is the engine behind [`check_workspace`] and the
+/// seeded-violation self-tests.
+pub fn analyze(files: &[SourceFile], sanctioned: &[UnsafeSanction]) -> LintReport {
+    let models: Vec<FileModel> = files
+        .iter()
+        .map(|f| FileModel::build(&f.path, &f.text))
+        .collect();
+    let reach = lints::hot_reachable(&models);
+    let hot_roots = models
+        .iter()
+        .flat_map(|m| &m.fns)
+        .filter(|f| f.hot && !f.cold)
+        .count();
+    let mut violations = lints::scan_reachable(&models, &reach);
+    violations.extend(lints::check_unsafe_linkage(&models, sanctioned));
+    for m in &models {
+        for e in &m.marker_errors {
+            violations.push(Violation {
+                lint: LintKind::BadMarker,
+                file: m.path.clone(),
+                line: e.line,
+                message: e.message.clone(),
+            });
+        }
+    }
+    let (mut violations, allows_honored) = lints::apply_allows(&models, violations);
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    LintReport {
+        violations,
+        hot_roots,
+        reachable_fns: reach.len(),
+        files_scanned: models.len(),
+        allows_honored,
+    }
+}
+
+/// Loads every `crates/*/src/**/*.rs` under `root`, sorted for determinism.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<_> = fs::read_dir(&crates_dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, root, &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, root, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile {
+                path: rel,
+                text: fs::read_to_string(&p)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Loads the workspace under `root` and analyzes it against
+/// [`SANCTIONED_UNSAFE`]. This is analyzer pass 7.
+pub fn check_workspace(root: &Path) -> io::Result<LintReport> {
+    Ok(analyze(&load_workspace(root)?, SANCTIONED_UNSAFE))
+}
+
+/// Lines on which the `unsafe` keyword occurs as a token (strings, chars,
+/// and comments excluded). Shared with analyzer pass 3's file policy.
+pub fn unsafe_ident_lines(src: &str) -> Vec<u32> {
+    lexer::lex(src)
+        .iter()
+        .filter(|t| t.is_ident("unsafe"))
+        .map(|t| t.line)
+        .collect()
+}
+
+/// The set of files allowed to contain `unsafe` at all (derived from the
+/// allowlist). Shared with analyzer pass 3.
+pub fn sanctioned_files() -> BTreeSet<&'static str> {
+    SANCTIONED_UNSAFE.iter().map(|s| s.file).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_on_a_tiny_workspace() {
+        let files = [
+            SourceFile {
+                path: "crates/x/src/kern.rs".into(),
+                text: "// alya:hot\npub fn element(s: &mut S) { s.add(1.0); }\n".into(),
+            },
+            SourceFile {
+                path: "crates/x/src/sink.rs".into(),
+                text: "impl Sink for S {\n    fn add(&mut self, v: f64) { self.buf.push(v); }\n}\n"
+                    .into(),
+            },
+        ];
+        let report = analyze(&files, &[]);
+        assert_eq!(report.hot_roots, 1);
+        assert_eq!(report.reachable_fns, 2);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].lint, LintKind::HotAlloc);
+        assert_eq!(report.violations[0].file, "crates/x/src/sink.rs");
+        assert_eq!(report.violations[0].line, 2);
+    }
+
+    #[test]
+    fn unsafe_ident_lines_sees_through_strings() {
+        let lines = unsafe_ident_lines("let s = \"unsafe\";\n// unsafe prose\nunsafe { x() }\n");
+        assert_eq!(lines, vec![3]);
+    }
+
+    #[test]
+    fn this_workspace_loads() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .to_path_buf();
+        let files = load_workspace(&root).unwrap();
+        assert!(files.iter().any(|f| f.path == "crates/core/src/drivers.rs"));
+        assert!(files.iter().any(|f| f.path == "crates/lint/src/lexer.rs"));
+    }
+}

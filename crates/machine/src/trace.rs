@@ -132,6 +132,9 @@ impl TraceRecorder {
     }
 }
 
+// alya:cold: trace capture is instrumentation-only — production assembly
+// monomorphizes kernels with `NoRecord` (`R::ENABLED = false` folds every
+// recorder call to nothing), so these bodies never run on the hot path.
 impl Recorder for TraceRecorder {
     const ENABLED: bool = true;
 

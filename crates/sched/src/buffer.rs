@@ -95,6 +95,9 @@ impl<T> DoubleBuffer<T> {
 
     /// Takes the oldest published batch, blocking up to `timeout`.
     /// Returns `(version, batch)`; versions are consecutive from 0.
+    // alya:cold: blocking consumer side of the inter-stage handoff — runs
+    // at batch granularity and parks by design; it shares the name `take`
+    // with `Option::take` in hot code but never sits in an assembly loop.
     pub fn take(&self, timeout: Duration) -> Result<(u64, T), BufferError> {
         let mut slots = self.slots.lock().unwrap();
         loop {

@@ -83,7 +83,11 @@ impl StageCtx<'_> {
 
     /// Records that this stage consumed buffer `b`'s contents. Pass-5
     /// checks every read lands after the producer's publish.
+    // alya:hot
     pub fn buf_read(&mut self, b: BufId) {
+        // alya:allow(hot-alloc): the schedule trace is the pass-5 audit
+        // artifact — one bounded append per buffer read, a handful per
+        // pipeline run, never per element.
         self.events.push(SchedEvent::BufRead {
             stage: self.stage,
             buf: b.0,
@@ -92,7 +96,10 @@ impl StageCtx<'_> {
 
     /// Records a checker-visible breadcrumb (e.g. the peer rank of each
     /// combine step, in order).
+    // alya:hot
     pub fn note(&mut self, tag: &'static str, value: u64) {
+        // alya:allow(hot-alloc): same pass-5 trace channel as `buf_read` —
+        // one append per combine/recv breadcrumb, bounded by rank count.
         self.events.push(SchedEvent::Note {
             stage: self.stage,
             tag,

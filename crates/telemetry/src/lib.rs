@@ -117,11 +117,23 @@ impl Metric {
         }
     }
 
+    /// Dense slot of this metric in a shard's counter row. An explicit
+    /// match (not a scan of `ALL`): this runs on every counter add, and a
+    /// match can neither panic nor cost O(`NUM_METRICS`).
     fn index(self) -> usize {
-        Metric::ALL
-            .iter()
-            .position(|&m| m == self)
-            .expect("metric in ALL")
+        match self {
+            Metric::ElementsAssembled => 0,
+            Metric::Flops => 1,
+            Metric::InputLoads => 2,
+            Metric::RhsLoads => 3,
+            Metric::RhsStores => 4,
+            Metric::WsLoads => 5,
+            Metric::WsStores => 6,
+            Metric::SpillElements => 7,
+            Metric::HaloBytesPosted => 8,
+            Metric::HaloBytesReceived => 9,
+            Metric::BlockedWaitNs => 10,
+        }
     }
 }
 
@@ -195,19 +207,29 @@ struct Registry {
 /// channel reports rare config problems, not a stream).
 const MAX_WARNINGS: usize = 256;
 
+impl Registry {
+    /// Fresh empty registry. Runs exactly once per process, inside
+    /// [`reg`]'s `OnceLock` initializer.
+    // alya:cold: one-time process init behind the OnceLock — hot counter
+    // adds only ever hit the already-initialized fast path.
+    fn new() -> Self {
+        Self {
+            epoch: AtomicU64::new(0),
+            enabled: AtomicBool::new(false),
+            shards: Mutex::new(Vec::new()),
+            warnings: Mutex::new(Vec::new()),
+            labels: Mutex::new(BTreeMap::new()),
+            next_span_id: AtomicU64::new(0),
+            next_tid: AtomicU32::new(16),
+            session_lock: Mutex::new(()),
+            clock: Instant::now(),
+        }
+    }
+}
+
 fn reg() -> &'static Registry {
     static REG: OnceLock<Registry> = OnceLock::new();
-    REG.get_or_init(|| Registry {
-        epoch: AtomicU64::new(0),
-        enabled: AtomicBool::new(false),
-        shards: Mutex::new(Vec::new()),
-        warnings: Mutex::new(Vec::new()),
-        labels: Mutex::new(BTreeMap::new()),
-        next_span_id: AtomicU64::new(0),
-        next_tid: AtomicU32::new(16),
-        session_lock: Mutex::new(()),
-        clock: Instant::now(),
-    })
+    REG.get_or_init(Registry::new)
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -298,11 +320,10 @@ fn with_shard(f: impl FnOnce(&Shard, &mut Tls)) {
     }
     TLS.with(|t| {
         let mut t = t.borrow_mut();
-        if t.shard.is_none() {
-            // The session opener's own thread adopts lazily via session().
+        // The session opener's own thread adopts lazily via session().
+        let Some(shard) = t.shard.take() else {
             return;
-        }
-        let shard = t.shard.take().expect("checked above");
+        };
         f(&shard, &mut t);
         t.shard = Some(shard);
     });
@@ -501,6 +522,8 @@ pub fn set_track_label_here(tid: u32, label: &str) {
 pub fn warn(message: impl Into<String>) {
     let mut w = lock(&reg().warnings);
     if w.len() < MAX_WARNINGS {
+        // alya:allow(hot-alloc): bounded (MAX_WARNINGS) config-problem
+        // channel; warnings fire on rare setup errors, never per element.
         w.push(message.into());
     }
 }
@@ -624,6 +647,16 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn metric_index_matches_declaration_order() {
+        // `index` is a hand-written match (the hot-path rule bans the
+        // `ALL.iter().position().expect()` scan it replaced); this pins it
+        // to the declaration order so the two can never drift apart.
+        for (i, m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i, "{m:?}");
+        }
+    }
 
     #[test]
     fn counters_require_an_adopted_context_and_merge_across_threads() {
