@@ -3,7 +3,7 @@
 //! The instrumented kernels in `alya-core` don't just feed the performance
 //! models — their event streams, the modelled address-space layout, and
 //! the coloring infrastructure together make the paper's optimization
-//! claims *mechanically checkable*. This crate runs seven passes:
+//! claims *mechanically checkable*. This crate runs eight passes:
 //!
 //! 1. **Contract checker** ([`contracts`]) — per variant, captures element
 //!    traces under **both** addressing conventions (`Layout::gpu` and
@@ -51,6 +51,13 @@
 //!    and telemetry granularity on that set, plus per-site `SAFETY:`
 //!    linkage for every sanctioned `unsafe` block (each comment must
 //!    name the proving analyzer pass and its allowlist marker).
+//! 8. **SIMD contract** ([`simd`]) — holds the committed
+//!    `BENCH_drivers.json` packed-vs-scalar measurements against the
+//!    lane-packed execution path's two claims: packed serial assembly
+//!    beats scalar at one thread for every measured variant, and the
+//!    measured speedup agrees (within a generous band) with the CPU
+//!    machine model's [`alya_machine::cpu::CpuModel::packed_speedup`]
+//!    prediction from the traced instruction mix.
 //!
 //! Run all passes via the audit binary:
 //!
@@ -67,6 +74,7 @@ pub mod contracts;
 pub mod fixture;
 pub mod races;
 pub mod sched;
+pub mod simd;
 pub mod sources;
 pub mod telemetry;
 
@@ -79,7 +87,7 @@ use std::path::Path;
 /// properly; the invariants are count-independent).
 pub const AUDIT_SHARDS: usize = 8;
 
-/// Combined result of all seven passes.
+/// Combined result of all eight passes.
 #[derive(Debug)]
 pub struct AuditReport {
     /// Kernel-contract violations (pass 1).
@@ -104,6 +112,10 @@ pub struct AuditReport {
     /// default (empty) report when no workspace root was given or the
     /// sources could not be read.
     pub lint: alya_lint::LintReport,
+    /// SIMD-contract report over the committed packed-vs-scalar bench
+    /// measurements (pass 8); clean-skipped when no workspace root or no
+    /// `BENCH_drivers.json` was available.
+    pub simd: simd::SimdContractReport,
 }
 
 impl AuditReport {
@@ -117,6 +129,7 @@ impl AuditReport {
             && self.sched.is_clean()
             && self.telemetry.is_clean()
             && self.lint.is_clean()
+            && self.simd.is_clean()
     }
 
     /// Total violation count (a race counts once, a shard violation once).
@@ -129,12 +142,13 @@ impl AuditReport {
             + self.sched.violations.len()
             + self.telemetry.violations.len()
             + self.lint.violations.len()
+            + self.simd.violations.len()
     }
 }
 
 /// Runs all passes on the canonical fixture. `workspace_root` enables the
-/// source passes (3 and 7; pass it `None` when the sources aren't on
-/// disk, e.g. from an installed binary).
+/// workspace-gated passes (3, 7 and 8; pass it `None` when the sources
+/// aren't on disk, e.g. from an installed binary).
 pub fn run_audit(workspace_root: Option<&Path>) -> AuditReport {
     let fx = Fixture::new();
     let input = fx.input();
@@ -154,6 +168,7 @@ pub fn run_audit(workspace_root: Option<&Path>) -> AuditReport {
         lint: workspace_root
             .and_then(|r| alya_lint::check_workspace(r).ok())
             .unwrap_or_default(),
+        simd: simd::check_workspace_simd(workspace_root),
     }
 }
 

@@ -1,4 +1,4 @@
-//! The static-analysis audit: runs all seven `alya-analyze` passes and
+//! The static-analysis audit: runs all eight `alya-analyze` passes and
 //! exits nonzero on any violation, so CI can gate on it.
 //!
 //! Usage:
@@ -17,6 +17,8 @@
 //!                                        # scheduler watchdog to fire
 //! audit --seed-violation telemetry-skew  # skew a live counter off its
 //!                                        # contract rate, expect catch
+//! audit --seed-violation pack-divergence # skew the packed throughput rows
+//!                                        # below scalar, expect catch
 //! audit --seed-violation hot-alloc       # hot fn that allocates
 //! audit --seed-violation hot-panic       # hot fn that may panic
 //! audit --seed-violation hash-iter       # hot fn over a HashMap
@@ -32,8 +34,8 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use alya_analyze::{comm, contracts, races, sources, telemetry, Fixture};
-use alya_core::drivers::trace_element;
+use alya_analyze::{comm, contracts, races, simd, sources, telemetry, Fixture};
+use alya_core::drivers::{trace_element, ThroughputDb};
 use alya_core::layout::{self, Layout};
 use alya_core::{DistributedDriver, HaloFault, Variant};
 use alya_lint::{LintKind, SourceFile, UnsafeSanction};
@@ -116,6 +118,10 @@ fn full_audit() -> ExitCode {
     println!("\nstatic hot-path audit");
     println!("=====================");
     print_lint_report(&report.lint);
+
+    println!("\nsimd contract audit");
+    println!("===================");
+    println!("  {}", report.simd);
 
     if report.is_clean() {
         println!("\naudit clean");
@@ -201,6 +207,8 @@ fn list_modes() -> ExitCode {
         "  7  static hot-path      alloc/panic/hash/telemetry lints on the alya:hot-reachable"
     );
     println!("                          set, SAFETY linkage for sanctioned unsafe");
+    println!("  8  simd contract        committed packed-vs-scalar bench rows beat scalar and");
+    println!("                          agree with the CPU model's packed-speedup prediction");
     println!("seed modes (--seed-violation <mode>, exit 0 iff caught):");
     for (mode, what) in SEED_MODES {
         println!("  {mode:<19} {what}");
@@ -238,6 +246,10 @@ const SEED_MODES: &[(&str, &str)] = &[
     (
         "telemetry-skew",
         "skew a live counter; pass 6 must flag the drift",
+    ),
+    (
+        "pack-divergence",
+        "skew the packed bench rows below scalar; pass 8 must flag it",
     ),
     ("hot-alloc", "hot fn that allocates; pass 7 must flag it"),
     ("hot-panic", "hot fn that may panic; pass 7 must flag it"),
@@ -416,6 +428,47 @@ fn seeded(mode: &str) -> ExitCode {
             let report = telemetry::check_report(&live, &exp);
             println!("{report}");
             !report.is_clean()
+        }
+        "pack-divergence" => {
+            // Skew every committed packed serial row to half the scalar
+            // throughput — the regression a broken pack gather or a
+            // scalar-fallback-everywhere dispatch would produce. Pass 8
+            // must flag exactly the skewed cells, and nothing else.
+            let root = sources::workspace_root_from(env!("CARGO_MANIFEST_DIR"));
+            let clean = simd::check_workspace_simd(Some(&root));
+            if !clean.checked || !clean.is_clean() {
+                eprintln!("committed bench report unexpectedly dirty: {clean}");
+                return ExitCode::FAILURE;
+            }
+            let skewed: Vec<String> = clean
+                .cells
+                .iter()
+                .flat_map(|c| {
+                    [
+                        format!(
+                            "{{\"strategy\": \"serial\", \"variant\": \"{}\", \
+                             \"threads\": 1, \"melem_per_s\": {:.3}}}",
+                            c.variant.name(),
+                            c.scalar_melem
+                        ),
+                        format!(
+                            "{{\"strategy\": \"serial-packed\", \"variant\": \"{}\", \
+                             \"threads\": 1, \"melem_per_s\": {:.3}}}",
+                            c.variant.name(),
+                            0.5 * c.scalar_melem
+                        ),
+                    ]
+                })
+                .collect();
+            let db = ThroughputDb::parse(&format!("[{}]", skewed.join(",\n")))
+                .expect("skewed rows are well-formed");
+            let report = simd::check_db(&db, &simd::fixture_predictions());
+            println!("{report}");
+            // Every measured cell must be flagged as a packed regression —
+            // the exact check this mode seeds against.
+            !report.is_clean()
+                && report.violations.iter().any(|v| v.contains("regressed"))
+                && report.cells.len() == clean.cells.len()
         }
         other => {
             eprintln!("unknown seed mode {other:?}; run `audit --list` for the full table");

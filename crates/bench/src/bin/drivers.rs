@@ -1,7 +1,10 @@
 //! Driver-throughput benchmark: Melem/s of every assembly strategy
 //! (serial / two-phase / colored / partitioned / sharded) across variants
 //! and thread counts on the Bolund-like terrain case, emitted as
-//! `BENCH_drivers.json` so the repo carries a perf trajectory.
+//! `BENCH_drivers.json` so the repo carries a perf trajectory. Every
+//! pack-supported configuration is additionally timed through the
+//! lane-packed execution path ([`alya_core::ExecMode::Packed`]) as a
+//! `-packed`-suffixed strategy row.
 //!
 //! Usage:
 //!
@@ -10,9 +13,13 @@
 //! drivers --quick              # small mesh / few samples (CI smoke)
 //! drivers --elems 200000       # override the element target
 //! drivers --samples 7          # timed iterations per configuration
+//! drivers --threads 1,2,8      # explicit thread sweep (default: powers
+//!                              # of two up to the hardware parallelism)
 //! drivers --json PATH          # write the JSON report to PATH
 //! drivers --trace PATH         # dump the run's telemetry spans as
 //!                              # chrome trace JSON (chrome://tracing)
+//! drivers --assert-packed      # exit nonzero unless the packed serial
+//!                              # path beats scalar at one thread (CI)
 //! ```
 //!
 //! Thread counts are swept with [`par::set_thread_cap`]: every power of
@@ -26,8 +33,11 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use alya_bench::case::Case;
+use alya_core::kernels::packed::pack_supported;
 use alya_core::nut::compute_nu_t;
-use alya_core::{assemble_parallel, assemble_serial, ParallelStrategy, Variant};
+use alya_core::{
+    assemble_parallel_with, assemble_serial_with, ExecMode, ParallelStrategy, Variant,
+};
 use alya_machine::par;
 use alya_mesh::{Partition, ShardSet};
 
@@ -39,20 +49,25 @@ const QUICK_SAMPLES: usize = 2;
 struct Args {
     elems: usize,
     samples: usize,
+    threads: Option<Vec<usize>>,
     json: Option<String>,
     trace: Option<String>,
+    assert_packed: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut elems = None;
     let mut samples = None;
+    let mut threads = None;
     let mut json = None;
     let mut trace = None;
     let mut quick = false;
+    let mut assert_packed = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--assert-packed" => assert_packed = true,
             "--elems" => {
                 let v = it.next().ok_or("--elems needs a value")?;
                 elems = Some(v.parse::<usize>().map_err(|e| format!("--elems: {e}"))?);
@@ -60,6 +75,18 @@ fn parse_args() -> Result<Args, String> {
             "--samples" => {
                 let v = it.next().ok_or("--samples needs a value")?;
                 samples = Some(v.parse::<usize>().map_err(|e| format!("--samples: {e}"))?);
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a comma-separated list")?;
+                let list: Vec<usize> = v
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if list.is_empty() || list.contains(&0) {
+                    return Err("--threads needs positive counts".into());
+                }
+                threads = Some(list);
             }
             "--json" => json = Some(it.next().ok_or("--json needs a path")?),
             "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?),
@@ -73,8 +100,10 @@ fn parse_args() -> Result<Args, String> {
         } else {
             DEFAULT_SAMPLES
         }),
+        threads,
         json,
         trace,
+        assert_packed,
     })
 }
 
@@ -118,7 +147,8 @@ fn main() {
         Err(e) => {
             eprintln!("{e}");
             eprintln!(
-                "usage: drivers [--quick] [--elems N] [--samples N] [--json PATH] [--trace PATH]"
+                "usage: drivers [--quick] [--elems N] [--samples N] [--threads LIST] \
+                 [--json PATH] [--trace PATH] [--assert-packed]"
             );
             std::process::exit(1);
         }
@@ -131,7 +161,25 @@ fn main() {
     let ne = case.mesh.num_elements();
     let nn = case.mesh.num_nodes();
     let hw = par::hardware_threads();
-    let thread_counts = powers_of_two_up_to(hw);
+    // An explicit sweep is clamped to the hardware and deduplicated: the
+    // thread cap can only lower, so a row labeled t=8 on a 2-core host
+    // would silently measure 2 workers — report what actually ran.
+    let thread_counts = match args.threads.clone() {
+        Some(list) => {
+            let mut counts = Vec::new();
+            for t in list {
+                let t = t.min(hw);
+                if !counts.contains(&t) {
+                    counts.push(t);
+                }
+            }
+            if counts.len() != args.threads.as_ref().map_or(0, Vec::len) {
+                println!("note: --threads clamped to the {hw} hardware thread(s): {counts:?}");
+            }
+            counts
+        }
+        None => powers_of_two_up_to(hw),
+    };
     let variants = [Variant::Rsp, Variant::Rspr];
 
     // Precompute ν_t once so every strategy times pure assembly.
@@ -184,31 +232,44 @@ fn main() {
 
         for (name, strategy) in &strategies {
             for &variant in &variants {
-                let (median, min, max) = match strategy {
-                    None => time_runs(args.samples, || {
-                        let _ = assemble_serial(variant, &input);
-                    }),
-                    Some(s) => time_runs(args.samples, || {
-                        let _ = assemble_parallel(variant, &input, s);
-                    }),
-                };
-                let melem = ne as f64 / median / 1e6;
-                println!(
-                    "  {name:>17} {:>4} t={threads}: median {:.3} ms  [{:.3} .. {:.3}]  {melem:>8.2} Melem/s",
-                    variant.name(),
-                    median * 1e3,
-                    min * 1e3,
-                    max * 1e3,
-                );
-                rows.push(Row {
-                    strategy: name.clone(),
-                    variant: variant.name(),
-                    threads,
-                    median_s: median,
-                    min_s: min,
-                    max_s: max,
-                    melem_s: melem,
-                });
+                // Scalar always; the lane-packed twin for every concrete
+                // pack-supported configuration (auto re-times a concrete
+                // strategy, so its packed twin would be a duplicate row).
+                let mut modes = vec![ExecMode::Scalar];
+                if pack_supported(variant) && !name.starts_with("auto") {
+                    modes.push(ExecMode::Packed);
+                }
+                for mode in modes {
+                    let (median, min, max) = match strategy {
+                        None => time_runs(args.samples, || {
+                            let _ = assemble_serial_with(variant, &input, mode);
+                        }),
+                        Some(s) => time_runs(args.samples, || {
+                            let _ = assemble_parallel_with(variant, &input, s, mode);
+                        }),
+                    };
+                    let row_name = match mode {
+                        ExecMode::Scalar => name.clone(),
+                        ExecMode::Packed => format!("{name}-packed"),
+                    };
+                    let melem = ne as f64 / median / 1e6;
+                    println!(
+                        "  {row_name:>24} {:>4} t={threads}: median {:.3} ms  [{:.3} .. {:.3}]  {melem:>8.2} Melem/s",
+                        variant.name(),
+                        median * 1e3,
+                        min * 1e3,
+                        max * 1e3,
+                    );
+                    rows.push(Row {
+                        strategy: row_name,
+                        variant: variant.name(),
+                        threads,
+                        median_s: median,
+                        min_s: min,
+                        max_s: max,
+                        melem_s: melem,
+                    });
+                }
             }
         }
     }
@@ -226,6 +287,49 @@ fn main() {
         }
         None => println!("\n(re-run with --json PATH to persist the report)"),
     }
+
+    if args.assert_packed && !packed_beats_scalar(&rows) {
+        std::process::exit(1);
+    }
+}
+
+/// The CI smoke gate: for every variant measured through both serial
+/// paths at one thread, the packed best-of-samples time must beat the
+/// scalar one. Compares `min_s` — the least noise-sensitive statistic on
+/// a shared CI host.
+fn packed_beats_scalar(rows: &[Row]) -> bool {
+    let mut checked = 0;
+    let mut ok = true;
+    for packed in rows.iter().filter(|r| r.strategy == "serial-packed") {
+        let Some(scalar) = rows
+            .iter()
+            .find(|r| r.strategy == "serial" && r.variant == packed.variant && r.threads == 1)
+        else {
+            continue;
+        };
+        checked += 1;
+        if packed.min_s < scalar.min_s {
+            println!(
+                "packed-vs-scalar {}: packed {:.3} ms beats scalar {:.3} ms",
+                packed.variant,
+                packed.min_s * 1e3,
+                scalar.min_s * 1e3
+            );
+        } else {
+            eprintln!(
+                "packed-vs-scalar {}: packed {:.3} ms does NOT beat scalar {:.3} ms",
+                packed.variant,
+                packed.min_s * 1e3,
+                scalar.min_s * 1e3
+            );
+            ok = false;
+        }
+    }
+    if checked == 0 {
+        eprintln!("--assert-packed: no serial packed/scalar pair was measured");
+        return false;
+    }
+    ok
 }
 
 fn render_json(

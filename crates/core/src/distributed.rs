@@ -66,9 +66,12 @@ use alya_sched::{Pipeline, SchedTrace, StageStatus, Stall, Watchdog};
 use alya_telemetry as telemetry;
 
 use crate::drivers::{assemble_element, with_nut, CompactSink, CPU_VECTOR_DIM};
+use crate::gather::ScatterSink;
 use crate::input::AssemblyInput;
+use crate::kernels::packed;
 use crate::layout::Layout;
 use crate::metrics;
+use crate::packs::{self, ElemPack};
 use crate::variant::Variant;
 
 /// One rank's owned output: `(global node, summed contribution)` pairs.
@@ -115,6 +118,7 @@ pub struct DistributedDriver {
     splits: Vec<ElemSplit>,
     record: RecordMode,
     overlap: bool,
+    packed: bool,
     stall_timeout: Duration,
 }
 
@@ -124,6 +128,9 @@ pub struct DistributedDriver {
 struct RankCtx<'h> {
     local: Vec<f64>,
     ws_buf: Vec<f64>,
+    /// Pack-sized workspace for the lane-packed path (empty when the
+    /// driver runs scalar).
+    pack_ws: Vec<f64>,
     pre_done: usize,
     rest_done: usize,
     progress: Option<ExchangeProgress<HaloMsg>>,
@@ -169,6 +176,51 @@ fn assemble_one(
         &mut sink,
         &mut NoRecord,
     );
+}
+
+/// Assembles the full packs of a span of shard-element positions through
+/// the lane-packed kernels, scattering each lane through the same compact
+/// sink discipline as [`assemble_one`] — element order and per-element
+/// scatter order are the scalar path's, so the accumulation is bitwise
+/// identical. Returns how many positions were consumed; the caller runs
+/// the remainder through [`assemble_one`].
+// alya:hot
+fn assemble_pack_span(
+    variant: Variant,
+    input: &AssemblyInput,
+    shard: &Shard,
+    nn: usize,
+    local: &mut [f64],
+    pack_ws: &mut [f64],
+    positions: &[u32],
+) -> usize {
+    const L: usize = packs::DEFAULT_LANES;
+    let nl = shard.num_local_nodes();
+    let lay = Layout::cpu(0, CPU_VECTOR_DIM, nn);
+    let num_packs = positions.len() / L;
+    let mut elrhs = [[[0.0; L]; 3]; 4];
+    for q in 0..num_packs {
+        let mut elems = [0usize; L];
+        for (l, el) in elems.iter_mut().enumerate() {
+            *el = shard.elements()[positions[q * L + l] as usize] as usize;
+        }
+        let pack = ElemPack::load(input, elems);
+        packed::element_pack(variant, input, &pack, pack_ws, &mut elrhs);
+        for l in 0..L {
+            let mut sink = CompactSink {
+                gnodes: pack.conns[l],
+                lnodes: shard.local_conn()[positions[q * L + l] as usize],
+                stride: nl,
+                buf: &mut *local,
+            };
+            for a in 0..4 {
+                for d in 0..3 {
+                    sink.add(pack.conns[l][a], d, elrhs[a][d][l], &lay, &mut NoRecord);
+                }
+            }
+        }
+    }
+    num_packs * L
 }
 
 /// One cooperative drain step: snapshot the pending peers into the reused
@@ -234,6 +286,7 @@ impl DistributedDriver {
             splits,
             record: RecordMode::Counters,
             overlap: true,
+            packed: false,
             stall_timeout: Watchdog::default().stall_timeout,
         }
     }
@@ -266,9 +319,24 @@ impl DistributedDriver {
         self
     }
 
+    /// Routes each rank's element loop through the lane-packed kernels
+    /// ([`crate::drivers::ExecMode::Packed`]). Chunk remainders — and
+    /// variant P, which has no packed twin — fall back to the scalar path;
+    /// element order, scatter order and therefore every assembled bit are
+    /// unchanged.
+    pub fn packed(mut self, on: bool) -> Self {
+        self.packed = on;
+        self
+    }
+
     /// Whether compute/exchange overlap is enabled.
     pub fn overlap_enabled(&self) -> bool {
         self.overlap
+    }
+
+    /// Whether the lane-packed execution path is enabled.
+    pub fn packed_enabled(&self) -> bool {
+        self.packed
     }
 
     /// Number of ranks.
@@ -381,6 +449,7 @@ impl DistributedDriver {
             split.order.len()
         };
         let (pre, rest) = split.order.split_at(cut);
+        let use_packed = self.packed && packed::pack_supported(variant);
 
         let pipe_name = if self.overlap {
             "rank-overlap"
@@ -391,7 +460,21 @@ impl DistributedDriver {
 
         let s_pre = pipe.stage("assemble-pre", &[], |c, _ctx| {
             let end = (c.pre_done + ASSEMBLY_CHUNK).min(pre.len());
-            for &i in &pre[c.pre_done..end] {
+            let span = &pre[c.pre_done..end];
+            let done = if use_packed {
+                assemble_pack_span(
+                    variant,
+                    input,
+                    shard,
+                    nn,
+                    &mut c.local,
+                    &mut c.pack_ws,
+                    span,
+                )
+            } else {
+                0
+            };
+            for &i in &span[done..] {
                 assemble_one(variant, input, shard, nn, &mut c.local, &mut c.ws_buf, i);
             }
             c.pre_done = end;
@@ -431,7 +514,21 @@ impl DistributedDriver {
 
         let s_rest = pipe.stage("assemble-overlap", &[s_post], |c, _ctx| {
             let end = (c.rest_done + ASSEMBLY_CHUNK).min(rest.len());
-            for &i in &rest[c.rest_done..end] {
+            let span = &rest[c.rest_done..end];
+            let done = if use_packed {
+                assemble_pack_span(
+                    variant,
+                    input,
+                    shard,
+                    nn,
+                    &mut c.local,
+                    &mut c.pack_ws,
+                    span,
+                )
+            } else {
+                0
+            };
+            for &i in &span[done..] {
                 assemble_one(variant, input, shard, nn, &mut c.local, &mut c.ws_buf, i);
             }
             c.rest_done = end;
@@ -506,9 +603,15 @@ impl DistributedDriver {
             StageStatus::Done
         });
 
+        let pack_ws_len = if use_packed {
+            packed::pack_ws_values(variant, packs::DEFAULT_LANES).max(1)
+        } else {
+            0
+        };
         let mut ctx = RankCtx {
             local: vec![0.0; 3 * nl],
             ws_buf: vec![0.0; nval],
+            pack_ws: vec![0.0; pack_ws_len],
             pre_done: 0,
             rest_done: 0,
             progress: None,
@@ -621,6 +724,27 @@ mod tests {
                 .collect();
             assert_eq!(a.notes("combine"), expected);
             assert_eq!(b.notes("combine"), expected);
+        }
+    }
+
+    #[test]
+    fn packed_ranks_are_bitwise_identical_to_scalar_ranks() {
+        let mesh = BoxMeshBuilder::new(4, 3, 3).jitter(0.1).seed(17).build();
+        let (v, p, t) = setup(&mesh);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t).props(ConstantProperties::AIR);
+        let scalar = DistributedDriver::new(&mesh, 4);
+        let lanes = DistributedDriver::new(&mesh, 4).packed(true);
+        assert!(!scalar.packed_enabled() && lanes.packed_enabled());
+        for variant in Variant::ALL {
+            let (a, ra) = scalar.assemble(variant, &input);
+            let (b, rb) = lanes.assemble(variant, &input);
+            assert_eq!(
+                a.max_abs_diff(&b),
+                0.0,
+                "{variant}: packed ranks changed the assembled bits"
+            );
+            // The halo traffic is a function of the decomposition alone.
+            assert_eq!(ra.total_bytes(), rb.total_bytes());
         }
     }
 

@@ -26,15 +26,17 @@ use std::sync::Mutex;
 use alya_fem::VectorField;
 use alya_machine::par;
 use alya_machine::{NoRecord, Recorder, TraceRecorder};
-use alya_mesh::{Coloring, ElementGraph, NodeToElements, Partition, ShardSet};
+use alya_mesh::{Coloring, ElementGraph, NodeToElements, Partition, Shard, ShardSet};
 use alya_telemetry as telemetry;
 
-use crate::gather::{DirectSink, ScatterSink};
+use crate::gather::{self, DirectSink, ScatterSink};
 use crate::input::AssemblyInput;
 use crate::kernels;
+use crate::kernels::packed;
 use crate::layout::Layout;
 use crate::metrics;
 use crate::nut::compute_nu_t;
+use crate::packs::{self, ElemPack};
 use crate::variant::Variant;
 use crate::workspace::Ws;
 
@@ -115,6 +117,95 @@ pub fn assemble_serial(variant: Variant, input: &AssemblyInput) -> VectorField {
                 &mut ws_buf,
                 CPU_VECTOR_DIM,
                 lane,
+                &mut sink,
+                &mut NoRecord,
+            );
+        }
+        rhs
+    })
+}
+
+/// How a driver executes the element loop.
+///
+/// Both modes produce bitwise-identical RHS vectors under the same
+/// strategy: the packed kernels perform each lane's floating-point
+/// operations in exactly the scalar kernel's statement order and the pack
+/// scatter replays the scalar element order (pinned by the equivalence
+/// suite). `Packed` is purely a throughput lever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One element at a time — the reference path, and the only one the
+    /// tracing recorders instrument.
+    Scalar,
+    /// [`packs::DEFAULT_LANES`] elements in lockstep through the
+    /// lane-packed kernel twins. Remainder elements — and variant **P**,
+    /// which has no packed twin — fall back to the scalar path.
+    Packed,
+}
+
+impl ExecMode {
+    /// Stable short name (benchmark tables, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Scalar => "scalar",
+            ExecMode::Packed => "packed",
+        }
+    }
+}
+
+/// [`assemble_serial`] with the execution mode made explicit.
+pub fn assemble_serial_with(
+    variant: Variant,
+    input: &AssemblyInput,
+    mode: ExecMode,
+) -> VectorField {
+    match mode {
+        ExecMode::Packed if packed::pack_supported(variant) => {
+            assemble_serial_packed(variant, input)
+        }
+        _ => assemble_serial(variant, input),
+    }
+}
+
+/// Serial assembly through the lane-packed kernels: full packs of
+/// [`packs::DEFAULT_LANES`] consecutive elements, then a scalar loop over
+/// the remainder. Elements are tallied once per call — pack granularity,
+/// never per lane — so telemetry is invariant across modes.
+fn assemble_serial_packed(variant: Variant, input: &AssemblyInput) -> VectorField {
+    const L: usize = packs::DEFAULT_LANES;
+    let _sp = telemetry::span(format!("assemble:serial-packed:{}", variant.name()));
+    with_nut(variant, input, |input| {
+        let nn = input.mesh.num_nodes();
+        let ne = input.mesh.num_elements();
+        metrics::tally_elements(variant, ne as u64);
+        let mut rhs = VectorField::zeros(nn);
+        let mut ws_buf = vec![0.0; packed::pack_ws_values(variant, L).max(1)];
+        let mut sink = DirectSink { rhs: &mut rhs };
+        let num_packs = ne / L;
+        let lay = Layout::cpu(0, CPU_VECTOR_DIM, nn);
+        let mut elrhs = [[[0.0; L]; 3]; 4];
+        for p in 0..num_packs {
+            let mut elems = [0usize; L];
+            for (l, el) in elems.iter_mut().enumerate() {
+                *el = p * L + l;
+            }
+            let pack = ElemPack::load(input, elems);
+            packed::element_pack(variant, input, &pack, &mut ws_buf, &mut elrhs);
+            gather::scatter_pack(&mut sink, &pack.conns, &elrhs, &lay, &mut NoRecord);
+        }
+        // Remainder: the scalar reference path, same scatter discipline.
+        let nval = variant.nvalues().max(1);
+        let mut sbuf = vec![0.0; nval];
+        for e in num_packs * L..ne {
+            let lay = Layout::cpu(e, CPU_VECTOR_DIM, nn);
+            assemble_element(
+                variant,
+                input,
+                e,
+                &lay,
+                &mut sbuf,
+                1,
+                0,
                 &mut sink,
                 &mut NoRecord,
             );
@@ -222,8 +313,9 @@ pub const SHARD_AUTO_MIN_ELEMS_PER_WORKER: usize = 2048;
 /// the telemetry event channel ([`alya_telemetry::warn`]), never silent.
 #[derive(Debug, Clone, Default)]
 pub struct ThroughputDb {
-    /// `(strategy, threads, melem_per_s)` rows.
-    rows: Vec<(String, usize, f64)>,
+    /// `(strategy, variant, threads, melem_per_s)` rows. Rows without a
+    /// `"variant"` field (older reports) carry an empty variant name.
+    rows: Vec<(String, String, usize, f64)>,
 }
 
 impl ThroughputDb {
@@ -232,18 +324,20 @@ impl ThroughputDb {
     pub fn parse(json: &str) -> Option<Self> {
         let mut rows = Vec::new();
         // Row-oriented scan over the writer's own stable format: each
-        // result object carries "strategy", "threads" and "melem_per_s".
+        // result object carries "strategy", "threads" and "melem_per_s"
+        // (and, since the packed path landed, "variant").
         for obj in json.split('{').skip(1) {
             let Some(strategy) = str_field(obj, "strategy") else {
                 continue;
             };
+            let variant = str_field(obj, "variant").unwrap_or_default();
             let (Some(threads), Some(melem)) =
                 (num_field(obj, "threads"), num_field(obj, "melem_per_s"))
             else {
                 continue;
             };
             if threads >= 1.0 && melem.is_finite() && melem > 0.0 {
-                rows.push((strategy, threads as usize, melem));
+                rows.push((strategy, variant, threads as usize, melem));
             }
         }
         if rows.is_empty() {
@@ -307,14 +401,38 @@ impl ThroughputDb {
         let nearest = self
             .rows
             .iter()
-            .filter(|(s, _, _)| s == strategy)
-            .map(|&(_, t, _)| t)
+            .filter(|(s, _, _, _)| s == strategy)
+            .map(|&(_, _, t, _)| t)
             .min_by_key(|&t| t.abs_diff(threads))?;
         self.rows
             .iter()
-            .filter(|(s, t, _)| s == strategy && *t == nearest)
-            .map(|&(_, _, m)| m)
+            .filter(|(s, _, t, _)| s == strategy && *t == nearest)
+            .map(|&(_, _, _, m)| m)
             .max_by(f64::total_cmp)
+    }
+
+    /// Measured Melem/s for one exact `(strategy, variant, threads)` cell
+    /// (max over duplicate rows). `None` when the report has no such row.
+    /// The SIMD-contract analyzer reads packed-vs-scalar pairs through
+    /// this, so the match is exact — no nearest-thread fallback.
+    pub fn melem_per_s(&self, strategy: &str, variant: &str, threads: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .filter(|(s, v, t, _)| s == strategy && v == variant && *t == threads)
+            .map(|&(_, _, _, m)| m)
+            .max_by(f64::total_cmp)
+    }
+
+    /// Distinct variant names present in rows of `strategy` at `threads`,
+    /// in first-seen order.
+    pub fn variants(&self, strategy: &str, threads: usize) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for (s, v, t, _) in &self.rows {
+            if s == strategy && *t == threads && !out.iter().any(|x| x == v) {
+                out.push(v.clone());
+            }
+        }
+        out
     }
 }
 
@@ -587,6 +705,39 @@ fn merge_boundary(a: BoundaryVec, b: BoundaryVec) -> BoundaryVec {
     out
 }
 
+/// Interior writeback (unsynchronized plain stores to this shard's
+/// exclusive nodes) plus sparse sorted boundary extraction of one assembled
+/// shard — the finish step shared by the scalar and packed sharded paths.
+/// Interior nodes are exclusive to the shard (validated by the caller) and
+/// the RHS started zeroed, so the store is exact and race-free; boundary
+/// nodes go through the tree reduction as a sorted list (`global_nodes`'
+/// boundary block is sorted ascending).
+fn shard_finish(shard: &Shard, local: &[f64], shared: &SharedRhs, nn: usize) -> BoundaryVec {
+    let nl = shard.num_local_nodes();
+    let ni = shard.num_interior();
+    for (l, &g) in shard.global_nodes()[..ni].iter().enumerate() {
+        for d in 0..3 {
+            // SAFETY: unsafe[sharded-writeback] — `g < nn` and `d < 3`
+            // (shard maps validated by analyzer pass 2,
+            // races::check_shard_set, and re-proven in debug builds by the
+            // callers), and interior exclusivity means no other thread
+            // writes node `g`.
+            unsafe {
+                *shared.ptr.add(d * nn + g as usize) = local[d * nl + l];
+            }
+        }
+    }
+    shard
+        .boundary_global_nodes()
+        .iter()
+        .enumerate()
+        .map(|(b, &g)| {
+            let l = ni + b;
+            (g, [local[l], local[nl + l], local[2 * nl + l]])
+        })
+        .collect()
+}
+
 /// Parallel assembly with the chosen scatter discipline. Produces the same
 /// RHS as [`assemble_serial`] up to floating-point reassociation of the
 /// nodal sums.
@@ -753,36 +904,301 @@ pub fn assemble_parallel(
                                 &mut NoRecord,
                             );
                         }
-                        // Interior writeback: no synchronization needed —
-                        // interior nodes are exclusive to this shard
-                        // (validated above) and the RHS started zeroed, so a
-                        // plain store is exact and race-free.
-                        let ni = shard.num_interior();
-                        for (l, &g) in shard.global_nodes()[..ni].iter().enumerate() {
-                            for d in 0..3 {
-                                // SAFETY: unsafe[sharded-writeback] —
-                                // `g < nn` and `d < 3` (shard maps validated
-                                // by analyzer pass 2, races::check_shard_set,
-                                // and re-proven in debug builds above), and
-                                // interior exclusivity means no other thread
-                                // writes node `g`.
-                                unsafe {
-                                    *shared.ptr.add(d * nn + g as usize) = local[d * nl + l];
+                        shard_finish(shard, &local, shared, nn)
+                    },
+                );
+                if let Some(merged) = par::tree_reduce(boundaries, merge_boundary) {
+                    for (g, v) in merged {
+                        rhs.add(g as usize, v);
+                    }
+                }
+                rhs
+            }
+        }
+    })
+}
+
+/// [`assemble_parallel`] with the execution mode made explicit.
+pub fn assemble_parallel_with(
+    variant: Variant,
+    input: &AssemblyInput,
+    strategy: &ParallelStrategy,
+    mode: ExecMode,
+) -> VectorField {
+    match mode {
+        ExecMode::Packed if packed::pack_supported(variant) => {
+            assemble_parallel_packed(variant, input, strategy)
+        }
+        _ => assemble_parallel(variant, input, strategy),
+    }
+}
+
+/// Parallel assembly through the lane-packed kernels: each worker's element
+/// list is consumed in full packs of [`packs::DEFAULT_LANES`], with the
+/// per-strategy remainders (and variant P) taking the scalar path. The
+/// scatter disciplines and their accumulation orders are identical to the
+/// scalar driver's, so every strategy stays bitwise equal across modes.
+fn assemble_parallel_packed(
+    variant: Variant,
+    input: &AssemblyInput,
+    strategy: &ParallelStrategy,
+) -> VectorField {
+    const L: usize = packs::DEFAULT_LANES;
+    let _sp = telemetry::span(format!(
+        "assemble:{}-packed:{}",
+        strategy.name(),
+        variant.name()
+    ));
+    with_nut(variant, input, |input| {
+        let nn = input.mesh.num_nodes();
+        let ne = input.mesh.num_elements();
+        // Elements tallied once per call — pack granularity, never per
+        // lane — keeping the Table-I profile invariant across modes.
+        metrics::tally_elements(variant, ne as u64);
+        let nval = variant.nvalues().max(1);
+        let ws_len = packed::pack_ws_values(variant, L).max(1);
+
+        // Packs one slice of element ids starting at `at` (caller
+        // guarantees `at + L` in bounds) and returns its completed RHS.
+        let run_pack = |ws_buf: &mut [f64], ids: &dyn Fn(usize) -> usize, at: usize| {
+            let mut elems = [0usize; L];
+            for (l, el) in elems.iter_mut().enumerate() {
+                *el = ids(at + l);
+            }
+            let pack = ElemPack::load(input, elems);
+            let mut elrhs = [[[0.0; L]; 3]; 4];
+            packed::element_pack(variant, input, &pack, ws_buf, &mut elrhs);
+            (pack, elrhs)
+        };
+
+        let compute_one = |ws_buf: &mut Vec<f64>, e: usize| -> BufferSink {
+            let mut sink = BufferSink {
+                nodes: input.mesh.element(e),
+                acc: [[0.0; 3]; 4],
+            };
+            let lay = Layout::cpu(e, CPU_VECTOR_DIM, nn);
+            assemble_element(
+                variant,
+                input,
+                e,
+                &lay,
+                ws_buf,
+                1,
+                0,
+                &mut sink,
+                &mut NoRecord,
+            );
+            sink
+        };
+
+        match strategy {
+            ParallelStrategy::TwoPhase => {
+                let num_packs = ne / L;
+                // Phase 1: packed elemental loop, parallel at pack
+                // granularity; remainder elements scalar, still parallel.
+                let full: Vec<([[u32; 4]; L], packed::PackRhs<L>)> = par::par_map_init(
+                    num_packs,
+                    || vec![0.0; ws_len],
+                    |ws_buf, p| {
+                        let (pack, elrhs) = run_pack(ws_buf, &|i| i, p * L);
+                        (pack.conns, elrhs)
+                    },
+                );
+                let rest: Vec<BufferSink> = par::par_map_init(
+                    ne - num_packs * L,
+                    || vec![0.0; nval],
+                    |ws_buf, i| compute_one(ws_buf, num_packs * L + i),
+                );
+                // Phase 2: the scalar scatter loop, element-ascending like
+                // the scalar driver.
+                let mut rhs = VectorField::zeros(nn);
+                for (conns, elrhs) in &full {
+                    for l in 0..L {
+                        for a in 0..4 {
+                            rhs.add(
+                                conns[l][a] as usize,
+                                [elrhs[a][0][l], elrhs[a][1][l], elrhs[a][2][l]],
+                            );
+                        }
+                    }
+                }
+                for b in &rest {
+                    for a in 0..4 {
+                        rhs.add(b.nodes[a] as usize, b.acc[a]);
+                    }
+                }
+                rhs
+            }
+            ParallelStrategy::Colored(coloring) => {
+                debug_assert!(
+                    coloring.is_race_free(input.mesh),
+                    "colored scatter invariant violated: {}",
+                    coloring
+                        .find_conflict(input.mesh)
+                        .map(|c| c.to_string())
+                        .unwrap_or_default()
+                );
+                let mut rhs = VectorField::zeros(nn);
+                let shared = SharedRhs {
+                    ptr: rhs.as_mut_slice().as_mut_ptr(),
+                    num_nodes: nn,
+                };
+                let lay = Layout::cpu(0, CPU_VECTOR_DIM, nn);
+                for class in coloring.classes() {
+                    // Lanes of one pack belong to one color class, so their
+                    // scatters are node-disjoint by the coloring invariant —
+                    // the same guarantee the scalar path's threads rely on.
+                    let num_packs = class.len() / L;
+                    let _: Vec<()> = par::par_map_init(
+                        num_packs,
+                        || vec![0.0; ws_len],
+                        |ws_buf, p| {
+                            let (pack, elrhs) = run_pack(ws_buf, &|i| class[i] as usize, p * L);
+                            let mut sink = ColoredSink { shared: &shared };
+                            gather::scatter_pack(
+                                &mut sink,
+                                &pack.conns,
+                                &elrhs,
+                                &lay,
+                                &mut NoRecord,
+                            );
+                        },
+                    );
+                    // Class remainder: scalar path.
+                    par::par_for_each_init(
+                        &class[num_packs * L..],
+                        || vec![0.0; nval],
+                        |ws_buf, &e| {
+                            let mut sink = ColoredSink { shared: &shared };
+                            let lay = Layout::cpu(e as usize, CPU_VECTOR_DIM, nn);
+                            assemble_element(
+                                variant,
+                                input,
+                                e as usize,
+                                &lay,
+                                ws_buf,
+                                1,
+                                0,
+                                &mut sink,
+                                &mut NoRecord,
+                            );
+                        },
+                    );
+                }
+                rhs
+            }
+            ParallelStrategy::Partitioned(state) => {
+                let partition = &state.partition;
+                let partials: Vec<Vec<f64>> = par::par_map_init(
+                    partition.num_parts(),
+                    || (vec![0.0; ws_len], vec![0.0; nval]),
+                    |bufs, p| {
+                        let (pack_ws, scalar_ws) = bufs;
+                        let mut local = state.checkout(3 * nn);
+                        let part = partition.part(p);
+                        let num_packs = part.len() / L;
+                        for q in 0..num_packs {
+                            let (pack, elrhs) = run_pack(pack_ws, &|i| part[i] as usize, q * L);
+                            for l in 0..L {
+                                for a in 0..4 {
+                                    for d in 0..3 {
+                                        local[d * nn + pack.conns[l][a] as usize] += elrhs[a][d][l];
+                                    }
                                 }
                             }
                         }
-                        // Boundary nodes go through the tree reduction as a
-                        // sparse sorted list (global_nodes' boundary block is
-                        // sorted ascending).
-                        shard
-                            .boundary_global_nodes()
-                            .iter()
-                            .enumerate()
-                            .map(|(b, &g)| {
-                                let l = ni + b;
-                                (g, [local[l], local[nl + l], local[2 * nl + l]])
-                            })
-                            .collect()
+                        for &e in &part[num_packs * L..] {
+                            let b = compute_one(scalar_ws, e as usize);
+                            for a in 0..4 {
+                                for d in 0..3 {
+                                    local[d * nn + b.nodes[a] as usize] += b.acc[a][d];
+                                }
+                            }
+                        }
+                        local
+                    },
+                );
+                let mut rhs = VectorField::zeros(nn);
+                let out = rhs.as_mut_slice();
+                for part in &partials {
+                    for (o, v) in out.iter_mut().zip(part) {
+                        *o += v;
+                    }
+                }
+                state.restore(partials);
+                rhs
+            }
+            ParallelStrategy::Sharded(shards) => {
+                debug_assert!(
+                    shards.validate(input.mesh).is_ok(),
+                    "sharded scatter invariant violated: {}",
+                    shards.validate(input.mesh).err().unwrap_or_default()
+                );
+                let mut rhs = VectorField::zeros(nn);
+                let shared = SharedRhs {
+                    ptr: rhs.as_mut_slice().as_mut_ptr(),
+                    num_nodes: nn,
+                };
+                let shared = &shared;
+                let boundaries: Vec<BoundaryVec> = par::par_map_init(
+                    shards.num_shards(),
+                    || (vec![0.0; ws_len], vec![0.0; nval]),
+                    |bufs, s| {
+                        let _shard_sp = telemetry::span(format!("shard:{s}"));
+                        let (pack_ws, scalar_ws) = bufs;
+                        let shard = shards.shard(s);
+                        let nl = shard.num_local_nodes();
+                        let mut local = vec![0.0; 3 * nl];
+                        let selems = shard.elements();
+                        let num_packs = selems.len() / L;
+                        let lay = Layout::cpu(0, CPU_VECTOR_DIM, nn);
+                        for q in 0..num_packs {
+                            let (pack, elrhs) = run_pack(pack_ws, &|i| selems[i] as usize, q * L);
+                            // Per-lane compact scatter: the local
+                            // connectivity rows are parallel to `selems`.
+                            for l in 0..L {
+                                let mut sink = CompactSink {
+                                    gnodes: pack.conns[l],
+                                    lnodes: shard.local_conn()[q * L + l],
+                                    stride: nl,
+                                    buf: &mut local,
+                                };
+                                for a in 0..4 {
+                                    for d in 0..3 {
+                                        sink.add(
+                                            pack.conns[l][a],
+                                            d,
+                                            elrhs[a][d][l],
+                                            &lay,
+                                            &mut NoRecord,
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                        // Shard remainder: scalar path, same compact sink.
+                        for (i, &e) in selems.iter().enumerate().skip(num_packs * L) {
+                            let e = e as usize;
+                            let mut sink = CompactSink {
+                                gnodes: input.mesh.element(e),
+                                lnodes: shard.local_conn()[i],
+                                stride: nl,
+                                buf: &mut local,
+                            };
+                            let lay = Layout::cpu(e, CPU_VECTOR_DIM, nn);
+                            assemble_element(
+                                variant,
+                                input,
+                                e,
+                                &lay,
+                                scalar_ws,
+                                1,
+                                0,
+                                &mut sink,
+                                &mut NoRecord,
+                            );
+                        }
+                        shard_finish(shard, &local, shared, nn)
                     },
                 );
                 if let Some(merged) = par::tree_reduce(boundaries, merge_boundary) {
@@ -836,6 +1252,44 @@ mod tests {
             let rhs = assemble_serial(variant, &input);
             let diff = max_rel_diff(&reference, &rhs);
             assert!(diff < 1e-11, "{variant} deviates by {diff}");
+        }
+    }
+
+    #[test]
+    fn packed_mode_is_bitwise_identical_to_scalar_everywhere() {
+        let mesh = BoxMeshBuilder::new(3, 3, 3).jitter(0.1).seed(11).build();
+        let (v, p, t) = setup(&mesh);
+        let input = AssemblyInput::new(&mesh, &v, &p, &t)
+            .props(ConstantProperties {
+                density: 1.2,
+                viscosity: 1e-3,
+            })
+            .body_force([0.1, 0.0, -0.5]);
+        // Non-multiple-of-LANES element count exercises the remainder path.
+        assert_ne!(mesh.num_elements() % packs::DEFAULT_LANES, 0);
+        for variant in Variant::ALL {
+            let scalar = assemble_serial(variant, &input);
+            let lane = assemble_serial_with(variant, &input, ExecMode::Packed);
+            assert_eq!(
+                scalar.max_abs_diff(&lane),
+                0.0,
+                "{variant}: packed serial is not bitwise scalar"
+            );
+            for strategy in [
+                ParallelStrategy::TwoPhase,
+                ParallelStrategy::colored(&mesh),
+                ParallelStrategy::partitioned(&mesh, 5),
+                ParallelStrategy::sharded(&mesh, 5),
+            ] {
+                let s = assemble_parallel(variant, &input, &strategy);
+                let q = assemble_parallel_with(variant, &input, &strategy, ExecMode::Packed);
+                assert_eq!(
+                    s.max_abs_diff(&q),
+                    0.0,
+                    "{variant} × {}: packed is not bitwise scalar",
+                    strategy.name()
+                );
+            }
         }
     }
 
@@ -953,6 +1407,13 @@ mod tests {
         // negative-throughput row was rejected, so 8 is nearest to 4).
         assert_eq!(db.best_melem_per_s("sharded", 4), Some(21.0));
         assert_eq!(db.best_melem_per_s("partitioned", 4), None);
+        // Exact-cell lookup (no nearest-thread fallback) and variant
+        // enumeration, as the SIMD-contract analyzer uses them.
+        assert_eq!(db.melem_per_s("colored", "rspr", 4), Some(14.0));
+        assert_eq!(db.melem_per_s("colored", "rspr", 8), None);
+        assert_eq!(db.melem_per_s("sharded", "rsp", 4), None);
+        assert_eq!(db.variants("colored", 4), vec!["rsp", "rspr"]);
+        assert!(db.variants("partitioned", 4).is_empty());
         assert!(ThroughputDb::parse("").is_none());
         assert!(ThroughputDb::parse("{\"results\": []}").is_none());
         assert!(ThroughputDb::parse("not json at all").is_none());

@@ -146,6 +146,104 @@ pub fn scatter_elemental<R: Recorder, S: ScatterSink>(
     }
 }
 
+// ---- Pack-granularity gathers (the AoSoA execution path) -------------------
+//
+// The packed kernels gather whole lanes at once: `out[a][d][lane]` — the
+// node-major, component-middle, lane-minor layout every packed intermediate
+// uses. Untracked: the packed path is pure execution (the models replay the
+// scalar kernels), so there is no recorder parameter to thread.
+
+/// Loads the node ids of `L` elements (pack connectivity gather).
+// alya:hot
+#[inline]
+pub fn gather_conn_pack<const L: usize>(
+    input: &AssemblyInput,
+    elems: &[usize; L],
+) -> [[u32; 4]; L] {
+    let mut out = [[0u32; 4]; L];
+    for l in 0..L {
+        out[l] = input.mesh.element(elems[l]);
+    }
+    out
+}
+
+/// Gathers node coordinates for a pack: `out[a][d][lane]`.
+// alya:hot
+#[inline]
+pub fn gather_coords_pack<const L: usize>(
+    input: &AssemblyInput,
+    conns: &[[u32; 4]; L],
+) -> [[[f64; L]; 3]; 4] {
+    let coords = input.mesh.coords();
+    let mut out = [[[0.0; L]; 3]; 4];
+    for a in 0..4 {
+        for l in 0..L {
+            let c = coords[conns[l][a] as usize];
+            for d in 0..3 {
+                out[a][d][l] = c[d];
+            }
+        }
+    }
+    out
+}
+
+/// Gathers nodal velocities for a pack: `out[a][d][lane]`.
+// alya:hot
+#[inline]
+pub fn gather_velocity_pack<const L: usize>(
+    input: &AssemblyInput,
+    conns: &[[u32; 4]; L],
+) -> [[[f64; L]; 3]; 4] {
+    let mut out = [[[0.0; L]; 3]; 4];
+    for a in 0..4 {
+        for l in 0..L {
+            let v = input.velocity.get(conns[l][a] as usize);
+            for d in 0..3 {
+                out[a][d][l] = v[d];
+            }
+        }
+    }
+    out
+}
+
+/// Gathers a nodal scalar field for a pack: `out[a][lane]`.
+// alya:hot
+#[inline]
+pub fn gather_scalar_pack<const L: usize>(
+    field: &ScalarField,
+    conns: &[[u32; 4]; L],
+) -> [[f64; L]; 4] {
+    let mut out = [[0.0; L]; 4];
+    for a in 0..4 {
+        for l in 0..L {
+            out[a][l] = field.get(conns[l][a] as usize);
+        }
+    }
+    out
+}
+
+/// Scatters a completed pack RHS, lane by lane in ascending order, each
+/// lane node-major / component-minor — exactly the order the scalar loop
+/// scatters those elements in, so a packed assembly accumulates the global
+/// RHS bitwise identically to its scalar twin.
+// alya:hot
+#[inline]
+pub fn scatter_pack<const L: usize, R: Recorder, S: ScatterSink>(
+    sink: &mut S,
+    conns: &[[u32; 4]; L],
+    elrhs: &[[[f64; L]; 3]; 4],
+    layout: &Layout,
+    rec: &mut R,
+) {
+    for l in 0..L {
+        for a in 0..4 {
+            for d in 0..3 {
+                sink.add(conns[l][a], d, elrhs[a][d][l], layout, rec);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

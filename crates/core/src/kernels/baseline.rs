@@ -32,32 +32,33 @@ use crate::layout::{self, Layout};
 use crate::ops;
 use crate::workspace::Ws;
 
-// ---- Workspace value catalog (slot = base + offset) -----------------------
-const ELCOD: usize = 0; // 12: gathered node coordinates
-const ELVEL: usize = 12; // 12: gathered velocities
-const ELPRE: usize = 24; // 4:  gathered pressures
-const ELTEM: usize = 28; // 4:  gathered temperatures
-const ELNUT: usize = 32; // 1:  gathered per-element nu_t
-const GPJAC: usize = 33; // 36: Jacobian per Gauss point
-const GPDET: usize = 69; // 4:  Jacobian determinant per Gauss point
-const GPJIN: usize = 73; // 36: inverse Jacobian per Gauss point
-const GPCAR: usize = 109; // 48: shape gradients per Gauss point
-const GPVOL: usize = 157; // 4:  integration weight per Gauss point
-const GPSHA: usize = 161; // 16: shape values per Gauss point
-const GPADV: usize = 177; // 12: advection velocity per Gauss point
-const GPGVE: usize = 189; // 36: velocity gradient per Gauss point
-const GPDEN: usize = 225; // 4:  density per Gauss point
-const GPVIS: usize = 229; // 4:  viscosity per Gauss point
-const GPTEM: usize = 233; // 4:  temperature per Gauss point
-const GPNUT: usize = 237; // 4:  turbulent viscosity per Gauss point
-const GPPRE: usize = 241; // 4:  pressure per Gauss point
-const GPFOR: usize = 245; // 12: body force per Gauss point
-const GPHES: usize = 257; // 24: Hessian diagonal terms (zero for P1!)
-const CMAT: usize = 281; // 48: convection matrix, one 4x4 per component
-const KMAT: usize = 329; // 48: diffusion matrix, one 4x4 per component
-const EMAT: usize = 377; // 48: assembled elemental matrix per component
-const ELMASS: usize = 425; // 4:  lumped mass (byproduct for the projection)
-const ELRHS: usize = 429; // 12: elemental RHS
+// ---- Workspace value catalog (slot = base + offset; shared with the packed
+// twin in `kernels::packed`) -------------------------------------------------
+pub(crate) const ELCOD: usize = 0; // 12: gathered node coordinates
+pub(crate) const ELVEL: usize = 12; // 12: gathered velocities
+pub(crate) const ELPRE: usize = 24; // 4:  gathered pressures
+pub(crate) const ELTEM: usize = 28; // 4:  gathered temperatures
+pub(crate) const ELNUT: usize = 32; // 1:  gathered per-element nu_t
+pub(crate) const GPJAC: usize = 33; // 36: Jacobian per Gauss point
+pub(crate) const GPDET: usize = 69; // 4:  Jacobian determinant per Gauss point
+pub(crate) const GPJIN: usize = 73; // 36: inverse Jacobian per Gauss point
+pub(crate) const GPCAR: usize = 109; // 48: shape gradients per Gauss point
+pub(crate) const GPVOL: usize = 157; // 4:  integration weight per Gauss point
+pub(crate) const GPSHA: usize = 161; // 16: shape values per Gauss point
+pub(crate) const GPADV: usize = 177; // 12: advection velocity per Gauss point
+pub(crate) const GPGVE: usize = 189; // 36: velocity gradient per Gauss point
+pub(crate) const GPDEN: usize = 225; // 4:  density per Gauss point
+pub(crate) const GPVIS: usize = 229; // 4:  viscosity per Gauss point
+pub(crate) const GPTEM: usize = 233; // 4:  temperature per Gauss point
+pub(crate) const GPNUT: usize = 237; // 4:  turbulent viscosity per Gauss point
+pub(crate) const GPPRE: usize = 241; // 4:  pressure per Gauss point
+pub(crate) const GPFOR: usize = 245; // 12: body force per Gauss point
+pub(crate) const GPHES: usize = 257; // 24: Hessian diagonal terms (zero for P1!)
+pub(crate) const CMAT: usize = 281; // 48: convection matrix, one 4x4 per component
+pub(crate) const KMAT: usize = 329; // 48: diffusion matrix, one 4x4 per component
+pub(crate) const EMAT: usize = 377; // 48: assembled elemental matrix per component
+pub(crate) const ELMASS: usize = 425; // 4:  lumped mass (byproduct for the projection)
+pub(crate) const ELRHS: usize = 429; // 12: elemental RHS
 
 /// Workspace slots per element.
 pub const NVALUES: usize = 441;

@@ -13,9 +13,14 @@
 //!   in interleaved arrays;
 //! * [`rsp`] (**RSP**): specialized, restructured and privatized to scalars;
 //! * [`rspr`] (**RSPR**): RSP plus immediate per-node scatter.
+//!
+//! [`packed`] holds the lane-packed (cross-element SIMD) twins of B, RS,
+//! RSP and RSPR: same statements, `[f64; LANES]` at a time, bitwise equal
+//! per lane to the scalar kernels.
 
 pub mod baseline;
 pub mod generic;
+pub mod packed;
 pub mod rs;
 pub mod rsp;
 pub mod rspr;

@@ -1,0 +1,769 @@
+//! Lane-packed twins of the assembly kernels — the paper's `VECTOR_DIM`
+//! cross-element vectorization, executed for real.
+//!
+//! Each function assembles `L` elements in lockstep from an AoSoA
+//! [`ElemPack`]: every intermediate is an `[f64; L]` lane array and every
+//! scalar statement of the corresponding kernel in [`baseline`]/[`rs`]/
+//! [`rsp`]/[`rspr`] becomes a unit-stride lane loop. No operation mixes
+//! lanes and each lane performs its element's floating-point operations in
+//! exactly the scalar kernel's order, so lane `l` of a packed result is
+//! **bitwise identical** to the scalar kernel on element `l` — the drivers
+//! rely on this to keep packed and scalar execution bit-for-bit
+//! interchangeable (pinned by the equivalence suite).
+//!
+//! The packed B and RS kernels mirror their workspace traffic through a
+//! [`WsPack`] (slot-major, lane-minor), so the packed baseline really does
+//! pay the baseline's memory volume — just `L` lanes at a time. RSP/RSPR
+//! keep everything in lane-private arrays, exactly as their scalar twins
+//! keep scalars.
+//!
+//! Variant **P** has no packed twin (its whole point is the *local*
+//! per-thread workspace; the drivers route it to the scalar path — see
+//! [`pack_supported`]). The packed path is untracked: tracing, contracts
+//! and the machine models replay the scalar kernels.
+//!
+//! [`baseline`]: crate::kernels::baseline
+//! [`rs`]: crate::kernels::rs
+//! [`rsp`]: crate::kernels::rsp
+//! [`rspr`]: crate::kernels::rspr
+
+use alya_fem::element::{tet4_shape, ElementKind, Tet4, TET4_GAUSS, TET4_LOCAL_GRADS};
+
+use crate::gather;
+use crate::input::AssemblyInput;
+use crate::kernels::{baseline as bk, rs as rk};
+use crate::packs::{self, ElemPack};
+use crate::variant::Variant;
+use crate::workspace::WsPack;
+
+/// Packed elemental RHS for `L` elements: `elrhs[a][d][lane]`.
+pub type PackRhs<const L: usize> = [[[f64; L]; 3]; 4];
+
+/// Whether `variant` has a packed twin. **P** deliberately does not: its
+/// defining trait is the per-thread *local* workspace, which has no
+/// cross-element lane dimension to pack — the drivers fall back to the
+/// scalar path for it (and for every pack remainder).
+pub fn pack_supported(variant: Variant) -> bool {
+    !matches!(variant, Variant::P)
+}
+
+/// Workspace slots (`f64`s) one pack of `lanes` elements needs for
+/// `variant` — zero for the register-resident RSP/RSPR.
+pub fn pack_ws_values(variant: Variant, lanes: usize) -> usize {
+    match variant {
+        Variant::B | Variant::P => bk::NVALUES * lanes,
+        Variant::Rs => rk::NVALUES * lanes,
+        Variant::Rsp | Variant::Rspr => 0,
+    }
+}
+
+/// Assembles one pack of `L` elements, dispatching to the variant's packed
+/// kernel. `ws_buf` must hold [`pack_ws_values`] slots (it is reused
+/// across packs without clearing, like the scalar drivers' buffers).
+// alya:hot
+#[inline]
+pub fn element_pack<const L: usize>(
+    variant: Variant,
+    input: &AssemblyInput,
+    pack: &ElemPack<L>,
+    ws_buf: &mut [f64],
+    elrhs: &mut PackRhs<L>,
+) {
+    match variant {
+        // P is routed to the scalar path by `pack_supported`; the arm only
+        // keeps the dispatch total (B's arithmetic is P's, bitwise).
+        Variant::B | Variant::P => baseline_pack(input, pack, ws_buf, elrhs),
+        Variant::Rs => rs_pack(input, pack, ws_buf, elrhs),
+        Variant::Rsp => rsp_pack(input, pack, elrhs),
+        Variant::Rspr => rspr_pack(input, pack, elrhs),
+    }
+}
+
+/// Packed RSP: every intermediate a lane-private `[f64; L]` array.
+// alya:hot
+pub fn rsp_pack<const L: usize>(input: &AssemblyInput, pack: &ElemPack<L>, elrhs: &mut PackRhs<L>) {
+    let rho = input.props.density;
+    let mu = input.props.viscosity;
+
+    // --- Gather straight into lane arrays. ---
+    let vel = gather::gather_velocity_pack(input, &pack.conns);
+    let pre = gather::gather_scalar_pack(input.pressure, &pack.conns);
+    let coords = gather::gather_coords_pack(input, &pack.conns);
+
+    // --- Geometry once per pack. ---
+    let (grads, vol) = packs::tet4_grads_pack(&coords);
+
+    // --- Constant velocity gradient. ---
+    let mut gve = [[[0.0; L]; 3]; 3];
+    for i in 0..3 {
+        for j in 0..3 {
+            let mut gv = [0.0; L];
+            for a in 0..4 {
+                for l in 0..L {
+                    gv[l] += grads[a][i][l] * vel[a][j][l];
+                }
+            }
+            gve[i][j] = gv;
+        }
+    }
+
+    // --- Vreman on the fly. ---
+    let delta = packs::cbrt_pack(&vol);
+    let nut = packs::vreman_pack(&gve, &delta, input.vreman_c);
+
+    // --- RHS accumulators, live across the Gauss loop. ---
+    let mut rhs = [[[0.0; L]; 3]; 4];
+    let mut gpvol = [0.0; L];
+    for l in 0..L {
+        gpvol[l] = 0.25 * vol[l];
+    }
+
+    // --- Gauss loop: transient advection/convection, immediate use. ---
+    for g in 0..Tet4::NUM_GAUSS {
+        let mut adv = [[0.0; L]; 3];
+        for d in 0..3 {
+            for a in 0..4 {
+                for l in 0..L {
+                    adv[d][l] += Tet4::SHAPE[g][a] * vel[a][d][l];
+                }
+            }
+        }
+        let mut con = [[0.0; L]; 3];
+        for d in 0..3 {
+            let mut c = [0.0; L];
+            for i in 0..3 {
+                for l in 0..L {
+                    c[l] += adv[i][l] * gve[i][d][l];
+                }
+            }
+            for l in 0..L {
+                con[d][l] = rho * c[l];
+            }
+        }
+        for a in 0..4 {
+            for d in 0..3 {
+                for l in 0..L {
+                    let inc = -gpvol[l] * Tet4::SHAPE[g][a] * con[d][l];
+                    rhs[a][d][l] += inc;
+                }
+            }
+        }
+    }
+
+    // --- Pressure, force, diffusion. ---
+    let mut pbar = [0.0; L];
+    for l in 0..L {
+        pbar[l] = 0.25 * (pre[0][l] + pre[1][l] + pre[2][l] + pre[3][l]);
+    }
+    let mut mu_eff = [0.0; L];
+    for l in 0..L {
+        mu_eff[l] = mu + rho * nut[l];
+    }
+    for a in 0..4 {
+        for d in 0..3 {
+            for l in 0..L {
+                let inc = vol[l] * pbar[l] * grads[a][d][l] + gpvol[l] * rho * input.body_force[d];
+                rhs[a][d][l] += inc;
+            }
+        }
+    }
+    for a in 0..4 {
+        for d in 0..3 {
+            let mut flux = [0.0; L];
+            for b in 0..4 {
+                let mut gdot = [0.0; L];
+                for i in 0..3 {
+                    for l in 0..L {
+                        gdot[l] += grads[a][i][l] * grads[b][i][l];
+                    }
+                }
+                for l in 0..L {
+                    flux[l] += gdot[l] * vel[b][d][l];
+                }
+            }
+            for l in 0..L {
+                rhs[a][d][l] -= vol[l] * mu_eff[l] * flux[l];
+            }
+        }
+    }
+
+    *elrhs = rhs;
+}
+
+/// Packed RSPR: the convection vectors of all Gauss points hoisted, then a
+/// node loop that completes three components per node — mirroring the
+/// scalar RSPR's order so each lane stays bitwise faithful.
+// alya:hot
+pub fn rspr_pack<const L: usize>(
+    input: &AssemblyInput,
+    pack: &ElemPack<L>,
+    elrhs: &mut PackRhs<L>,
+) {
+    let rho = input.props.density;
+    let mu = input.props.viscosity;
+
+    // --- Gather. ---
+    let vel = gather::gather_velocity_pack(input, &pack.conns);
+    let pre = gather::gather_scalar_pack(input.pressure, &pack.conns);
+    let coords = gather::gather_coords_pack(input, &pack.conns);
+
+    // --- Geometry. ---
+    let (grads, vol) = packs::tet4_grads_pack(&coords);
+
+    // --- Velocity gradient, Vreman, convection vectors (all hoisted). ---
+    let mut gve = [[[0.0; L]; 3]; 3];
+    for i in 0..3 {
+        for j in 0..3 {
+            let mut gv = [0.0; L];
+            for a in 0..4 {
+                for l in 0..L {
+                    gv[l] += grads[a][i][l] * vel[a][j][l];
+                }
+            }
+            gve[i][j] = gv;
+        }
+    }
+    let delta = packs::cbrt_pack(&vol);
+    let nut = packs::vreman_pack(&gve, &delta, input.vreman_c);
+
+    let mut con = [[[0.0; L]; 3]; Tet4::NUM_GAUSS];
+    for g in 0..Tet4::NUM_GAUSS {
+        let mut adv = [[0.0; L]; 3];
+        for d in 0..3 {
+            for a in 0..4 {
+                for l in 0..L {
+                    adv[d][l] += Tet4::SHAPE[g][a] * vel[a][d][l];
+                }
+            }
+        }
+        for d in 0..3 {
+            let mut c = [0.0; L];
+            for i in 0..3 {
+                for l in 0..L {
+                    c[l] += adv[i][l] * gve[i][d][l];
+                }
+            }
+            for l in 0..L {
+                con[g][d][l] = rho * c[l];
+            }
+        }
+    }
+
+    let mut pbar = [0.0; L];
+    for l in 0..L {
+        pbar[l] = 0.25 * (pre[0][l] + pre[1][l] + pre[2][l] + pre[3][l]);
+    }
+    let mut mu_eff = [0.0; L];
+    for l in 0..L {
+        mu_eff[l] = mu + rho * nut[l];
+    }
+    let mut gpvol = [0.0; L];
+    for l in 0..L {
+        gpvol[l] = 0.25 * vol[l];
+    }
+
+    // --- Node loop: finish three components, hand off, discard. ---
+    for a in 0..4 {
+        let mut acc = [[0.0; L]; 3];
+        // Convection (Gauss-outer, component-inner — the scalar RSPR order).
+        for g in 0..Tet4::NUM_GAUSS {
+            for d in 0..3 {
+                for l in 0..L {
+                    acc[d][l] -= gpvol[l] * Tet4::SHAPE[g][a] * con[g][d][l];
+                }
+            }
+        }
+        // Pressure and force.
+        for d in 0..3 {
+            for l in 0..L {
+                acc[d][l] +=
+                    vol[l] * pbar[l] * grads[a][d][l] + gpvol[l] * rho * input.body_force[d];
+            }
+        }
+        // Diffusion.
+        for d in 0..3 {
+            let mut flux = [0.0; L];
+            for b in 0..4 {
+                let mut gdot = [0.0; L];
+                for i in 0..3 {
+                    for l in 0..L {
+                        gdot[l] += grads[a][i][l] * grads[b][i][l];
+                    }
+                }
+                for l in 0..L {
+                    flux[l] += gdot[l] * vel[b][d][l];
+                }
+            }
+            for l in 0..L {
+                acc[d][l] -= vol[l] * mu_eff[l] * flux[l];
+            }
+        }
+        elrhs[a].copy_from_slice(&acc);
+    }
+}
+
+/// Packed RS: same math as [`rsp_pack`] but every intermediate roundtrips
+/// through a slot-major [`WsPack`] workspace, mirroring the scalar RS
+/// kernel's interleaved-array traffic at pack granularity.
+// alya:hot
+pub fn rs_pack<const L: usize>(
+    input: &AssemblyInput,
+    pack: &ElemPack<L>,
+    ws_buf: &mut [f64],
+    elrhs: &mut PackRhs<L>,
+) {
+    let rho = input.props.density;
+    let mu = input.props.viscosity;
+    let mut ws = WsPack::<L>::new(&mut ws_buf[..rk::NVALUES * L]);
+
+    // --- Gather into element arrays. ---
+    let coords = gather::gather_coords_pack(input, &pack.conns);
+    for a in 0..4 {
+        for d in 0..3 {
+            ws.st(rk::ELCOD + 3 * a + d, coords[a][d]);
+        }
+    }
+    let vel = gather::gather_velocity_pack(input, &pack.conns);
+    for a in 0..4 {
+        for d in 0..3 {
+            ws.st(rk::ELVEL + 3 * a + d, vel[a][d]);
+        }
+    }
+    let pre = gather::gather_scalar_pack(input.pressure, &pack.conns);
+    for a in 0..4 {
+        ws.st(rk::ELPRE + a, pre[a]);
+    }
+
+    // --- Geometry once per pack (constant gradients). ---
+    let mut elcod = [[[0.0; L]; 3]; 4];
+    for a in 0..4 {
+        for d in 0..3 {
+            elcod[a][d] = ws.ld(rk::ELCOD + 3 * a + d);
+        }
+    }
+    let (grads, vol) = packs::tet4_grads_pack(&elcod);
+    for a in 0..4 {
+        for d in 0..3 {
+            ws.st(rk::CARTE + 3 * a + d, grads[a][d]);
+        }
+    }
+    ws.st(rk::VOL, vol);
+
+    // --- Velocity gradient, once. ---
+    for i in 0..3 {
+        for j in 0..3 {
+            let mut gv = [0.0; L];
+            for a in 0..4 {
+                let c = ws.ld(rk::CARTE + 3 * a + i);
+                let u = ws.ld(rk::ELVEL + 3 * a + j);
+                for l in 0..L {
+                    gv[l] += c[l] * u[l];
+                }
+            }
+            ws.st(rk::GVE + 3 * i + j, gv);
+        }
+    }
+
+    // --- Vreman on the fly. ---
+    let mut gve = [[[0.0; L]; 3]; 3];
+    for i in 0..3 {
+        for j in 0..3 {
+            gve[i][j] = ws.ld(rk::GVE + 3 * i + j);
+        }
+    }
+    let v = ws.ld(rk::VOL);
+    let delta = packs::cbrt_pack(&v);
+    let nut = packs::vreman_pack(&gve, &delta, input.vreman_c);
+    ws.st(rk::NUT, nut);
+
+    // --- Per-Gauss-point advection and convection vectors. ---
+    for g in 0..Tet4::NUM_GAUSS {
+        for d in 0..3 {
+            let mut adv = [0.0; L];
+            for a in 0..4 {
+                let u = ws.ld(rk::ELVEL + 3 * a + d);
+                for l in 0..L {
+                    adv[l] += Tet4::SHAPE[g][a] * u[l];
+                }
+            }
+            ws.st(rk::GPADV + 3 * g + d, adv);
+        }
+        for d in 0..3 {
+            let mut con = [0.0; L];
+            for i in 0..3 {
+                let adv = ws.ld(rk::GPADV + 3 * g + i);
+                let gv = ws.ld(rk::GVE + 3 * i + d);
+                for l in 0..L {
+                    con[l] += adv[l] * gv[l];
+                }
+            }
+            let mut rcon = [0.0; L];
+            for l in 0..L {
+                rcon[l] = rho * con[l];
+            }
+            ws.st(rk::GPCON + 3 * g + d, rcon);
+        }
+    }
+
+    // --- Mean pressure and force. ---
+    let mut pbar = [0.0; L];
+    for a in 0..4 {
+        let p = ws.ld(rk::ELPRE + a);
+        for l in 0..L {
+            pbar[l] += p[l];
+        }
+    }
+    let mut qbar = [0.0; L];
+    for l in 0..L {
+        qbar[l] = 0.25 * pbar[l];
+    }
+    ws.st(rk::PBAR, qbar);
+    for d in 0..3 {
+        ws.st(rk::FORCE + d, packs::splat(rho * input.body_force[d]));
+    }
+
+    // --- Direct RHS accumulation. ---
+    let vol = ws.ld(rk::VOL);
+    let mut gpvol = [0.0; L];
+    for l in 0..L {
+        gpvol[l] = 0.25 * vol[l];
+    }
+    for a in 0..4 {
+        for d in 0..3 {
+            ws.st(rk::ELRHS + 3 * a + d, [0.0; L]);
+        }
+    }
+    for g in 0..Tet4::NUM_GAUSS {
+        for a in 0..4 {
+            for d in 0..3 {
+                let con = ws.ld(rk::GPCON + 3 * g + d);
+                let mut inc = [0.0; L];
+                for l in 0..L {
+                    inc[l] = -gpvol[l] * Tet4::SHAPE[g][a] * con[l];
+                }
+                ws.acc(rk::ELRHS + 3 * a + d, inc);
+            }
+        }
+    }
+    // Pressure and force.
+    let pbar = ws.ld(rk::PBAR);
+    for a in 0..4 {
+        for d in 0..3 {
+            let car = ws.ld(rk::CARTE + 3 * a + d);
+            let f = ws.ld(rk::FORCE + d);
+            let mut inc = [0.0; L];
+            for l in 0..L {
+                inc[l] = vol[l] * pbar[l] * car[l] + gpvol[l] * f[l];
+            }
+            ws.acc(rk::ELRHS + 3 * a + d, inc);
+        }
+    }
+    // Diffusion.
+    let nut = ws.ld(rk::NUT);
+    let mut mu_eff = [0.0; L];
+    for l in 0..L {
+        mu_eff[l] = mu + rho * nut[l];
+    }
+    for a in 0..4 {
+        for d in 0..3 {
+            let mut flux = [0.0; L];
+            for b in 0..4 {
+                let mut gdot = [0.0; L];
+                for i in 0..3 {
+                    let ca = ws.ld(rk::CARTE + 3 * a + i);
+                    let cb = ws.ld(rk::CARTE + 3 * b + i);
+                    for l in 0..L {
+                        gdot[l] += ca[l] * cb[l];
+                    }
+                }
+                let u = ws.ld(rk::ELVEL + 3 * b + d);
+                for l in 0..L {
+                    flux[l] += gdot[l] * u[l];
+                }
+            }
+            ws.st(rk::DIFF + 3 * a + d, flux);
+            let flux = ws.ld(rk::DIFF + 3 * a + d);
+            let mut inc = [0.0; L];
+            for l in 0..L {
+                inc[l] = -vol[l] * mu_eff[l] * flux[l];
+            }
+            ws.acc(rk::ELRHS + 3 * a + d, inc);
+        }
+    }
+
+    // --- Readback for the caller's scatter. ---
+    for a in 0..4 {
+        for d in 0..3 {
+            elrhs[a][d] = ws.ld(rk::ELRHS + 3 * a + d);
+        }
+    }
+}
+
+/// Packed baseline: the generic elemental-matrix formulation with every
+/// intermediate in the slot-major [`WsPack`] workspace — the expensive way,
+/// `L` lanes at a time, mirroring the scalar B kernel statement by
+/// statement.
+// alya:hot
+pub fn baseline_pack<const L: usize>(
+    input: &AssemblyInput,
+    pack: &ElemPack<L>,
+    ws_buf: &mut [f64],
+    elrhs_out: &mut PackRhs<L>,
+) {
+    let kind = ElementKind::Tet4;
+    let ngauss = kind.num_gauss();
+    let nnode = kind.num_nodes();
+    let mut ws = WsPack::<L>::new(&mut ws_buf[..bk::NVALUES * L]);
+
+    // --- Gather phase. ---
+    let coords = gather::gather_coords_pack(input, &pack.conns);
+    for a in 0..nnode {
+        for d in 0..3 {
+            ws.st(bk::ELCOD + 3 * a + d, coords[a][d]);
+        }
+    }
+    let vel = gather::gather_velocity_pack(input, &pack.conns);
+    for a in 0..nnode {
+        for d in 0..3 {
+            ws.st(bk::ELVEL + 3 * a + d, vel[a][d]);
+        }
+    }
+    let pre = gather::gather_scalar_pack(input.pressure, &pack.conns);
+    for a in 0..nnode {
+        ws.st(bk::ELPRE + a, pre[a]);
+    }
+    let tem = gather::gather_scalar_pack(input.temperature, &pack.conns);
+    for a in 0..nnode {
+        ws.st(bk::ELTEM + a, tem[a]);
+    }
+    // Per-element nu_t from the precompute pass.
+    let mut nut_e = [0.0; L];
+    if let Some(nut) = input.nu_t {
+        for l in 0..L {
+            nut_e[l] = nut[pack.elems[l]];
+        }
+    }
+    ws.st(bk::ELNUT, nut_e);
+
+    // --- Geometry at every Gauss point (generic path). ---
+    for g in 0..ngauss {
+        for r in 0..3 {
+            for d in 0..3 {
+                let mut j = [0.0; L];
+                for a in 0..nnode {
+                    let x = ws.ld(bk::ELCOD + 3 * a + d);
+                    for l in 0..L {
+                        j[l] += TET4_LOCAL_GRADS[a][r] * x[l];
+                    }
+                }
+                ws.st(bk::GPJAC + 9 * g + 3 * r + d, j);
+            }
+        }
+        let mut jm = [[[0.0; L]; 3]; 3];
+        for r in 0..3 {
+            for d in 0..3 {
+                jm[r][d] = ws.ld(bk::GPJAC + 9 * g + 3 * r + d);
+            }
+        }
+        let det = packs::det3_pack(&jm);
+        ws.st(bk::GPDET + g, det);
+        let inv = packs::inv3_pack(&jm, &det);
+        for r in 0..3 {
+            for d in 0..3 {
+                ws.st(bk::GPJIN + 9 * g + 3 * r + d, inv[r][d]);
+            }
+        }
+        for a in 0..nnode {
+            for d in 0..3 {
+                let mut c = [0.0; L];
+                for r in 0..3 {
+                    let ji = ws.ld(bk::GPJIN + 9 * g + 3 * d + r);
+                    for l in 0..L {
+                        c[l] += ji[l] * TET4_LOCAL_GRADS[a][r];
+                    }
+                }
+                ws.st(bk::GPCAR + 12 * g + 3 * a + d, c);
+            }
+        }
+        let det = ws.ld(bk::GPDET + g);
+        let w = kind.gauss_weight(g);
+        let mut gpv = [0.0; L];
+        for l in 0..L {
+            gpv[l] = w * det[l];
+        }
+        ws.st(bk::GPVOL + g, gpv);
+        let sha = tet4_shape(TET4_GAUSS[g]);
+        for a in 0..nnode {
+            ws.st(bk::GPSHA + 4 * g + a, packs::splat(sha[a]));
+        }
+        for h in 0..6 {
+            ws.st(bk::GPHES + 6 * g + h, [0.0; L]);
+        }
+    }
+
+    // --- Interpolation to Gauss points. ---
+    for g in 0..ngauss {
+        for d in 0..3 {
+            let mut adv = [0.0; L];
+            for a in 0..nnode {
+                let n = ws.ld(bk::GPSHA + 4 * g + a);
+                let u = ws.ld(bk::ELVEL + 3 * a + d);
+                for l in 0..L {
+                    adv[l] += n[l] * u[l];
+                }
+            }
+            ws.st(bk::GPADV + 3 * g + d, adv);
+        }
+        let mut tem = [0.0; L];
+        let mut pre = [0.0; L];
+        for a in 0..nnode {
+            let n = ws.ld(bk::GPSHA + 4 * g + a);
+            let t = ws.ld(bk::ELTEM + a);
+            let p = ws.ld(bk::ELPRE + a);
+            for l in 0..L {
+                tem[l] += n[l] * t[l];
+                pre[l] += n[l] * p[l];
+            }
+        }
+        ws.st(bk::GPTEM + g, tem);
+        ws.st(bk::GPPRE + g, pre);
+        // Constitutive model, dispatched at run time per lane.
+        let t = ws.ld(bk::GPTEM + g);
+        let mut den = [0.0; L];
+        let mut vis = [0.0; L];
+        for l in 0..L {
+            den[l] = input.density_at(t[l]);
+            vis[l] = input.viscosity_at(t[l]);
+        }
+        ws.st(bk::GPDEN + g, den);
+        ws.st(bk::GPVIS + g, vis);
+        let nut = ws.ld(bk::ELNUT);
+        ws.st(bk::GPNUT + g, nut);
+        let den = ws.ld(bk::GPDEN + g);
+        for d in 0..3 {
+            let mut f = [0.0; L];
+            for l in 0..L {
+                f[l] = den[l] * input.body_force[d];
+            }
+            ws.st(bk::GPFOR + 3 * g + d, f);
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut gv = [0.0; L];
+                for a in 0..nnode {
+                    let c = ws.ld(bk::GPCAR + 12 * g + 3 * a + i);
+                    let u = ws.ld(bk::ELVEL + 3 * a + j);
+                    for l in 0..L {
+                        gv[l] += c[l] * u[l];
+                    }
+                }
+                ws.st(bk::GPGVE + 9 * g + 3 * i + j, gv);
+            }
+        }
+    }
+
+    // --- Elemental matrices. ---
+    for d in 0..3 {
+        for ab in 0..nnode * nnode {
+            ws.st(bk::CMAT + 16 * d + ab, [0.0; L]);
+            ws.st(bk::KMAT + 16 * d + ab, [0.0; L]);
+        }
+    }
+    for g in 0..ngauss {
+        for d in 0..3 {
+            for a in 0..nnode {
+                for b in 0..nnode {
+                    let mut adv_dot = [0.0; L];
+                    for i in 0..3 {
+                        let u = ws.ld(bk::GPADV + 3 * g + i);
+                        let c = ws.ld(bk::GPCAR + 12 * g + 3 * b + i);
+                        for l in 0..L {
+                            adv_dot[l] += u[l] * c[l];
+                        }
+                    }
+                    let vol = ws.ld(bk::GPVOL + g);
+                    let den = ws.ld(bk::GPDEN + g);
+                    let sha = ws.ld(bk::GPSHA + 4 * g + a);
+                    let mut cinc = [0.0; L];
+                    for l in 0..L {
+                        cinc[l] = vol[l] * den[l] * sha[l] * adv_dot[l];
+                    }
+                    ws.acc(bk::CMAT + 16 * d + 4 * a + b, cinc);
+
+                    let mut grad_dot = [0.0; L];
+                    for i in 0..3 {
+                        let ca = ws.ld(bk::GPCAR + 12 * g + 3 * a + i);
+                        let cb = ws.ld(bk::GPCAR + 12 * g + 3 * b + i);
+                        for l in 0..L {
+                            grad_dot[l] += ca[l] * cb[l];
+                        }
+                    }
+                    let vis = ws.ld(bk::GPVIS + g);
+                    let nut = ws.ld(bk::GPNUT + g);
+                    let hes = ws.ld(bk::GPHES + 6 * g);
+                    let mut kinc = [0.0; L];
+                    for l in 0..L {
+                        kinc[l] = vol[l] * (vis[l] + den[l] * nut[l]) * (grad_dot[l] + hes[l]);
+                    }
+                    ws.acc(bk::KMAT + 16 * d + 4 * a + b, kinc);
+                }
+            }
+        }
+    }
+    for d in 0..3 {
+        for ab in 0..nnode * nnode {
+            let c = ws.ld(bk::CMAT + 16 * d + ab);
+            let k = ws.ld(bk::KMAT + 16 * d + ab);
+            let mut e = [0.0; L];
+            for l in 0..L {
+                e[l] = c[l] + k[l];
+            }
+            ws.st(bk::EMAT + 16 * d + ab, e);
+        }
+    }
+
+    // Lumped mass, a byproduct kept for the pressure projection.
+    for a in 0..nnode {
+        let mut m = [0.0; L];
+        for g in 0..ngauss {
+            let vol = ws.ld(bk::GPVOL + g);
+            let sha = ws.ld(bk::GPSHA + 4 * g + a);
+            for l in 0..L {
+                m[l] += vol[l] * sha[l];
+            }
+        }
+        ws.st(bk::ELMASS + a, m);
+    }
+
+    // --- Elemental RHS = -(A u) + pressure + force terms. ---
+    for a in 0..nnode {
+        for d in 0..3 {
+            let mut r = [0.0; L];
+            for b in 0..nnode {
+                let m = ws.ld(bk::EMAT + 16 * d + 4 * a + b);
+                let u = ws.ld(bk::ELVEL + 3 * b + d);
+                for l in 0..L {
+                    r[l] -= m[l] * u[l];
+                }
+            }
+            for g in 0..ngauss {
+                let vol = ws.ld(bk::GPVOL + g);
+                let pre = ws.ld(bk::GPPRE + g);
+                let car = ws.ld(bk::GPCAR + 12 * g + 3 * a + d);
+                let sha = ws.ld(bk::GPSHA + 4 * g + a);
+                let f = ws.ld(bk::GPFOR + 3 * g + d);
+                for l in 0..L {
+                    r[l] += vol[l] * pre[l] * car[l] + vol[l] * sha[l] * f[l];
+                }
+            }
+            ws.st(bk::ELRHS + 3 * a + d, r);
+        }
+    }
+
+    // --- Readback for the caller's scatter. ---
+    for a in 0..nnode {
+        for d in 0..3 {
+            elrhs_out[a][d] = ws.ld(bk::ELRHS + 3 * a + d);
+        }
+    }
+}

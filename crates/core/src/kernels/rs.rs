@@ -21,20 +21,20 @@ use crate::layout::{self, Layout};
 use crate::ops;
 use crate::workspace::Ws;
 
-// ---- Workspace value catalog ----------------------------------------------
-const ELCOD: usize = 0; // 12: gathered node coordinates
-const ELVEL: usize = 12; // 12: gathered velocities
-const ELPRE: usize = 24; // 4:  gathered pressures
-const CARTE: usize = 28; // 12: constant shape gradients
-const VOL: usize = 40; // 1:  element volume
-const GVE: usize = 41; // 9:  (constant) velocity gradient
-const NUT: usize = 50; // 1:  Vreman nu_t, one per element
-const GPADV: usize = 51; // 12: advection velocity per Gauss point
-const GPCON: usize = 63; // 12: convection vector per Gauss point
-const PBAR: usize = 75; // 1:  mean elemental pressure
-const FORCE: usize = 76; // 3:  rho * body force
-const DIFF: usize = 79; // 12: per-node diffusion fluxes
-const ELRHS: usize = 91; // 12: elemental RHS
+// ---- Workspace value catalog (shared with the packed twin) ----------------
+pub(crate) const ELCOD: usize = 0; // 12: gathered node coordinates
+pub(crate) const ELVEL: usize = 12; // 12: gathered velocities
+pub(crate) const ELPRE: usize = 24; // 4:  gathered pressures
+pub(crate) const CARTE: usize = 28; // 12: constant shape gradients
+pub(crate) const VOL: usize = 40; // 1:  element volume
+pub(crate) const GVE: usize = 41; // 9:  (constant) velocity gradient
+pub(crate) const NUT: usize = 50; // 1:  Vreman nu_t, one per element
+pub(crate) const GPADV: usize = 51; // 12: advection velocity per Gauss point
+pub(crate) const GPCON: usize = 63; // 12: convection vector per Gauss point
+pub(crate) const PBAR: usize = 75; // 1:  mean elemental pressure
+pub(crate) const FORCE: usize = 76; // 3:  rho * body force
+pub(crate) const DIFF: usize = 79; // 12: per-node diffusion fluxes
+pub(crate) const ELRHS: usize = 91; // 12: elemental RHS
 
 /// Workspace slots per element.
 pub const NVALUES: usize = 103;

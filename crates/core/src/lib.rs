@@ -12,6 +12,12 @@
 //! | **RSP** | RS + privatization to scalars (register-resident, spills only under pressure) |
 //! | **RSPR**| RSP + immediate per-node scatter for minimal live ranges |
 //!
+//! B, RS, RSP and RSPR additionally have **lane-packed** twins
+//! ([`kernels::packed`], [`packs`]): [`ExecMode::Packed`] assembles
+//! `DEFAULT_LANES` elements in lockstep as `[f64; LANES]` lane arrays —
+//! the paper's cross-element `VECTOR_DIM` vectorization executed for real
+//! on the CPU — with every lane bitwise identical to the scalar path.
+//!
 //! Every kernel is written **once**, generic over
 //! [`alya_machine::Recorder`]: with [`alya_machine::NoRecord`] it
 //! monomorphizes to the pure numeric code the solver and wall-clock
@@ -45,10 +51,15 @@ pub mod listing3;
 pub mod metrics;
 pub mod nut;
 pub mod ops;
+pub mod packs;
 pub mod variant;
 pub mod workspace;
 
 pub use distributed::{DistributedDriver, HaloFault};
-pub use drivers::{assemble_parallel, assemble_serial, assemble_traced, ParallelStrategy};
+pub use drivers::{
+    assemble_parallel, assemble_parallel_with, assemble_serial, assemble_serial_with,
+    assemble_traced, ExecMode, ParallelStrategy,
+};
 pub use input::AssemblyInput;
+pub use packs::DEFAULT_LANES;
 pub use variant::{KernelContract, Variant, CONTRACT_F64_BUDGET, CONTRACT_REGISTER_BUDGET};

@@ -117,6 +117,63 @@ impl<'a> Ws<'a> {
     }
 }
 
+/// AoSoA pack view of a workspace buffer: value slot `v` of lane `l` lives
+/// at `data[v*L + l]`, so every slot is a contiguous `[f64; L]` lane array
+/// and the packed B/RS kernels load and store whole lanes at once. This is
+/// the lane-packed twin of [`Ws::global`]: a store/load roundtrip through
+/// an `f64` buffer is value-preserving, so mirroring the scalar kernels'
+/// workspace traffic through a pack keeps every lane bitwise identical to
+/// the scalar element. Untracked — the packed path is pure execution; the
+/// models replay the scalar kernels.
+#[derive(Debug)]
+pub struct WsPack<'a, const L: usize = { crate::packs::DEFAULT_LANES }> {
+    data: &'a mut [f64],
+}
+
+impl<'a, const L: usize> WsPack<'a, L> {
+    /// Wraps a buffer of at least `nvalues * L` slots.
+    pub fn new(data: &'a mut [f64]) -> Self {
+        Self { data }
+    }
+
+    /// Number of value slots available.
+    pub fn len(&self) -> usize {
+        self.data.len() / L
+    }
+
+    /// True when no slots are available.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stores all lanes of value `v`.
+    // alya:hot
+    #[inline]
+    pub fn st(&mut self, v: usize, val: [f64; L]) {
+        self.data[v * L..v * L + L].copy_from_slice(&val);
+    }
+
+    /// Loads all lanes of value `v`.
+    // alya:hot
+    #[inline]
+    pub fn ld(&self, v: usize) -> [f64; L] {
+        let mut out = [0.0; L];
+        out.copy_from_slice(&self.data[v * L..v * L + L]);
+        out
+    }
+
+    /// Lanewise read-modify-write accumulation into slot `v` — the packed
+    /// twin of [`Ws::acc`].
+    // alya:hot
+    #[inline]
+    pub fn acc(&mut self, v: usize, inc: [f64; L]) {
+        let slot = &mut self.data[v * L..v * L + L];
+        for l in 0..L {
+            slot[l] += inc[l];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +263,17 @@ mod tests {
         }
         let ws2 = Ws::global(&mut buf, 4, 2);
         assert_eq!(ws2.ld(1, &l, &mut NoRecord), 20.0);
+    }
+
+    #[test]
+    fn pack_ws_is_slot_major_lane_minor() {
+        let mut buf = vec![0.0; 3 * 4];
+        let mut ws = WsPack::<4>::new(&mut buf);
+        assert_eq!(ws.len(), 3);
+        ws.st(1, [1.0, 2.0, 3.0, 4.0]);
+        ws.acc(1, [0.5; 4]);
+        assert_eq!(ws.ld(1), [1.5, 2.5, 3.5, 4.5]);
+        // Slot 1's lanes are contiguous at offset L.
+        assert_eq!(buf[4..8], [1.5, 2.5, 3.5, 4.5]);
     }
 }
