@@ -3,7 +3,7 @@
 //! The instrumented kernels in `alya-core` don't just feed the performance
 //! models — their event streams, the modelled address-space layout, and
 //! the coloring infrastructure together make the paper's optimization
-//! claims *mechanically checkable*. This crate runs eight passes:
+//! claims *mechanically checkable*. This crate runs nine passes:
 //!
 //! 1. **Contract checker** ([`contracts`]) — per variant, captures element
 //!    traces under **both** addressing conventions (`Layout::gpu` and
@@ -58,6 +58,16 @@
 //!    measured speedup agrees (within a generous band) with the CPU
 //!    machine model's [`alya_machine::cpu::CpuModel::packed_speedup`]
 //!    prediction from the traced instruction mix.
+//! 9. **Serve contract** ([`serve`]) — runs a deterministic multi-tenant
+//!    pooled-service scenario (`alya-serve`: three tenants, three
+//!    admission waves reusing every slot warm) and checks isolation
+//!    (identical work ⇒ bitwise-identical state digests across slot
+//!    reuse), conservation (per-tenant telemetry equals the closed-form
+//!    element total of that tenant's sessions; bind counters balance the
+//!    outcome ledger), and deficit-round-robin fairness (equally loaded
+//!    tenants inside the no-starvation band). The committed
+//!    `BENCH_serve.json` is held to the service floor: ≥ 512 concurrent
+//!    sessions, zero steady-state cold builds, ordered latency quantiles.
 //!
 //! Run all passes via the audit binary:
 //!
@@ -74,6 +84,7 @@ pub mod contracts;
 pub mod fixture;
 pub mod races;
 pub mod sched;
+pub mod serve;
 pub mod simd;
 pub mod sources;
 pub mod telemetry;
@@ -87,7 +98,7 @@ use std::path::Path;
 /// properly; the invariants are count-independent).
 pub const AUDIT_SHARDS: usize = 8;
 
-/// Combined result of all eight passes.
+/// Combined result of all nine passes.
 #[derive(Debug)]
 pub struct AuditReport {
     /// Kernel-contract violations (pass 1).
@@ -116,6 +127,10 @@ pub struct AuditReport {
     /// measurements (pass 8); clean-skipped when no workspace root or no
     /// `BENCH_drivers.json` was available.
     pub simd: simd::SimdContractReport,
+    /// Serve isolation + fairness report of a live pooled multi-tenant
+    /// scenario, plus the committed `BENCH_serve.json` when a workspace
+    /// root carried one (pass 9).
+    pub serve: serve::ServeContractReport,
 }
 
 impl AuditReport {
@@ -130,6 +145,7 @@ impl AuditReport {
             && self.telemetry.is_clean()
             && self.lint.is_clean()
             && self.simd.is_clean()
+            && self.serve.is_clean()
     }
 
     /// Total violation count (a race counts once, a shard violation once).
@@ -143,11 +159,12 @@ impl AuditReport {
             + self.telemetry.violations.len()
             + self.lint.violations.len()
             + self.simd.violations.len()
+            + self.serve.violations.len()
     }
 }
 
 /// Runs all passes on the canonical fixture. `workspace_root` enables the
-/// workspace-gated passes (3, 7 and 8; pass it `None` when the sources
+/// workspace-gated passes (3, 7, 8 and 9's bench half; pass it `None` when the sources
 /// aren't on disk, e.g. from an installed binary).
 pub fn run_audit(workspace_root: Option<&Path>) -> AuditReport {
     let fx = Fixture::new();
@@ -169,6 +186,7 @@ pub fn run_audit(workspace_root: Option<&Path>) -> AuditReport {
             .and_then(|r| alya_lint::check_workspace(r).ok())
             .unwrap_or_default(),
         simd: simd::check_workspace_simd(workspace_root),
+        serve: serve::check_serve(workspace_root),
     }
 }
 

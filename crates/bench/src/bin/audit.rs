@@ -1,4 +1,4 @@
-//! The static-analysis audit: runs all eight `alya-analyze` passes and
+//! The static-analysis audit: runs all nine `alya-analyze` passes and
 //! exits nonzero on any violation, so CI can gate on it.
 //!
 //! Usage:
@@ -23,6 +23,8 @@
 //! audit --seed-violation hot-panic       # hot fn that may panic
 //! audit --seed-violation hash-iter       # hot fn over a HashMap
 //! audit --seed-violation missing-safety  # unsafe without SAFETY linkage
+//! audit --seed-violation slot-leak       # skip a warm-bind rewind; expect
+//!                                        # the pass-9 isolation check
 //! ```
 //!
 //! The `--seed-violation` modes are self-tests of the analyzer: they inject
@@ -34,7 +36,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use alya_analyze::{comm, contracts, races, simd, sources, telemetry, Fixture};
+use alya_analyze::{comm, contracts, races, serve, simd, sources, telemetry, Fixture};
 use alya_core::drivers::{trace_element, ThroughputDb};
 use alya_core::layout::{self, Layout};
 use alya_core::{DistributedDriver, HaloFault, Variant};
@@ -123,6 +125,10 @@ fn full_audit() -> ExitCode {
     println!("===================");
     println!("  {}", report.simd);
 
+    println!("\nserve contract audit");
+    println!("====================");
+    println!("  {}", report.serve);
+
     if report.is_clean() {
         println!("\naudit clean");
         ExitCode::SUCCESS
@@ -209,6 +215,8 @@ fn list_modes() -> ExitCode {
     println!("                          set, SAFETY linkage for sanctioned unsafe");
     println!("  8  simd contract        committed packed-vs-scalar bench rows beat scalar and");
     println!("                          agree with the CPU model's packed-speedup prediction");
+    println!("  9  serve contract       pooled multi-tenant isolation, per-tenant conservation,");
+    println!("                          DRR fairness, and the BENCH_serve.json service floor");
     println!("seed modes (--seed-violation <mode>, exit 0 iff caught):");
     for (mode, what) in SEED_MODES {
         println!("  {mode:<19} {what}");
@@ -260,6 +268,10 @@ const SEED_MODES: &[(&str, &str)] = &[
     (
         "missing-safety",
         "unsafe block without SAFETY linkage; pass 7 must flag it",
+    ),
+    (
+        "slot-leak",
+        "skip the warm-bind rewind on a reused slot; pass 9's isolation check must flag it",
     ),
 ];
 
@@ -469,6 +481,22 @@ fn seeded(mode: &str) -> ExitCode {
             !report.is_clean()
                 && report.violations.iter().any(|v| v.contains("regressed"))
                 && report.cells.len() == clean.cells.len()
+        }
+        "slot-leak" => {
+            // Skip the warm-bind rewind on every reused slot: a re-admitted
+            // session continues from the previous session's final state —
+            // the cross-tenant leak pooling must never allow. The pass-9
+            // isolation check (identical work ⇒ bitwise-identical digest)
+            // must flag it, and nothing else may fire: conservation and
+            // accounting still hold on a leaked-but-counted slot.
+            let clean = serve::check_report(&serve::run_pool_scenario(false));
+            if !clean.is_clean() {
+                eprintln!("clean pooled scenario unexpectedly dirty: {clean}");
+                return ExitCode::FAILURE;
+            }
+            let report = serve::check_report(&serve::run_pool_scenario(true));
+            println!("{report}");
+            !report.is_clean() && report.violations.iter().all(|v| v.contains("isolation"))
         }
         other => {
             eprintln!("unknown seed mode {other:?}; run `audit --list` for the full table");

@@ -142,6 +142,47 @@ where
     });
 }
 
+/// Runs `f` over `items` in parallel with **one item = one unit of coarse
+/// work** (a whole solver step, a whole session dispatch). Unlike
+/// [`par_for_each_init`], which assumes cheap per-item cost and runs
+/// serially below [`SERIAL_CUTOFF`] items, this helper spawns
+/// `min(num_threads(), items.len())` workers for any batch of two or more
+/// items and claims items one at a time from a shared cursor. Respects
+/// [`set_thread_cap`] and propagates the spawner's telemetry context like
+/// every helper here.
+pub fn par_for_each_coarse<A, F>(items: &[A], f: F)
+where
+    A: Sync,
+    F: Fn(&A) + Sync,
+{
+    let n = items.len();
+    let workers = num_threads().min(n);
+    if workers <= 1 {
+        for a in items {
+            f(a);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let ctx = telemetry::current_context();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let f = &f;
+            s.spawn(move || {
+                telemetry::adopt_context(ctx);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    f(&items[i]);
+                }
+            });
+        }
+    });
+}
+
 /// Splits `data` into one contiguous chunk per worker and calls
 /// `f(offset, chunk)` for each in parallel — the disjoint-output pattern
 /// (e.g. row ranges of an SpMV destination).
@@ -352,6 +393,26 @@ mod tests {
         });
         for (i, v) in data.iter().enumerate() {
             assert_eq!(*v, i as u32);
+        }
+    }
+
+    #[test]
+    fn coarse_for_each_visits_every_item_even_tiny_batches() {
+        use std::sync::atomic::AtomicU64;
+        // Small batches must still run (and in parallel when threads allow)
+        // — coarse items are whole solver steps, not loop iterations.
+        for n in [0usize, 1, 2, 7, 64] {
+            let items: Vec<u64> = (0..n as u64).collect();
+            let sum = AtomicU64::new(0);
+            par_for_each_coarse(&items, |&i| {
+                sum.fetch_add(i, Ordering::Relaxed);
+            });
+            let expect = if n == 0 {
+                0
+            } else {
+                (n as u64) * (n as u64 - 1) / 2
+            };
+            assert_eq!(sum.load(Ordering::Relaxed), expect);
         }
     }
 

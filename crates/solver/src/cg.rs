@@ -5,6 +5,8 @@
 //! production setting points at AMG-preconditioned solvers as future work —
 //! Jacobi-PCG is the honest laptop-scale stand-in).
 
+use alya_telemetry as telemetry;
+
 use crate::csr::CsrMatrix;
 
 /// A symmetric positive (semi-)definite linear operator.
@@ -15,10 +17,25 @@ pub trait LinOp {
     fn dim(&self) -> usize;
     /// Approximate diagonal for Jacobi preconditioning (ones disable it).
     fn precond_diagonal(&self) -> Vec<f64>;
+    /// Writes the preconditioner diagonal into `out` (length `dim()`)
+    /// without allocating — the scratch-reusing solve path calls this
+    /// every solve. The default falls back to [`Self::precond_diagonal`].
+    fn precond_diagonal_into(&self, out: &mut [f64]) {
+        out.copy_from_slice(&self.precond_diagonal());
+    }
+    /// Floating-point operations one [`Self::apply`] performs (1 FMA = 2),
+    /// used for telemetry accounting only. 0 = unknown.
+    fn apply_flops(&self) -> u64 {
+        0
+    }
 }
 
 impl LinOp for CsrMatrix {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
+        // `par_spmv` runs over `par::par_chunks_mut`, which respects the
+        // active worker cap and adopts the caller's telemetry context in
+        // every worker — a solve inside a serve session stays attributed
+        // to that session's tenant.
         self.par_spmv(x, y);
     }
 
@@ -28,6 +45,17 @@ impl LinOp for CsrMatrix {
 
     fn precond_diagonal(&self) -> Vec<f64> {
         self.diagonal()
+    }
+
+    fn precond_diagonal_into(&self, out: &mut [f64]) {
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = self.get(r, r);
+        }
+    }
+
+    fn apply_flops(&self) -> u64 {
+        // One multiply + one add per stored nonzero.
+        2 * self.nnz() as u64
     }
 }
 
@@ -42,6 +70,33 @@ pub struct CgResult {
     pub converged: bool,
 }
 
+/// Reusable CG work vectors: a solve allocates nothing once its scratch
+/// reached the problem size, so a pooled serve session pays zero
+/// steady-state allocation per pressure solve.
+#[derive(Debug, Default)]
+pub struct CgScratch {
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+    diag: Vec<f64>,
+}
+
+impl CgScratch {
+    /// Empty scratch (grows on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        self.r.resize(n, 0.0);
+        self.z.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+        self.ap.resize(n, 0.0);
+        self.diag.resize(n, 0.0);
+    }
+}
+
 /// Solves `A x = b` in place of `x` (the initial guess).
 ///
 /// Stops when `‖r‖₂ ≤ rel_tol · ‖b‖₂ + 1e-300` or after `max_iters`.
@@ -52,12 +107,33 @@ pub fn solve_cg(
     rel_tol: f64,
     max_iters: usize,
 ) -> CgResult {
+    solve_cg_with(a, b, x, rel_tol, max_iters, &mut CgScratch::new())
+}
+
+/// [`solve_cg`] with caller-owned scratch: bitwise identical results (the
+/// floating-point statement order is unchanged — every work vector is
+/// fully overwritten before it is read), but repeat solves allocate
+/// nothing. Opens a `solve-cg` telemetry span and tallies the solve's
+/// flops into [`Scope::GLOBAL`](alya_telemetry::Scope::GLOBAL) — batch
+/// granularity, one add per solve — so solver steps inside serve sessions
+/// are accounted to the adopting tenant.
+pub fn solve_cg_with(
+    a: &impl LinOp,
+    b: &[f64],
+    x: &mut [f64],
+    rel_tol: f64,
+    max_iters: usize,
+    scratch: &mut CgScratch,
+) -> CgResult {
     let n = b.len();
     assert_eq!(a.dim(), n);
     assert_eq!(x.len(), n);
+    let _sp = telemetry::span("solve-cg");
 
-    let diag = a.precond_diagonal();
-    let precond = |r: &[f64], z: &mut [f64]| {
+    scratch.ensure(n);
+    let CgScratch { r, z, p, ap, diag } = scratch;
+    a.precond_diagonal_into(diag);
+    let precond = |r: &[f64], z: &mut [f64], diag: &[f64]| {
         for i in 0..n {
             z[i] = if diag[i].abs() > 0.0 {
                 r[i] / diag[i]
@@ -67,22 +143,32 @@ pub fn solve_cg(
         }
     };
 
+    // Vector-op flops per iteration: pap (2n) + x/r updates (4n) +
+    // residual (2n) + precond (n) + rz (2n) + p update (2n) = 13n; the
+    // setup adds ~8n; each `apply` contributes the operator's own count.
+    let vec_flops = |iters: u64| 8 * n as u64 + 13 * n as u64 * iters;
+    let tally = |iters: usize| {
+        telemetry::add(
+            telemetry::Scope::GLOBAL,
+            telemetry::Metric::Flops,
+            vec_flops(iters as u64) + (iters as u64 + 1) * a.apply_flops(),
+        );
+    };
+
     let norm_b = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     let tol = rel_tol * norm_b + 1e-300;
 
-    let mut r = vec![0.0; n];
-    a.apply(x, &mut r);
+    a.apply(x, r);
     for i in 0..n {
         r[i] = b[i] - r[i];
     }
-    let mut z = vec![0.0; n];
-    precond(&r, &mut z);
-    let mut p = z.clone();
-    let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
-    let mut ap = vec![0.0; n];
+    precond(r, z, diag);
+    p.copy_from_slice(z);
+    let mut rz: f64 = r.iter().zip(&*z).map(|(a, b)| a * b).sum();
 
     let mut residual = r.iter().map(|v| v * v).sum::<f64>().sqrt();
     if residual <= tol {
+        tally(0);
         return CgResult {
             iterations: 0,
             residual,
@@ -91,9 +177,10 @@ pub fn solve_cg(
     }
 
     for it in 1..=max_iters {
-        a.apply(&p, &mut ap);
-        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        a.apply(p, ap);
+        let pap: f64 = p.iter().zip(&*ap).map(|(a, b)| a * b).sum();
         if pap.abs() < 1e-300 {
+            tally(it);
             return CgResult {
                 iterations: it,
                 residual,
@@ -107,14 +194,15 @@ pub fn solve_cg(
         }
         residual = r.iter().map(|v| v * v).sum::<f64>().sqrt();
         if residual <= tol {
+            tally(it);
             return CgResult {
                 iterations: it,
                 residual,
                 converged: true,
             };
         }
-        precond(&r, &mut z);
-        let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        precond(r, z, diag);
+        let rz_new: f64 = r.iter().zip(&*z).map(|(a, b)| a * b).sum();
         let beta = rz_new / rz;
         rz = rz_new;
         for i in 0..n {
@@ -122,6 +210,7 @@ pub fn solve_cg(
         }
     }
 
+    tally(max_iters);
     CgResult {
         iterations: max_iters,
         residual,
@@ -207,6 +296,55 @@ mod tests {
         }
         let warm_res = solve_cg(&a, &b, &mut warm, 1e-10, 2000);
         assert!(warm_res.iterations < cold_res.iterations);
+    }
+
+    #[test]
+    fn dirty_scratch_reuse_is_bitwise_identical() {
+        let n = 120;
+        let a = laplacian_1d(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut fresh = vec![0.0; n];
+        let r1 = solve_cg(&a, &b, &mut fresh, 1e-10, 500);
+        // Dirty the scratch on an unrelated, larger system first.
+        let mut scratch = CgScratch::new();
+        let big = laplacian_1d(2 * n);
+        let bb = vec![1.0; 2 * n];
+        let mut xb = vec![0.0; 2 * n];
+        solve_cg_with(&big, &bb, &mut xb, 1e-8, 50, &mut scratch);
+        let mut reused = vec![0.0; n];
+        let r2 = solve_cg_with(&a, &b, &mut reused, 1e-10, 500, &mut scratch);
+        assert_eq!(r1.iterations, r2.iterations);
+        assert_eq!(r1.residual.to_bits(), r2.residual.to_bits());
+        for (u, v) in fresh.iter().zip(&reused) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn csr_linop_accounting_hooks() {
+        let a = laplacian_1d(10);
+        assert_eq!(a.apply_flops(), 2 * a.nnz() as u64);
+        let mut out = vec![0.0; 10];
+        a.precond_diagonal_into(&mut out);
+        assert_eq!(out, a.precond_diagonal());
+    }
+
+    #[test]
+    fn solve_inside_session_tallies_flops() {
+        let a = laplacian_1d(50);
+        let b = vec![1.0; 50];
+        let mut x = vec![0.0; 50];
+        let s = alya_telemetry::scoped_session();
+        s.adopt();
+        let res = solve_cg(&a, &b, &mut x, 1e-10, 500);
+        let report = s.finish();
+        assert!(res.converged);
+        let flops = report.counter(alya_telemetry::Scope::GLOBAL, alya_telemetry::Metric::Flops);
+        let n = 50u64;
+        let expected =
+            8 * n + 13 * n * res.iterations as u64 + (res.iterations as u64 + 1) * a.apply_flops();
+        assert_eq!(flops, expected);
+        assert_eq!(report.spans_named("solve-cg").count(), 1);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod poisson;
 pub mod step;
 pub mod vtk;
 
-pub use cg::{solve_cg, CgResult};
+pub use cg::{solve_cg, solve_cg_with, CgResult, CgScratch};
 pub use csr::CsrMatrix;
-pub use step::{FractionalStep, StepConfig, StepStats};
+pub use step::{CaseParts, FractionalStep, StepConfig, StepStats, TimeScheme};
 pub use vtk::VtkWriter;

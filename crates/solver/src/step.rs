@@ -11,13 +11,17 @@
 //! The projection reduces the discrete divergence every step (asserted by
 //! tests), which is the property a fractional-step scheme must deliver.
 
+use std::borrow::Cow;
+use std::sync::Arc;
+
 use alya_core::{assemble_parallel, assemble_serial, AssemblyInput, ParallelStrategy, Variant};
 use alya_fem::bc::DirichletBc;
 use alya_fem::material::ConstantProperties;
 use alya_fem::{ScalarField, VectorField};
 use alya_mesh::TetMesh;
+use alya_telemetry as telemetry;
 
-use crate::cg::{solve_cg, CgResult};
+use crate::cg::{solve_cg_with, CgResult, CgScratch};
 use crate::poisson;
 
 /// Explicit time-integration scheme for the momentum prediction.
@@ -91,18 +95,60 @@ pub struct StepStats {
     pub kinetic_energy: f64,
 }
 
+/// How a solver holds its mesh: borrowed for the classic standalone use,
+/// `Arc`-shared when many pooled sessions of the same case share one
+/// immutable mesh copy-on-write (they only ever read it, so "write" never
+/// happens and the Arc is never cloned deeply).
+enum MeshHandle<'m> {
+    Borrowed(&'m TetMesh),
+    Shared(Arc<TetMesh>),
+}
+
+impl MeshHandle<'_> {
+    fn get(&self) -> &TetMesh {
+        match self {
+            MeshHandle::Borrowed(m) => m,
+            MeshHandle::Shared(m) => m,
+        }
+    }
+}
+
+/// The immutable per-case data every session of the same case shares:
+/// the Poisson preconditioner diagonal, the lumped mass, and the
+/// coloring-based parallel strategy. Built once per case, `Arc`-cloned
+/// into each [`FractionalStep`] (the serve pool's copy-on-write story).
+#[derive(Clone)]
+pub struct CaseParts {
+    /// Jacobi diagonal for the projection operator (P1 stiffness diagonal).
+    pub proj_diag: Arc<Vec<f64>>,
+    /// Lumped mass.
+    pub mass: Arc<Vec<f64>>,
+    /// Parallel assembly strategy (element coloring).
+    pub strategy: Arc<ParallelStrategy>,
+}
+
+impl CaseParts {
+    /// Assembles the shared parts for `mesh`.
+    pub fn build(mesh: &TetMesh) -> Self {
+        Self {
+            proj_diag: Arc::new(poisson::laplacian(mesh).diagonal()),
+            mass: Arc::new(poisson::lumped_mass(mesh)),
+            strategy: Arc::new(ParallelStrategy::colored(mesh)),
+        }
+    }
+}
+
 /// The fractional-step solver state.
 pub struct FractionalStep<'m> {
-    mesh: &'m TetMesh,
+    mesh: MeshHandle<'m>,
     config: StepConfig,
     velocity: VectorField,
     pressure: ScalarField,
     temperature: ScalarField,
     bc: DirichletBc,
-    /// Jacobi diagonal for the projection operator (P1 stiffness diagonal).
-    proj_diag: Vec<f64>,
-    mass: Vec<f64>,
-    strategy: ParallelStrategy,
+    parts: CaseParts,
+    cg_scratch: CgScratch,
+    pressure_scratch: Vec<f64>,
     time: f64,
 }
 
@@ -112,27 +158,75 @@ impl<'m> FractionalStep<'m> {
         // The Neumann projection operator is singular (constants); CG
         // handles the semidefinite system as long as the RHS is de-meaned,
         // and the solution is de-meaned afterwards.
-        let proj_diag = poisson::laplacian(mesh).diagonal();
-        let mass = poisson::lumped_mass(mesh);
-        let strategy = ParallelStrategy::colored(mesh);
-        let n = mesh.num_nodes();
-        Self {
+        let parts = CaseParts::build(mesh);
+        Self::assemble_state(MeshHandle::Borrowed(mesh), config, parts)
+    }
+
+    /// Builds a solver over shared immutable case data: the mesh and
+    /// [`CaseParts`] are `Arc`s owned by the case, so N pooled sessions
+    /// of the same case cost one mesh + one preconditioner, not N.
+    pub fn from_shared_parts(
+        mesh: Arc<TetMesh>,
+        config: StepConfig,
+        parts: CaseParts,
+    ) -> FractionalStep<'static> {
+        FractionalStep::assemble_state(MeshHandle::Shared(mesh), config, parts)
+    }
+
+    fn assemble_state(
+        mesh: MeshHandle<'_>,
+        config: StepConfig,
+        parts: CaseParts,
+    ) -> FractionalStep<'_> {
+        let n = mesh.get().num_nodes();
+        FractionalStep {
             mesh,
             config,
             velocity: VectorField::zeros(n),
             pressure: ScalarField::zeros(n),
             temperature: ScalarField::zeros(n),
             bc: DirichletBc::new(),
-            proj_diag,
-            mass,
-            strategy,
+            parts,
+            cg_scratch: CgScratch::new(),
+            pressure_scratch: Vec::new(),
             time: 0.0,
         }
     }
 
+    /// The mesh this solver integrates on.
+    pub fn mesh(&self) -> &TetMesh {
+        self.mesh.get()
+    }
+
+    /// Rewinds the solver to `t = 0` with the given initial velocity,
+    /// zero pressure/temperature and the current boundary conditions —
+    /// without allocating, which is what lets a pooled slot re-admit a
+    /// session warm. The CG/pressure scratch is deliberately kept: every
+    /// work vector is fully overwritten before it is read, so a reused
+    /// slot is bitwise identical to a fresh one (pinned by tests).
+    pub fn reset(&mut self, velocity: &VectorField) {
+        self.velocity
+            .as_mut_slice()
+            .copy_from_slice(velocity.as_slice());
+        for v in self.pressure.as_mut_slice() {
+            *v = 0.0;
+        }
+        for v in self.temperature.as_mut_slice() {
+            *v = 0.0;
+        }
+        self.time = 0.0;
+        self.bc.apply_to_field(&mut self.velocity);
+    }
+
+    /// Replaces the integrator configuration (a warm re-admission may
+    /// carry a different time step or scheme for the same case).
+    pub fn set_config(&mut self, config: StepConfig) {
+        self.config = config;
+    }
+
     /// Sets the velocity from a function of position.
     pub fn set_velocity(&mut self, f: impl Fn([f64; 3]) -> [f64; 3]) {
-        self.velocity = VectorField::from_fn(self.mesh, f);
+        self.velocity = VectorField::from_fn(self.mesh.get(), f);
         self.bc.apply_to_field(&mut self.velocity);
     }
 
@@ -159,10 +253,11 @@ impl<'m> FractionalStep<'m> {
 
     /// CFL number for the current state (`max |u| Δt / h_min`).
     pub fn cfl(&self) -> f64 {
+        let mesh = self.mesh.get();
         let umax = self.velocity.max_abs();
         let mut h_min = f64::INFINITY;
-        for e in 0..self.mesh.num_elements() {
-            let q = alya_mesh::quality::tet_quality(&self.mesh.element_coords(e));
+        for e in 0..mesh.num_elements() {
+            let q = alya_mesh::quality::tet_quality(&mesh.element_coords(e));
             h_min = h_min.min(q.min_edge);
         }
         umax * self.config.dt / h_min
@@ -170,25 +265,27 @@ impl<'m> FractionalStep<'m> {
 
     /// Advances one time step using `variant` for the momentum assembly.
     pub fn step(&mut self, variant: Variant) -> StepStats {
+        let _sp = telemetry::span("fractional-step");
+        let mesh = self.mesh.get();
         let cfg = &self.config;
-        let n = self.mesh.num_nodes();
+        let n = mesh.num_nodes();
         let rho = cfg.props.density;
+        let mass = self.parts.mass.as_slice();
 
         // One explicit stage: w + dt * M⁻¹ R(u_stage), BCs re-imposed.
         let euler_stage = |state: &VectorField, dt: f64| -> VectorField {
-            let stage_input =
-                AssemblyInput::new(self.mesh, state, &self.pressure, &self.temperature)
-                    .props(cfg.props)
-                    .body_force(cfg.body_force)
-                    .vreman_c(cfg.vreman_c);
+            let stage_input = AssemblyInput::new(mesh, state, &self.pressure, &self.temperature)
+                .props(cfg.props)
+                .body_force(cfg.body_force)
+                .vreman_c(cfg.vreman_c);
             let rhs = if cfg.parallel {
-                assemble_parallel(variant, &stage_input, &self.strategy)
+                assemble_parallel(variant, &stage_input, &self.parts.strategy)
             } else {
                 assemble_serial(variant, &stage_input)
             };
             let mut out = state.clone();
             for node in 0..n {
-                let m = (self.mass[node] * rho).max(1e-300);
+                let m = (mass[node] * rho).max(1e-300);
                 let r = rhs.get(node);
                 let mut v = out.get(node);
                 for d in 0..3 {
@@ -223,7 +320,7 @@ impl<'m> FractionalStep<'m> {
         self.bc.apply_to_field(&mut u_star);
         // The projection controls the *weak* divergence D u (what the
         // pressure equation sees); report its norm.
-        let divergence_before = poisson::weak_divergence(self.mesh, &u_star).norm();
+        let divergence_before = poisson::weak_divergence(mesh, &u_star).norm();
 
         // 2. Pressure projection: solve the *compatible* discrete operator
         // (D M⁻¹ Dᵀ) p = (ρ/Δt) D u*, so the subsequent correction
@@ -233,24 +330,37 @@ impl<'m> FractionalStep<'m> {
         // in this operator's null space; subtracting the mean would inject
         // an inconsistent component that CG amplifies without bound).
         let op = poisson::ProjectionOp {
-            mesh: self.mesh,
-            mass: &self.mass,
-            diag: self.proj_diag.clone(),
+            mesh,
+            mass,
+            diag: Cow::Borrowed(self.parts.proj_diag.as_slice()),
         };
-        let mut b = poisson::weak_divergence(self.mesh, &u_star);
+        let mut b = poisson::weak_divergence(mesh, &u_star);
         for v in b.as_mut_slice() {
             *v *= rho / cfg.dt;
         }
-        let mut p = self.pressure.as_slice().to_vec(); // warm start
-        let cg = solve_cg(&op, b.as_slice(), &mut p, cfg.cg_tol, cfg.cg_max_iters);
-        self.pressure = ScalarField::from_values(p);
+        // Warm start from the previous step's pressure; the scratch keeps
+        // its capacity, so repeat steps allocate nothing.
+        self.pressure_scratch.clear();
+        self.pressure_scratch
+            .extend_from_slice(self.pressure.as_slice());
+        let cg = solve_cg_with(
+            &op,
+            b.as_slice(),
+            &mut self.pressure_scratch,
+            cfg.cg_tol,
+            cfg.cg_max_iters,
+            &mut self.cg_scratch,
+        );
+        self.pressure
+            .as_mut_slice()
+            .copy_from_slice(&self.pressure_scratch);
 
         // 3. Velocity correction with the same Dᵀ the projection operator
         // used: u = u* − (Δt/ρ) M⁻¹ Dᵀ p.
-        let grad_p = poisson::weak_gradient_adjoint(self.mesh, self.pressure.as_slice());
+        let grad_p = poisson::weak_gradient_adjoint(mesh, self.pressure.as_slice());
         for node in 0..n {
             let g = grad_p.get(node);
-            let m = self.mass[node].max(1e-300);
+            let m = mass[node].max(1e-300);
             let mut v = u_star.get(node);
             for d in 0..3 {
                 v[d] -= cfg.dt / rho * g[d] / m;
@@ -265,7 +375,7 @@ impl<'m> FractionalStep<'m> {
 
         StepStats {
             divergence_before,
-            divergence_after: poisson::weak_divergence(self.mesh, &self.velocity).norm(),
+            divergence_after: poisson::weak_divergence(mesh, &self.velocity).norm(),
             cg,
             kinetic_energy: self.velocity.kinetic_energy(),
         }
@@ -417,6 +527,43 @@ mod tests {
             rk3 < 0.2 * fe,
             "RK3 temporal error {rk3} not well below forward-Euler {fe}"
         );
+    }
+
+    #[test]
+    fn shared_parts_reset_matches_fresh_solver_bitwise() {
+        let mesh = Arc::new(BoxMeshBuilder::new(3, 3, 3).build());
+        let parts = CaseParts::build(&mesh);
+        let init = |p: [f64; 3]| [(2.0 * std::f64::consts::PI * p[0]).sin(), 0.0, 0.05 * p[1]];
+        let mut cfg = StepConfig::default();
+        cfg.dt = 5e-4;
+        let mut fresh = FractionalStep::new(&mesh, cfg.clone());
+        fresh.set_velocity(init);
+        fresh.run(Variant::Rsp, 3);
+        // Shared-parts solver: dirty it with a different run, then reset —
+        // the replay must be bitwise identical to the fresh solver.
+        let mut pooled = FractionalStep::from_shared_parts(Arc::clone(&mesh), cfg, parts);
+        pooled.set_velocity(|p| [0.2 * p[1], -0.1 * p[0], 0.0]);
+        pooled.run(Variant::Rspr, 2);
+        let u0 = VectorField::from_fn(&mesh, init);
+        pooled.reset(&u0);
+        pooled.run(Variant::Rsp, 3);
+        for (a, b) in fresh
+            .velocity()
+            .as_slice()
+            .iter()
+            .zip(pooled.velocity().as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in fresh
+            .pressure()
+            .as_slice()
+            .iter()
+            .zip(pooled.pressure().as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(pooled.time(), fresh.time());
     }
 
     #[test]

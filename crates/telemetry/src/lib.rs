@@ -4,21 +4,26 @@
 //! loads/stores and flops per element, measured *while the code runs*.
 //! This crate gives the reproduction the same capability in-process: a
 //! lock-light span/counter layer every subsystem (drivers, comm runtime,
-//! stage scheduler) reports into, sharing **one monotonic clock** and one
-//! metric taxonomy, with exporters that render a live Table-I-shaped
-//! profile ([`profile::TableOneProfile`]) and a Chrome `trace_event` JSON
-//! timeline ([`export::chrome_trace`]) that opens directly in
-//! `chrome://tracing` / Perfetto.
+//! stage scheduler, the serve session pool) reports into, sharing **one
+//! monotonic clock** and one metric taxonomy, with exporters that render
+//! a live Table-I-shaped profile ([`profile::TableOneProfile`]) and a
+//! Chrome `trace_event` JSON timeline ([`export::chrome_trace`]) that
+//! opens directly in `chrome://tracing` / Perfetto.
 //!
 //! ## Design rules
 //!
-//! * **Sessions are exclusive.** [`session`] takes a process-wide lock,
-//!   bumps the session epoch and enables collection; [`Session::finish`]
-//!   disables it and merges everything into a [`TelemetryReport`]. Only
-//!   one measurement window exists at a time, so counter totals are
-//!   attributable to exactly one run.
+//! * **Sessions are scoped.** [`scoped_session`] opens an independent
+//!   measurement window with its own counter shards, span tracks and
+//!   labels; any number coexist (the serve layer keys one per pooled
+//!   session slot). [`session`] layers the original exclusive API on
+//!   top — a process-wide lock around one scoped window — so single-run
+//!   benchmarks keep exactly one attributable total.
+//!   [`ScopedSession::rotate`] re-keys a window in place: contexts
+//!   captured before the rotation become invisible, which lets a pooled
+//!   slot hand its telemetry to the next tenant without leaking the
+//!   previous tenant's counters.
 //! * **Participation is inherited, not ambient.** A thread contributes
-//!   only if it adopted the current session's [`Context`] — the session
+//!   only if it adopted a live session's [`Context`] — the session
 //!   opener does so automatically, and `alya-machine::par` propagates the
 //!   spawner's context into every worker/rank thread it creates. Threads
 //!   of unrelated work running concurrently in the same process stay
@@ -188,17 +193,35 @@ impl Shard {
     }
 }
 
-/// The process-wide registry behind the free functions of this crate.
-struct Registry {
-    /// Current session epoch; 0 = no session has ever run. A thread
-    /// participates iff its adopted epoch equals this and `enabled`.
-    epoch: AtomicU64,
+/// One scoped measurement window's mutable state. Shared (`Arc`) between
+/// the registry's session map, the owning [`ScopedSession`] guard, and
+/// the TLS of every thread that adopted the window's context.
+struct SessionState {
+    /// The window's current key in the registry map. [`ScopedSession::
+    /// rotate`] swaps this; a thread whose adopted key no longer matches
+    /// is stale and stops contributing.
+    id: AtomicU64,
     enabled: AtomicBool,
     shards: Mutex<Vec<Arc<Shard>>>,
-    warnings: Mutex<Vec<String>>,
     labels: Mutex<BTreeMap<(u32, u32), String>>,
-    next_span_id: AtomicU64,
     next_tid: AtomicU32,
+}
+
+impl SessionState {
+    fn live(&self, adopted_id: u64) -> bool {
+        self.enabled.load(Ordering::Acquire) && self.id.load(Ordering::Relaxed) == adopted_id
+    }
+}
+
+/// The process-wide registry behind the free functions of this crate.
+struct Registry {
+    /// Monotonic session-id source; ids are never reused, so a stale
+    /// [`Context`] can never alias a later window (no ABA).
+    next_session: AtomicU64,
+    /// Live scoped windows, keyed by current session id.
+    sessions: Mutex<BTreeMap<u64, Arc<SessionState>>>,
+    warnings: Mutex<Vec<String>>,
+    next_span_id: AtomicU64,
     session_lock: Mutex<()>,
     clock: Instant,
 }
@@ -214,13 +237,10 @@ impl Registry {
     // adds only ever hit the already-initialized fast path.
     fn new() -> Self {
         Self {
-            epoch: AtomicU64::new(0),
-            enabled: AtomicBool::new(false),
-            shards: Mutex::new(Vec::new()),
+            next_session: AtomicU64::new(0),
+            sessions: Mutex::new(BTreeMap::new()),
             warnings: Mutex::new(Vec::new()),
-            labels: Mutex::new(BTreeMap::new()),
             next_span_id: AtomicU64::new(0),
-            next_tid: AtomicU32::new(16),
             session_lock: Mutex::new(()),
             clock: Instant::now(),
         }
@@ -237,9 +257,12 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 struct Tls {
-    /// Session epoch this thread adopted (0 = none).
-    epoch: u64,
-    /// This thread's shard, valid for `epoch`.
+    /// Session id this thread adopted (0 = none). Compared against the
+    /// session's live id so a rotation invalidates stale adoptions.
+    session_id: u64,
+    /// The adopted window's shared state.
+    session: Option<Arc<SessionState>>,
+    /// This thread's shard, valid for `session_id`.
     shard: Option<Arc<Shard>>,
     /// Chrome-trace process id ("rank" in distributed runs).
     pid: u32,
@@ -252,7 +275,8 @@ struct Tls {
 thread_local! {
     static TLS: RefCell<Tls> = const {
         RefCell::new(Tls {
-            epoch: 0,
+            session_id: 0,
+            session: None,
             shard: None,
             pid: 0,
             tid: 0,
@@ -275,43 +299,58 @@ pub fn current_context() -> Context {
     TLS.with(|t| {
         let t = t.borrow();
         Context {
-            epoch: t.epoch,
+            epoch: t.session_id,
             pid: t.pid,
         }
     })
 }
 
-/// Adopts `ctx` on the calling thread. If `ctx` belongs to the live
+/// Adopts `ctx` on the calling thread. If `ctx` names a live scoped
 /// session, the thread gets its own counter shard and a fresh trace `tid`
 /// under the spawner's `pid`; otherwise the thread stays invisible.
+/// Re-adopting the session a thread already participates in only updates
+/// the `pid` — the shard and `tid` are kept, so a pooled worker that is
+/// handed the same session's context every batch allocates nothing.
 pub fn adopt_context(ctx: Context) {
     let r = reg();
-    let live = r.enabled.load(Ordering::Acquire) && ctx.epoch == r.epoch.load(Ordering::Acquire);
+    let state = if ctx.epoch == 0 {
+        None
+    } else {
+        lock(&r.sessions).get(&ctx.epoch).cloned()
+    };
+    let live = state
+        .as_ref()
+        .is_some_and(|s| s.enabled.load(Ordering::Acquire));
     TLS.with(|t| {
         let mut t = t.borrow_mut();
-        t.epoch = ctx.epoch;
-        t.pid = ctx.pid;
         t.stack.clear();
-        if live && ctx.epoch != 0 {
-            t.tid = r.next_tid.fetch_add(1, Ordering::Relaxed);
-            let shard = Arc::new(Shard::new());
-            lock(&r.shards).push(Arc::clone(&shard));
-            t.shard = Some(shard);
-        } else {
-            t.shard = None;
+        t.pid = ctx.pid;
+        if live && t.session_id == ctx.epoch && t.shard.is_some() {
+            return;
         }
+        t.session_id = ctx.epoch;
+        if live {
+            if let Some(s) = state {
+                t.tid = s.next_tid.fetch_add(1, Ordering::Relaxed);
+                let shard = Arc::new(Shard::new());
+                lock(&s.shards).push(Arc::clone(&shard));
+                t.shard = Some(shard);
+                t.session = Some(s);
+                return;
+            }
+        }
+        t.shard = None;
+        t.session = None;
     });
 }
 
-/// Whether the calling thread is inside the live session's measurement
+/// Whether the calling thread is inside a live session's measurement
 /// window. All recording free functions are no-ops when this is false.
 pub fn active() -> bool {
-    let r = reg();
-    r.enabled.load(Ordering::Acquire)
-        && TLS.with(|t| {
-            let e = t.borrow().epoch;
-            e != 0 && e == r.epoch.load(Ordering::Acquire)
-        })
+    TLS.with(|t| {
+        let t = t.borrow();
+        t.session.as_ref().is_some_and(|s| s.live(t.session_id))
+    })
 }
 
 fn with_shard(f: impl FnOnce(&Shard, &mut Tls)) {
@@ -320,7 +359,6 @@ fn with_shard(f: impl FnOnce(&Shard, &mut Tls)) {
     }
     TLS.with(|t| {
         let mut t = t.borrow_mut();
-        // The session opener's own thread adopts lazily via session().
         let Some(shard) = t.shard.take() else {
             return;
         };
@@ -329,7 +367,7 @@ fn with_shard(f: impl FnOnce(&Shard, &mut Tls)) {
     });
 }
 
-/// Adds `n` to a counter in the calling thread's shard. No-op outside the
+/// Adds `n` to a counter in the calling thread's shard. No-op outside a
 /// live session.
 pub fn add(scope: Scope, metric: Metric, n: u64) {
     if n == 0 {
@@ -340,27 +378,33 @@ pub fn add(scope: Scope, metric: Metric, n: u64) {
     });
 }
 
-/// Live sum of `metric` across all scopes and shards of the current
-/// session — the "what has accumulated so far" read benchmarks use for
-/// per-run deltas. Zero outside a session.
+/// Live sum of `metric` across all scopes and shards of the session the
+/// calling thread adopted — the "what has accumulated so far" read
+/// benchmarks use for per-run deltas. Zero outside a session.
 pub fn counter_total(metric: Metric) -> u64 {
-    let r = reg();
-    if !r.enabled.load(Ordering::Acquire) {
-        return 0;
-    }
-    let mi = metric.index();
-    lock(&r.shards)
-        .iter()
-        .map(|s| {
-            (0..NUM_SCOPES)
-                .map(|sc| s.counters[sc * NUM_METRICS + mi].load(Ordering::Relaxed))
-                .sum::<u64>()
-        })
-        .sum()
+    TLS.with(|t| {
+        let t = t.borrow();
+        let Some(s) = t.session.as_ref() else {
+            return 0;
+        };
+        if !s.live(t.session_id) {
+            return 0;
+        }
+        let mi = metric.index();
+        let total = lock(&s.shards)
+            .iter()
+            .map(|sh| {
+                (0..NUM_SCOPES)
+                    .map(|sc| sh.counters[sc * NUM_METRICS + mi].load(Ordering::Relaxed))
+                    .sum::<u64>()
+            })
+            .sum();
+        total
+    })
 }
 
 /// Nanoseconds since the registry clock started; 0 when the calling
-/// thread is not in the live session (callers use it to skip work).
+/// thread is not in a live session (callers use it to skip work).
 pub fn stamp() -> u64 {
     if !active() {
         return 0;
@@ -392,7 +436,7 @@ pub struct SpanRecord {
 }
 
 /// An open RAII span: records itself (with its parent link) when dropped.
-/// Inert outside the live session.
+/// Inert outside a live session.
 #[must_use = "a span measures the scope it lives in"]
 pub struct Span {
     inner: Option<OpenSpan>,
@@ -455,7 +499,7 @@ impl Drop for Span {
 /// Records a completed span on an explicit sub-track of the calling
 /// thread's `pid`, from `start_ns` (a [`stamp`]) to now — how the stage
 /// scheduler puts each stage on its own trace row. Unparented; no-op
-/// outside the live session or when `start_ns` is 0.
+/// outside a live session or when `start_ns` is 0.
 pub fn record_span_raw(name: impl Into<Cow<'static, str>>, tid: u32, start_ns: u64) {
     if start_ns == 0 {
         return;
@@ -491,29 +535,38 @@ impl Drop for TrackGuard {
 
 /// Moves the calling thread onto trace process `pid` (labelled in the
 /// chrome export) until the guard drops — the comm runtime does this so
-/// every rank becomes its own process row. No-op outside the session.
+/// every rank becomes its own process row. No-op outside a session.
 pub fn set_thread_track(pid: u32, label: &str) -> TrackGuard {
     let prev_pid = TLS.with(|t| t.borrow().pid);
     if !active() {
         return TrackGuard { prev_pid };
     }
-    TLS.with(|t| t.borrow_mut().pid = pid);
-    lock(&reg().labels)
-        .entry((pid, 0))
-        .or_insert_with(|| label.to_string());
+    TLS.with(|t| {
+        let mut t = t.borrow_mut();
+        t.pid = pid;
+        if let Some(s) = t.session.as_ref() {
+            lock(&s.labels)
+                .entry((pid, 0))
+                .or_insert_with(|| label.to_string());
+        }
+    });
     TrackGuard { prev_pid }
 }
 
 /// Labels sub-track `tid` of the calling thread's `pid` (e.g. one row per
-/// pipeline stage). No-op outside the session.
+/// pipeline stage). No-op outside a session.
 pub fn set_track_label_here(tid: u32, label: &str) {
     if !active() {
         return;
     }
-    let pid = TLS.with(|t| t.borrow().pid);
-    lock(&reg().labels)
-        .entry((pid, tid))
-        .or_insert_with(|| label.to_string());
+    TLS.with(|t| {
+        let t = t.borrow();
+        if let Some(s) = t.session.as_ref() {
+            lock(&s.labels)
+                .entry((t.pid, tid))
+                .or_insert_with(|| label.to_string());
+        }
+    });
 }
 
 /// Pushes a warning onto the registry's event channel (bounded; works
@@ -548,9 +601,12 @@ pub struct TelemetryReport {
 }
 
 impl TelemetryReport {
-    /// Counter value of `metric` in `scope`.
+    /// Counter value of `metric` in `scope` (0 on an empty report).
     pub fn counter(&self, scope: Scope, metric: Metric) -> u64 {
-        self.counters[scope.index() * NUM_METRICS + metric.index()]
+        self.counters
+            .get(scope.index() * NUM_METRICS + metric.index())
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Sum of `metric` across all scopes.
@@ -561,7 +617,32 @@ impl TelemetryReport {
     /// Overwrites a counter — the analyzer's seeded-violation self-tests
     /// use this to forge a skew and prove the cross-check catches it.
     pub fn set_counter(&mut self, scope: Scope, metric: Metric, value: u64) {
+        if self.counters.is_empty() {
+            self.counters = vec![0; NUM_SCOPES * NUM_METRICS];
+        }
         self.counters[scope.index() * NUM_METRICS + metric.index()] = value;
+    }
+
+    /// Merges `other` into `self`: counters by commutative sum, spans and
+    /// warnings appended (spans re-sorted into merge order), labels
+    /// united first-writer-wins. The serve layer uses this to accumulate
+    /// one report per tenant from many per-session windows.
+    pub fn absorb(&mut self, other: &TelemetryReport) {
+        if self.counters.is_empty() {
+            self.counters = vec![0; NUM_SCOPES * NUM_METRICS];
+        }
+        for (i, v) in other.counters.iter().enumerate() {
+            self.counters[i] += v;
+        }
+        self.spans.extend(other.spans.iter().cloned());
+        self.spans.sort_by_key(|s| (s.pid, s.tid, s.start_ns, s.id));
+        self.warnings.extend(other.warnings.iter().cloned());
+        for (key, label) in &other.track_labels {
+            if !self.track_labels.iter().any(|(k, _)| k == key) {
+                self.track_labels.push((*key, label.clone()));
+            }
+        }
+        self.track_labels.sort_by_key(|a| a.0);
     }
 
     /// Spans named `name`, in merged order.
@@ -576,70 +657,197 @@ impl TelemetryReport {
     }
 }
 
+/// Disables `state`, merges every shard into a report and clears the
+/// window's accumulation (shards, labels, tid counter) so the same state
+/// can be reused for another window. Counters merge by commutative sum;
+/// spans sort by `(pid, tid, start_ns, id)` — both independent of thread
+/// timing. The caller re-enables if the window continues.
+fn collect_state(state: &SessionState) -> TelemetryReport {
+    let mut counters = vec![0u64; NUM_SCOPES * NUM_METRICS];
+    let mut spans = Vec::new();
+    {
+        let mut shards = lock(&state.shards);
+        for shard in shards.iter() {
+            for (i, c) in shard.counters.iter().enumerate() {
+                counters[i] += c.load(Ordering::Acquire);
+            }
+            spans.append(&mut lock(&shard.spans));
+        }
+        shards.clear();
+    }
+    spans.sort_by_key(|s| (s.pid, s.tid, s.start_ns, s.id));
+    let track_labels = std::mem::take(&mut *lock(&state.labels))
+        .into_iter()
+        .collect();
+    state.next_tid.store(16, Ordering::Relaxed);
+    TelemetryReport {
+        counters,
+        spans,
+        warnings: Vec::new(),
+        track_labels,
+    }
+}
+
+/// An independent scoped measurement window. Collection is enabled while
+/// this guard lives; any number of scoped sessions coexist. Dropping the
+/// guard without [`ScopedSession::finish`] discards the window's data.
+#[must_use = "finish() the session to obtain its report"]
+pub struct ScopedSession {
+    state: Option<Arc<SessionState>>,
+}
+
+/// Opens a new scoped measurement window and returns its guard. The
+/// calling thread does **not** adopt it automatically — call
+/// [`ScopedSession::adopt`] or hand [`ScopedSession::context`] to the
+/// threads that should contribute.
+pub fn scoped_session() -> ScopedSession {
+    let r = reg();
+    let id = r.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+    let state = Arc::new(SessionState {
+        id: AtomicU64::new(id),
+        enabled: AtomicBool::new(true),
+        shards: Mutex::new(Vec::new()),
+        labels: Mutex::new(BTreeMap::new()),
+        next_tid: AtomicU32::new(16),
+    });
+    lock(&r.sessions).insert(id, Arc::clone(&state));
+    ScopedSession { state: Some(state) }
+}
+
+impl ScopedSession {
+    /// The window's current session id (changes on [`Self::rotate`]).
+    pub fn id(&self) -> u64 {
+        self.state
+            .as_ref()
+            .map_or(0, |s| s.id.load(Ordering::Relaxed))
+    }
+
+    /// A participation token for this window with trace process id 0.
+    pub fn context(&self) -> Context {
+        self.context_on(0)
+    }
+
+    /// A participation token for this window on trace process `pid` —
+    /// the serve layer keys `pid` per tenant so traces stay separable.
+    pub fn context_on(&self, pid: u32) -> Context {
+        Context {
+            epoch: self.id(),
+            pid,
+        }
+    }
+
+    /// Adopts this window on the calling thread (trace process id 0).
+    pub fn adopt(&self) {
+        adopt_context(self.context());
+    }
+
+    /// Labels trace row `(pid, tid)` in this window's export.
+    pub fn set_label(&self, pid: u32, tid: u32, label: &str) {
+        if let Some(s) = self.state.as_ref() {
+            lock(&s.labels)
+                .entry((pid, tid))
+                .or_insert_with(|| label.to_string());
+        }
+    }
+
+    /// Takes everything collected so far and re-keys the window under a
+    /// fresh session id, leaving it enabled: contexts captured before
+    /// the rotation (and every thread that adopted them) become
+    /// invisible, while the guard itself keeps working. This is the
+    /// pooled-slot handoff primitive — rotate at release, and the next
+    /// tenant admitted into the slot cannot observe or be observed by
+    /// the previous one.
+    pub fn rotate(&mut self) -> TelemetryReport {
+        let r = reg();
+        let Some(state) = self.state.as_ref() else {
+            return TelemetryReport::default();
+        };
+        state.enabled.store(false, Ordering::Release);
+        let old = state.id.load(Ordering::Relaxed);
+        let new = r.next_session.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut sessions = lock(&r.sessions);
+            sessions.remove(&old);
+            sessions.insert(new, Arc::clone(state));
+        }
+        state.id.store(new, Ordering::Relaxed);
+        let report = collect_state(state);
+        state.enabled.store(true, Ordering::Release);
+        report
+    }
+
+    /// Disables collection, unregisters the window and merges every
+    /// shard into its report.
+    pub fn finish(mut self) -> TelemetryReport {
+        self.close()
+    }
+
+    fn close(&mut self) -> TelemetryReport {
+        let Some(state) = self.state.take() else {
+            return TelemetryReport::default();
+        };
+        state.enabled.store(false, Ordering::Release);
+        let id = state.id.load(Ordering::Relaxed);
+        lock(&reg().sessions).remove(&id);
+        let report = collect_state(&state);
+        TLS.with(|t| {
+            let mut t = t.borrow_mut();
+            if t.session.as_ref().is_some_and(|s| Arc::ptr_eq(s, &state)) {
+                t.session_id = 0;
+                t.session = None;
+                t.shard = None;
+                t.stack.clear();
+            }
+        });
+        report
+    }
+}
+
+impl Drop for ScopedSession {
+    fn drop(&mut self) {
+        if self.state.is_some() {
+            let _ = self.close();
+        }
+    }
+}
+
 /// An exclusive measurement window. Collection is enabled while this
 /// guard lives; [`Session::finish`] produces the merged report.
 #[must_use = "finish() the session to obtain its report"]
 pub struct Session {
+    scoped: ScopedSession,
     _guard: MutexGuard<'static, ()>,
 }
 
-/// Opens the process's single telemetry session: locks out other
-/// sessions, clears residue from the previous window, enables collection
-/// and adopts the new context on the calling thread (pid 0, tid 0).
+/// Opens the process's exclusive telemetry session: locks out other
+/// exclusive sessions, clears the warning channel, opens a scoped window
+/// and adopts it on the calling thread (pid 0, tid 0). Scoped sessions
+/// opened via [`scoped_session`] are unaffected by the lock — exclusivity
+/// is a property single-run benchmarks opt into, not a global constraint.
 pub fn session() -> Session {
     let r = reg();
     let guard = lock(&r.session_lock);
-    // Disable while clearing so stragglers from a previous session (none
-    // should exist — sessions join their threads) cannot interleave.
-    r.enabled.store(false, Ordering::Release);
-    lock(&r.shards).clear();
-    lock(&r.labels).clear();
     lock(&r.warnings).clear();
-    r.next_tid.store(16, Ordering::Relaxed);
-    let epoch = r.epoch.fetch_add(1, Ordering::AcqRel) + 1;
-    r.enabled.store(true, Ordering::Release);
-    adopt_context(Context { epoch, pid: 0 });
+    let scoped = scoped_session();
+    scoped.adopt();
     TLS.with(|t| t.borrow_mut().tid = 0);
-    lock(&r.labels).insert((0, 0), "main".to_string());
-    Session { _guard: guard }
+    scoped.set_label(0, 0, "main");
+    Session {
+        scoped,
+        _guard: guard,
+    }
 }
 
 impl Session {
     /// Disables collection and merges every shard into a report:
     /// counters by commutative sum, spans sorted by
     /// `(pid, tid, start_ns, id)` — both independent of thread timing.
+    /// Also drains the global warning channel into the report.
     pub fn finish(self) -> TelemetryReport {
-        let r = reg();
-        r.enabled.store(false, Ordering::Release);
-        let mut counters = vec![0u64; NUM_SCOPES * NUM_METRICS];
-        let mut spans = Vec::new();
-        {
-            let mut shards = lock(&r.shards);
-            for shard in shards.iter() {
-                for (i, c) in shard.counters.iter().enumerate() {
-                    counters[i] += c.load(Ordering::Acquire);
-                }
-                spans.append(&mut lock(&shard.spans));
-            }
-            shards.clear();
-        }
-        spans.sort_by_key(|s| (s.pid, s.tid, s.start_ns, s.id));
-        let track_labels = lock(&r.labels)
-            .iter()
-            .map(|(&k, v)| (k, v.clone()))
-            .collect();
-        TLS.with(|t| {
-            let mut t = t.borrow_mut();
-            t.epoch = 0;
-            t.shard = None;
-            t.stack.clear();
-        });
-        TelemetryReport {
-            counters,
-            spans,
-            warnings: drain_warnings(),
-            track_labels,
-        }
+        let Session { scoped, _guard } = self;
+        let mut report = scoped.finish();
+        report.warnings = drain_warnings();
+        report
         // The session lock releases here, after collection is disabled.
     }
 }
@@ -771,5 +979,95 @@ mod tests {
         let r2 = s2.finish();
         assert_eq!(r2.counter(Scope::GLOBAL, Metric::HaloBytesPosted), 0);
         assert!(r2.spans.is_empty());
+    }
+
+    #[test]
+    fn concurrent_scoped_sessions_stay_isolated() {
+        let a = scoped_session();
+        let b = scoped_session();
+        let (ca, cb) = (a.context(), b.context_on(3));
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                adopt_context(ca);
+                add(Scope::variant(0), Metric::ElementsAssembled, 11);
+                let _sp = span("window-a");
+            });
+            scope.spawn(|| {
+                adopt_context(cb);
+                add(Scope::variant(0), Metric::ElementsAssembled, 22);
+                let _sp = span("window-b");
+            });
+        });
+        let ra = a.finish();
+        let rb = b.finish();
+        assert_eq!(ra.counter(Scope::variant(0), Metric::ElementsAssembled), 11);
+        assert_eq!(rb.counter(Scope::variant(0), Metric::ElementsAssembled), 22);
+        assert_eq!(ra.spans_named("window-a").count(), 1);
+        assert_eq!(ra.spans_named("window-b").count(), 0);
+        assert_eq!(rb.spans_named("window-b").next().unwrap().pid, 3);
+    }
+
+    #[test]
+    fn rotate_splits_windows_and_invalidates_stale_contexts() {
+        let mut s = scoped_session();
+        let stale = s.context();
+        s.adopt();
+        add(Scope::GLOBAL, Metric::Flops, 5);
+        let first = s.rotate();
+        assert_eq!(first.counter(Scope::GLOBAL, Metric::Flops), 5);
+        // The pre-rotation context no longer lands anywhere ...
+        adopt_context(stale);
+        assert!(!active());
+        add(Scope::GLOBAL, Metric::Flops, 100);
+        // ... but the rotated window keeps collecting under its new id.
+        s.adopt();
+        add(Scope::GLOBAL, Metric::Flops, 7);
+        let second = s.finish();
+        assert_eq!(second.counter(Scope::GLOBAL, Metric::Flops), 7);
+    }
+
+    #[test]
+    fn readoption_of_the_same_window_keeps_the_shard() {
+        let s = scoped_session();
+        s.adopt();
+        add(Scope::GLOBAL, Metric::Flops, 1);
+        let tid_before = TLS.with(|t| t.borrow().tid);
+        // Re-adopting the same session (as a pooled worker does every
+        // batch) must keep the shard and tid, only moving the pid.
+        adopt_context(s.context_on(9));
+        let tid_after = TLS.with(|t| t.borrow().tid);
+        assert_eq!(tid_before, tid_after);
+        add(Scope::GLOBAL, Metric::Flops, 2);
+        let r = s.finish();
+        assert_eq!(r.counter(Scope::GLOBAL, Metric::Flops), 3);
+    }
+
+    #[test]
+    fn absorb_merges_reports_commutatively() {
+        let a = scoped_session();
+        a.adopt();
+        add(Scope::variant(1), Metric::ElementsAssembled, 10);
+        let _sp = span("in-a");
+        drop(_sp);
+        let ra = a.finish();
+        let b = scoped_session();
+        b.adopt();
+        add(Scope::variant(1), Metric::ElementsAssembled, 4);
+        add(Scope::GLOBAL, Metric::Flops, 6);
+        let rb = b.finish();
+        let mut merged = TelemetryReport::default();
+        merged.absorb(&ra);
+        merged.absorb(&rb);
+        assert_eq!(
+            merged.counter(Scope::variant(1), Metric::ElementsAssembled),
+            14
+        );
+        assert_eq!(merged.counter(Scope::GLOBAL, Metric::Flops), 6);
+        assert_eq!(merged.spans_named("in-a").count(), 1);
+        // An untouched default report reads as all-zero, not a panic.
+        assert_eq!(
+            TelemetryReport::default().counter(Scope::GLOBAL, Metric::Flops),
+            0
+        );
     }
 }
