@@ -3,7 +3,7 @@
 //! The instrumented kernels in `alya-core` don't just feed the performance
 //! models — their event streams, the modelled address-space layout, and
 //! the coloring infrastructure together make the paper's optimization
-//! claims *mechanically checkable*. This crate runs nine passes:
+//! claims *mechanically checkable*. This crate runs ten passes:
 //!
 //! 1. **Contract checker** ([`contracts`]) — per variant, captures element
 //!    traces under **both** addressing conventions (`Layout::gpu` and
@@ -68,6 +68,14 @@
 //!    tenants inside the no-starvation band). The committed
 //!    `BENCH_serve.json` is held to the service floor: ≥ 512 concurrent
 //!    sessions, zero steady-state cold builds, ordered latency quantiles.
+//! 10. **IR-derivation checker** ([`form`]) — derives every variant's
+//!     program from `alya-form`'s single symbolic base description and
+//!     holds both backends to the handwritten truth: generated event
+//!     streams equal to the handwritten kernels' event-for-event (sampled
+//!     elements, both addressing conventions), whole-mesh serial assembly
+//!     through `KernelImpl::Generated` **bitwise** identical to the
+//!     handwritten path, and the trace-derived [`alya_core::KernelContract`]
+//!     equal to the hand-maintained table field-for-field.
 //!
 //! Run all passes via the audit binary:
 //!
@@ -82,6 +90,7 @@
 pub mod comm;
 pub mod contracts;
 pub mod fixture;
+pub mod form;
 pub mod races;
 pub mod sched;
 pub mod serve;
@@ -131,6 +140,9 @@ pub struct AuditReport {
     /// scenario, plus the committed `BENCH_serve.json` when a workspace
     /// root carried one (pass 9).
     pub serve: serve::ServeContractReport,
+    /// IR-derivation report: generated kernels and derived contracts held
+    /// to the handwritten truth (pass 10).
+    pub form: form::FormReport,
 }
 
 impl AuditReport {
@@ -146,6 +158,7 @@ impl AuditReport {
             && self.lint.is_clean()
             && self.simd.is_clean()
             && self.serve.is_clean()
+            && self.form.is_clean()
     }
 
     /// Total violation count (a race counts once, a shard violation once).
@@ -160,6 +173,7 @@ impl AuditReport {
             + self.lint.violations.len()
             + self.simd.violations.len()
             + self.serve.violations.len()
+            + self.form.violations.len()
     }
 }
 
@@ -187,6 +201,7 @@ pub fn run_audit(workspace_root: Option<&Path>) -> AuditReport {
             .unwrap_or_default(),
         simd: simd::check_workspace_simd(workspace_root),
         serve: serve::check_serve(workspace_root),
+        form: form::check_form(&input),
     }
 }
 

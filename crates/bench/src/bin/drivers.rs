@@ -15,6 +15,8 @@
 //! drivers --samples 7          # timed iterations per configuration
 //! drivers --threads 1,2,8      # explicit thread sweep (default: powers
 //!                              # of two up to the hardware parallelism)
+//! drivers --variants rs,rspr   # explicit variant sweep, case-insensitive
+//!                              # contract names (default: RSP,RSPR)
 //! drivers --json PATH          # write the JSON report to PATH
 //! drivers --trace PATH         # dump the run's telemetry spans as
 //!                              # chrome trace JSON (chrome://tracing)
@@ -50,15 +52,44 @@ struct Args {
     elems: usize,
     samples: usize,
     threads: Option<Vec<usize>>,
+    variants: Vec<Variant>,
     json: Option<String>,
     trace: Option<String>,
     assert_packed: bool,
+}
+
+/// Parses a comma-separated, case-insensitive list of contract names
+/// (`b,p,rs,rsp,rspr`) against [`Variant::ALL`], deduplicating while
+/// keeping the caller's order.
+fn parse_variants(list: &str) -> Result<Vec<Variant>, String> {
+    let mut out = Vec::new();
+    for raw in list.split(',') {
+        let name = raw.trim();
+        let v = Variant::ALL
+            .into_iter()
+            .find(|v| v.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| {
+                let known: Vec<&str> = Variant::ALL.iter().map(|v| v.name()).collect();
+                format!(
+                    "--variants: unknown variant {name:?} (known: {})",
+                    known.join(", ")
+                )
+            })?;
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    if out.is_empty() {
+        return Err("--variants needs at least one variant".into());
+    }
+    Ok(out)
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut elems = None;
     let mut samples = None;
     let mut threads = None;
+    let mut variants = None;
     let mut json = None;
     let mut trace = None;
     let mut quick = false;
@@ -88,6 +119,10 @@ fn parse_args() -> Result<Args, String> {
                 }
                 threads = Some(list);
             }
+            "--variants" => {
+                let v = it.next().ok_or("--variants needs a comma-separated list")?;
+                variants = Some(parse_variants(&v)?);
+            }
             "--json" => json = Some(it.next().ok_or("--json needs a path")?),
             "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?),
             other => return Err(format!("unknown argument {other:?}")),
@@ -101,6 +136,7 @@ fn parse_args() -> Result<Args, String> {
             DEFAULT_SAMPLES
         }),
         threads,
+        variants: variants.unwrap_or_else(|| vec![Variant::Rsp, Variant::Rspr]),
         json,
         trace,
         assert_packed,
@@ -148,7 +184,7 @@ fn main() {
             eprintln!("{e}");
             eprintln!(
                 "usage: drivers [--quick] [--elems N] [--samples N] [--threads LIST] \
-                 [--json PATH] [--trace PATH] [--assert-packed]"
+                 [--variants LIST] [--json PATH] [--trace PATH] [--assert-packed]"
             );
             std::process::exit(1);
         }
@@ -180,7 +216,7 @@ fn main() {
         }
         None => powers_of_two_up_to(hw),
     };
-    let variants = [Variant::Rsp, Variant::Rspr];
+    let variants = args.variants.clone();
 
     // Precompute ν_t once so every strategy times pure assembly.
     let nut = compute_nu_t(&case.input());

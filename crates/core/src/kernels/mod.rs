@@ -24,6 +24,7 @@ pub mod packed;
 pub mod rs;
 pub mod rsp;
 pub mod rspr;
+pub(crate) mod shared;
 
 use alya_machine::Recorder;
 

@@ -15,9 +15,10 @@
 use alya_fem::element::Tet4;
 use alya_machine::Recorder;
 
-use crate::gather::{self, ScatterSink};
+use crate::gather::ScatterSink;
 use crate::input::AssemblyInput;
-use crate::layout::{self, Layout};
+use crate::kernels::shared;
+use crate::layout::Layout;
 use crate::ops;
 use crate::workspace::Ws;
 
@@ -128,19 +129,7 @@ pub fn element<R: Recorder, S: ScatterSink>(
     let mu = input.props.viscosity;
 
     // --- Gather into element arrays. ---
-    let nodes = gather::gather_conn(input, e, lay, rec);
-    let coords = gather::gather_coords(input, &nodes, lay, rec);
-    for a in 0..4 {
-        ws.st3(ELCOD + 3 * a, coords[a], lay, rec);
-    }
-    let vel = gather::gather_velocity(input, &nodes, lay, rec);
-    for a in 0..4 {
-        ws.st3(ELVEL + 3 * a, vel[a], lay, rec);
-    }
-    let pre = gather::gather_scalar(input.pressure, layout::PRES_BASE, &nodes, lay, rec);
-    for a in 0..4 {
-        ws.st(ELPRE + a, pre[a], lay, rec);
-    }
+    let nodes = shared::gather_nodal_into_ws(input, e, lay, ws, (ELCOD, ELVEL, ELPRE), rec);
 
     // --- Geometry once per element (constant gradients). ---
     let mut elcod = [[0.0; 3]; 4];
@@ -277,13 +266,7 @@ pub fn element<R: Recorder, S: ScatterSink>(
     }
 
     // --- Scatter. ---
-    let mut elrhs = [[0.0; 3]; 4];
-    for a in 0..4 {
-        for d in 0..3 {
-            elrhs[a][d] = ws.ld(ELRHS + 3 * a + d, lay, rec);
-        }
-    }
-    gather::scatter_elemental(sink, &nodes, &elrhs, lay, rec);
+    shared::scatter_rhs_from_ws(sink, &nodes, ELRHS, ws, lay, rec);
 }
 
 #[cfg(test)]

@@ -17,11 +17,10 @@
 use alya_fem::element::Tet4;
 use alya_machine::Recorder;
 
-use crate::gather::{self, ScatterSink};
+use crate::gather::ScatterSink;
 use crate::input::AssemblyInput;
-use crate::kernels::{get3, PrivAlloc, Pv};
-use crate::layout::{self, Layout};
-use crate::ops;
+use crate::kernels::{shared, PrivAlloc, Pv};
+use crate::layout::Layout;
 
 /// Assembles one element the RSPR way.
 // alya:hot
@@ -36,102 +35,26 @@ pub fn element<R: Recorder, S: ScatterSink>(
     let mu = input.props.viscosity;
     let mut pa = PrivAlloc::new();
 
-    // --- Gather. ---
-    let nodes = gather::gather_conn(input, e, lay, rec);
-    let coords_raw = gather::gather_coords(input, &nodes, lay, rec);
-    let coords: [[Pv; 3]; 4] = [
-        pa.def3(coords_raw[0], rec),
-        pa.def3(coords_raw[1], rec),
-        pa.def3(coords_raw[2], rec),
-        pa.def3(coords_raw[3], rec),
-    ];
-    let vel_raw = gather::gather_velocity(input, &nodes, lay, rec);
-    let vel: [[Pv; 3]; 4] = [
-        pa.def3(vel_raw[0], rec),
-        pa.def3(vel_raw[1], rec),
-        pa.def3(vel_raw[2], rec),
-        pa.def3(vel_raw[3], rec),
-    ];
-    let pre_raw = gather::gather_scalar(input.pressure, layout::PRES_BASE, &nodes, lay, rec);
-    let pre: [Pv; 4] = [
-        pa.def(pre_raw[0], rec),
-        pa.def(pre_raw[1], rec),
-        pa.def(pre_raw[2], rec),
-        pa.def(pre_raw[3], rec),
-    ];
-
-    // --- Geometry; coordinates die immediately. ---
-    let elcod = [
-        get3(&coords[0], rec),
-        get3(&coords[1], rec),
-        get3(&coords[2], rec),
-        get3(&coords[3], rec),
-    ];
-    let (grads_raw, vol_raw) = ops::tet4_grads(&elcod, rec);
-    let grads: [[Pv; 3]; 4] = [
-        pa.def3(grads_raw[0], rec),
-        pa.def3(grads_raw[1], rec),
-        pa.def3(grads_raw[2], rec),
-        pa.def3(grads_raw[3], rec),
-    ];
-    let vol = pa.def(vol_raw, rec);
-
-    // --- Velocity gradient, Vreman, convection vectors (all hoisted). ---
-    let mut gve_raw = [[0.0; 3]; 3];
-    for i in 0..3 {
-        for j in 0..3 {
-            let mut gv = 0.0;
-            for a in 0..4 {
-                gv += grads[a][i].get(rec) * vel[a][j].get(rec);
-            }
-            rec.fma(4);
-            gve_raw[i][j] = gv;
-        }
-    }
-    // gve is consumed entirely within this hoisted phase (no long-lived
-    // privates): Vreman first, convection vectors second, then dead.
-    let gve: [[Pv; 3]; 3] = [
-        pa.def3(gve_raw[0], rec),
-        pa.def3(gve_raw[1], rec),
-        pa.def3(gve_raw[2], rec),
-    ];
-    let gve_for_nut = [get3(&gve[0], rec), get3(&gve[1], rec), get3(&gve[2], rec)];
-    rec.flop(2);
-    let delta = vol.get(rec).cbrt();
-    let nut = pa.def(ops::vreman(&gve_for_nut, delta, input.vreman_c, rec), rec);
+    // --- Gather, geometry, velocity gradient, Vreman (shared prologue).
+    // gve is consumed entirely within the hoisted phase below (no
+    // long-lived privates): Vreman first, convection vectors second, then
+    // dead. ---
+    let shared::SpecPrologue {
+        nodes,
+        vel,
+        pre,
+        grads,
+        vol,
+        gve,
+        nut,
+    } = shared::specialized_prologue(input, e, lay, &mut pa, rec);
 
     let mut con: [[Pv; 3]; Tet4::NUM_GAUSS] = [[Pv { val: 0.0, id: 0 }; 3]; Tet4::NUM_GAUSS];
     for (g, con_g) in con.iter_mut().enumerate() {
-        let mut adv_raw = [0.0; 3];
-        for (d, adv_d) in adv_raw.iter_mut().enumerate() {
-            let mut adv = 0.0;
-            for a in 0..4 {
-                adv += Tet4::SHAPE[g][a] * vel[a][d].get(rec);
-            }
-            rec.fma(4);
-            *adv_d = adv;
-        }
-        let adv = pa.def3(adv_raw, rec);
-        let mut con_raw = [0.0; 3];
-        for (d, con_d) in con_raw.iter_mut().enumerate() {
-            let mut c = 0.0;
-            for i in 0..3 {
-                c += adv[i].get(rec) * gve[i][d].get(rec);
-            }
-            rec.fma(3);
-            rec.flop(1);
-            *con_d = rho * c;
-        }
-        *con_g = pa.def3(con_raw, rec);
+        *con_g = shared::gauss_convection(g, &vel, &gve, rho, &mut pa, rec);
     }
 
-    rec.flop(4);
-    let pbar = pa.def(
-        0.25 * (pre[0].get(rec) + pre[1].get(rec) + pre[2].get(rec) + pre[3].get(rec)),
-        rec,
-    );
-    rec.flop(2);
-    let mu_eff = pa.def(mu + rho * nut.get(rec), rec);
+    let (pbar, mu_eff) = shared::mean_pressure_and_mu_eff(&pre, nut, rho, mu, &mut pa, rec);
     rec.flop(1);
     let volv = vol.get(rec);
     let gpvol = 0.25 * volv;
@@ -155,16 +78,7 @@ pub fn element<R: Recorder, S: ScatterSink>(
         }
         // Diffusion.
         for (d, acc_d) in acc_raw.iter_mut().enumerate() {
-            let mut flux = 0.0;
-            for b in 0..4 {
-                let mut gdot = 0.0;
-                for i in 0..3 {
-                    gdot += grads[a][i].get(rec) * grads[b][i].get(rec);
-                }
-                rec.fma(3);
-                rec.fma(1);
-                flux += gdot * vel[b][d].get(rec);
-            }
+            let flux = shared::diffusion_flux(a, d, &grads, &vel, rec);
             rec.flop(3);
             *acc_d -= volv * mu_eff.get(rec) * flux;
         }

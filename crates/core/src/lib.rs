@@ -58,7 +58,7 @@ pub mod workspace;
 pub use distributed::{DistributedDriver, HaloFault};
 pub use drivers::{
     assemble_parallel, assemble_parallel_with, assemble_serial, assemble_serial_with,
-    assemble_traced, ExecMode, ParallelStrategy,
+    assemble_traced, ExecMode, GeneratedKernel, KernelImpl, ParallelStrategy,
 };
 pub use input::AssemblyInput;
 pub use packs::DEFAULT_LANES;

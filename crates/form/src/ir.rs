@@ -1,0 +1,402 @@
+//! The symbolic kernel IR: typed expressions, statements, blocks.
+//!
+//! One [`Program`] describes one variant's per-element Gauss loop as data:
+//! named workspace buffers with symbolic affine indices, explicit counted
+//! loops, and composite nodes for the operations whose data-dependent
+//! control flow (Vreman's early returns) or event signatures (det/inv,
+//! gathers, scatter) belong to `alya-core`'s real implementations. The
+//! rewrite passes in [`crate::rewrite`] transform programs into each other;
+//! the interpreter in [`crate::exec`] runs them against the exact same
+//! `Ws`/`Recorder` machinery the handwritten kernels use, which is what
+//! makes bitwise and event-stream equality checkable instead of hoped-for.
+
+use alya_machine::Space;
+
+use crate::Variant;
+
+/// A symbol: buffer names, loop variables, temp names. `&'static str`
+/// keeps programs cheap to clone and trivially comparable.
+pub type Sym = &'static str;
+
+/// An affine index expression `base + Σ coeff·var` over the enclosing
+/// loop variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ix {
+    /// Constant offset.
+    pub base: i64,
+    /// `(coefficient, loop variable)` terms, in declaration order.
+    pub terms: Vec<(i64, Sym)>,
+}
+
+impl Ix {
+    /// Adds a `coeff·var` term (builder style).
+    #[must_use]
+    pub fn t(mut self, coeff: i64, var: Sym) -> Ix {
+        self.terms.push((coeff, var));
+        self
+    }
+}
+
+/// Constant index.
+pub fn ix(base: i64) -> Ix {
+    Ix {
+        base,
+        terms: Vec::new(),
+    }
+}
+
+/// Index that is just one loop variable.
+pub fn iv(var: Sym) -> Ix {
+    ix(0).t(1, var)
+}
+
+/// A scalar expression. Evaluation is left-to-right depth-first, exactly
+/// mirroring the handwritten kernels' Rust statement order, so the
+/// interpreter reproduces their event streams and floating-point results
+/// bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal constant.
+    K(f64),
+    /// Constant density (`input.props.density`) — RS-family only.
+    Rho,
+    /// Constant viscosity (`input.props.viscosity`) — RS-family only.
+    Mu,
+    /// `input.vreman_c`.
+    VremanC,
+    /// `input.body_force[ix]`.
+    BodyForce(Ix),
+    /// `kind.gauss_weight(g)` for tet4 (a constant, no events).
+    GaussWeight(Ix),
+    /// `Tet4::SHAPE[g][a]` (compile-time constant table, no events).
+    Shape(Ix, Ix),
+    /// `TET4_LOCAL_GRADS[a][r]` (constant table, no events).
+    LocalGrad(Ix, Ix),
+    /// Workspace read: `ws.ld(buffer_base + ix)` — emits the load event.
+    Ws(Sym, Ix),
+    /// Private-value read: `pv.get()` — emits `Use(id)`.
+    Priv(Sym, Ix),
+    /// Silent temporary read (plain Rust local / array, no events).
+    Tmp(Sym, Ix),
+    /// `input.density_at(t)` — `Flop(4)` then the property evaluation.
+    DensityAt(Box<Expr>),
+    /// `input.viscosity_at(t)` — `Flop(4)` then the property evaluation.
+    ViscosityAt(Box<Expr>),
+    /// Unary negation (no event of its own; pair with explicit `Flop`).
+    Neg(Box<Expr>),
+    /// `a + b`.
+    Add(Box<Expr>, Box<Expr>),
+    /// `a - b`.
+    Sub(Box<Expr>, Box<Expr>),
+    /// `a * b`.
+    Mul(Box<Expr>, Box<Expr>),
+    /// `a.cbrt()` (silent, like the handwritten kernels').
+    Cbrt(Box<Expr>),
+}
+
+impl Expr {
+    /// `self + rhs` (builder; named `plus` rather than implementing
+    /// `std::ops::Add`, so the hot-path lint's name-based call graph
+    /// doesn't conflate it with the hot `ScatterSink::add`).
+    #[must_use]
+    pub fn plus(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+}
+
+/// Workspace read of `buf[ix]`.
+pub fn ws(buf: Sym, i: Ix) -> Expr {
+    Expr::Ws(buf, i)
+}
+
+/// Private-value read of `buf[ix]`.
+pub fn pv(buf: Sym, i: Ix) -> Expr {
+    Expr::Priv(buf, i)
+}
+
+/// Silent temporary read of `buf[ix]`.
+pub fn tmp(buf: Sym, i: Ix) -> Expr {
+    Expr::Tmp(buf, i)
+}
+
+/// Literal constant.
+pub fn k(v: f64) -> Expr {
+    Expr::K(v)
+}
+
+/// A statement. Composite nodes (gathers, `Det3`…`Vreman`, `Scatter`)
+/// delegate to the real `alya-core` routines so their event signatures and
+/// data-dependent branches are shared with the handwritten kernels by
+/// construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Counted loop `for var in 0..count { body }`.
+    For {
+        /// Loop variable symbol.
+        var: Sym,
+        /// Trip count.
+        count: i64,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `rec.flop(n)` — arithmetic accounting with no data effect.
+    Flop(u32),
+    /// `rec.fma(n)`.
+    Fma(u32),
+    /// Workspace store `buf[ix] = val` (emits the store event).
+    WsSt {
+        /// Destination buffer.
+        buf: Sym,
+        /// Destination index within the buffer.
+        ix: Ix,
+        /// Stored value.
+        val: Expr,
+    },
+    /// Workspace accumulate `buf[ix] += inc` via `Ws::acc` (load event,
+    /// `Flop(1)`, store event).
+    WsAcc {
+        /// Destination buffer.
+        buf: Sym,
+        /// Destination index within the buffer.
+        ix: Ix,
+        /// Increment.
+        inc: Expr,
+    },
+    /// Silent store into a plain temporary (no events).
+    TmpSt {
+        /// Destination temp array.
+        buf: Sym,
+        /// Destination index.
+        ix: Ix,
+        /// Stored value.
+        val: Expr,
+    },
+    /// Define a fresh private value: `pa.def(val)` — evaluates `val`, then
+    /// emits `Def(fresh id)`.
+    PrivDef {
+        /// Destination private array.
+        buf: Sym,
+        /// Destination index.
+        ix: Ix,
+        /// Initial value.
+        val: Expr,
+    },
+    /// Re-assign an existing private value: `pv.set(val)` — evaluates
+    /// `val`, then emits `Def(existing id)`.
+    PrivSet {
+        /// Destination private array.
+        buf: Sym,
+        /// Destination index.
+        ix: Ix,
+        /// New value.
+        val: Expr,
+    },
+    /// `gather::gather_conn` into the frame's node list.
+    GatherConn,
+    /// `gather::gather_coords` into silent temp `dst[3a + d]`.
+    GatherCoords {
+        /// Destination temp (12 slots).
+        dst: Sym,
+    },
+    /// `gather::gather_velocity` into silent temp `dst[3a + d]`.
+    GatherVelocity {
+        /// Destination temp (12 slots).
+        dst: Sym,
+    },
+    /// `gather::gather_scalar(pressure)` into silent temp `dst[a]`.
+    GatherPressure {
+        /// Destination temp (4 slots).
+        dst: Sym,
+    },
+    /// `gather::gather_scalar(temperature)` into silent temp `dst[a]`.
+    GatherTemperature {
+        /// Destination temp (4 slots).
+        dst: Sym,
+    },
+    /// The baseline ν_t read: `input.nu_t` indexed at this element (one
+    /// global load when present, else 0.0) into silent temp `dst[0]`.
+    GatherNut {
+        /// Destination temp (1 slot).
+        dst: Sym,
+    },
+    /// `ops::det3` of the 3×3 silent temp `m[3r + c]` into `dst[0]`.
+    Det3 {
+        /// Source matrix temp (9 slots, row-major).
+        m: Sym,
+        /// Destination temp (1 slot).
+        dst: Sym,
+    },
+    /// `ops::inv3` of `m` with determinant `det[0]` into `dst[3r + c]`.
+    Inv3 {
+        /// Source matrix temp (9 slots, row-major).
+        m: Sym,
+        /// Determinant temp (1 slot).
+        det: Sym,
+        /// Destination inverse temp (9 slots, row-major).
+        dst: Sym,
+    },
+    /// `ops::tet4_grads` of coords temp `coords[3a + d]` into gradient
+    /// temp `grads[3a + d]` and volume temp `vol[0]`.
+    Tet4Grads {
+        /// Corner coordinates temp (12 slots).
+        coords: Sym,
+        /// Destination gradients temp (12 slots).
+        grads: Sym,
+        /// Destination volume temp (1 slot).
+        vol: Sym,
+    },
+    /// `tet4_shape(TET4_GAUSS[g])` (silent) into temp `dst[a]`.
+    Shape4 {
+        /// Gauss-point index.
+        g: Ix,
+        /// Destination temp (4 slots).
+        dst: Sym,
+    },
+    /// `ops::vreman` of the 3×3 temp `grad[3i + j]` with filter width
+    /// `delta` into `dst[0]`.
+    Vreman {
+        /// Velocity-gradient temp (9 slots, row-major).
+        grad: Sym,
+        /// Filter width expression.
+        delta: Expr,
+        /// Destination temp (1 slot).
+        dst: Sym,
+    },
+    /// `gather::scatter_elemental` of the element RHS temp `src[3a + d]`.
+    Scatter {
+        /// Source temp (12 slots, node-major component-minor).
+        src: Sym,
+    },
+    /// One scatter contribution `sink.add(nodes[node], dim, val)` — the
+    /// specialized variants' direct emission path.
+    EmitNode {
+        /// Element-corner index expression (0..4).
+        node: Ix,
+        /// Component index expression (0..3).
+        dim: Ix,
+        /// Contribution value.
+        val: Expr,
+    },
+}
+
+/// A named group of statements. Blocks are the rewrite passes' unit of
+/// reuse: a pass that leaves a stage untouched carries its block over
+/// verbatim, which is how "derived from one description" stays honest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Stable tag (`"gather-coords"`, `"geometry"`, …).
+    pub tag: Sym,
+    /// The statements, in execution order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One variant's complete per-element program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Human-readable name (`"B"`, `"RSPR"`, …).
+    pub name: Sym,
+    /// The variant whose conventions (workspace size, ν_t pass, contract)
+    /// this program follows.
+    pub variant: Variant,
+    /// Workspace address space, `None` for the fully privatized variants.
+    pub space: Option<Space>,
+    /// Named workspace buffers `(name, len)`; bases are the prefix sums,
+    /// and the total must equal `variant.nvalues()`.
+    pub buffers: Vec<(Sym, usize)>,
+    /// The program body.
+    pub blocks: Vec<Block>,
+}
+
+impl Program {
+    /// Base slot of workspace buffer `buf` (prefix sum of the catalog).
+    ///
+    /// # Panics
+    /// When `buf` is not in the catalog.
+    pub fn ws_base(&self, buf: Sym) -> usize {
+        let mut base = 0;
+        for &(name, len) in &self.buffers {
+            if name == buf {
+                return base;
+            }
+            base += len;
+        }
+        panic!("{}: no workspace buffer {buf:?}", self.name)
+    }
+
+    /// Total workspace slots (must equal `self.variant.nvalues()`).
+    pub fn nvalues(&self) -> usize {
+        self.buffers.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// The block tagged `tag`.
+    ///
+    /// # Panics
+    /// When no block carries the tag.
+    pub fn block(&self, tag: Sym) -> &Block {
+        self.blocks
+            .iter()
+            .find(|b| b.tag == tag)
+            .unwrap_or_else(|| panic!("{}: no block {tag:?}", self.name))
+    }
+
+    /// Mutable access to the block tagged `tag`.
+    ///
+    /// # Panics
+    /// When no block carries the tag.
+    pub fn block_mut(&mut self, tag: Sym) -> &mut Block {
+        let name = self.name;
+        self.blocks
+            .iter_mut()
+            .find(|b| b.tag == tag)
+            .unwrap_or_else(|| panic!("{name}: no block {tag:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ix_builder_accumulates_terms() {
+        let i = ix(5).t(3, "g").t(1, "d");
+        assert_eq!(i.base, 5);
+        assert_eq!(i.terms, vec![(3, "g"), (1, "d")]);
+        assert_eq!(iv("a"), ix(0).t(1, "a"));
+    }
+
+    #[test]
+    fn ws_base_is_prefix_sum() {
+        let p = Program {
+            name: "t",
+            variant: Variant::B,
+            space: None,
+            buffers: vec![("x", 12), ("y", 4), ("z", 1)],
+            blocks: Vec::new(),
+        };
+        assert_eq!(p.ws_base("x"), 0);
+        assert_eq!(p.ws_base("y"), 12);
+        assert_eq!(p.ws_base("z"), 16);
+        assert_eq!(p.nvalues(), 17);
+    }
+}

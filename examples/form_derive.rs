@@ -1,0 +1,54 @@
+//! Derives every kernel variant from the one symbolic base description and
+//! prints the RSPR contract that falls out — the paper's headline variant,
+//! whose register story (51 f64 values, no spills at the 128-register
+//! budget) is *computed* here from the derived program's event trace, not
+//! copied from a table.
+//!
+//! ```text
+//! cargo run -p alya-bench --example form_derive
+//! ```
+
+use alya_core::Variant;
+use alya_form::{derive, derive_contract};
+
+fn main() {
+    println!("deriving all variants from the symbolic base form:");
+    for v in Variant::ALL {
+        let prog = derive(v);
+        println!(
+            "  {:5} <- {:12}  {} block(s), {} buffer(s), {} workspace value(s)",
+            v.name(),
+            format!("\"{}\"", prog.name),
+            prog.blocks.len(),
+            prog.buffers.len(),
+            prog.nvalues(),
+        );
+    }
+
+    let prog = derive(Variant::Rspr);
+    let c = derive_contract(&prog);
+    println!("\nderived RSPR contract (from the generated kernel's trace):");
+    println!("  flops per element          {}", c.flops);
+    println!("  global input loads         {}", c.input_loads);
+    println!(
+        "  RHS loads / stores         {} / {}",
+        c.rhs_loads, c.rhs_stores
+    );
+    println!("  workspace loads            {:?}", c.workspace_loads);
+    println!("  workspace stores           {:?}", c.workspace_stores);
+    println!("  uses private scalars       {}", c.uses_private_scalars);
+    println!("  peak register pressure     {:?}", c.max_pressure);
+    println!(
+        "  spills at 51-f64 budget    {:?}",
+        c.spills_at_contract_budget
+    );
+
+    let hand = Variant::Rspr.contract();
+    if c == hand {
+        println!("\nderived contract matches the hand-maintained table field-for-field");
+    } else {
+        println!("\nWARNING: derived contract drifted from the hand-maintained table");
+        println!("  hand-maintained: {hand:#?}");
+        std::process::exit(1);
+    }
+}
