@@ -3,7 +3,7 @@
 //! The instrumented kernels in `alya-core` don't just feed the performance
 //! models — their event streams, the modelled address-space layout, and
 //! the coloring infrastructure together make the paper's optimization
-//! claims *mechanically checkable*. This crate runs ten passes:
+//! claims *mechanically checkable*. This crate runs eleven passes:
 //!
 //! 1. **Contract checker** ([`contracts`]) — per variant, captures element
 //!    traces under **both** addressing conventions (`Layout::gpu` and
@@ -76,6 +76,15 @@
 //!     through `KernelImpl::Generated` **bitwise** identical to the
 //!     handwritten path, and the trace-derived [`alya_core::KernelContract`]
 //!     equal to the hand-maintained table field-for-field.
+//! 11. **Probe contract** ([`probe`]) — proves the always-on `alya-probe`
+//!     flight recorder is inert and useful: a pipelined distributed
+//!     assembly with the recorder on is **bitwise** identical to one with
+//!     it off (and actually recorded events), every per-thread ring stays
+//!     inside its fixed capacity, a seeded [`alya_core::HaloFault`] stall
+//!     leaves a black-box dump naming the stalled stage and the blocking
+//!     rank (with a parsing chrome-trace export), and the regression
+//!     sentinel armed from the committed `BENCH_drivers.json` /
+//!     `BENCH_comm.json` baselines stays quiet.
 //!
 //! Run all passes via the audit binary:
 //!
@@ -91,6 +100,7 @@ pub mod comm;
 pub mod contracts;
 pub mod fixture;
 pub mod form;
+pub mod probe;
 pub mod races;
 pub mod sched;
 pub mod serve;
@@ -107,7 +117,7 @@ use std::path::Path;
 /// properly; the invariants are count-independent).
 pub const AUDIT_SHARDS: usize = 8;
 
-/// Combined result of all nine passes.
+/// Combined result of all eleven passes.
 #[derive(Debug)]
 pub struct AuditReport {
     /// Kernel-contract violations (pass 1).
@@ -143,6 +153,11 @@ pub struct AuditReport {
     /// IR-derivation report: generated kernels and derived contracts held
     /// to the handwritten truth (pass 10).
     pub form: form::FormReport,
+    /// Probe-contract report: recorder transparency, bounded retention,
+    /// seeded-stall black-box dump, and sentinel quietness over the
+    /// committed bench baselines (pass 11; the sentinel half is
+    /// clean-skipped without a workspace root).
+    pub probe: probe::ProbeContractReport,
 }
 
 impl AuditReport {
@@ -159,6 +174,7 @@ impl AuditReport {
             && self.simd.is_clean()
             && self.serve.is_clean()
             && self.form.is_clean()
+            && self.probe.is_clean()
     }
 
     /// Total violation count (a race counts once, a shard violation once).
@@ -174,12 +190,14 @@ impl AuditReport {
             + self.simd.violations.len()
             + self.serve.violations.len()
             + self.form.violations.len()
+            + self.probe.violations.len()
     }
 }
 
 /// Runs all passes on the canonical fixture. `workspace_root` enables the
-/// workspace-gated passes (3, 7, 8 and 9's bench half; pass it `None` when the sources
-/// aren't on disk, e.g. from an installed binary).
+/// workspace-gated passes (3, 7, 8, 9's bench half and 11's sentinel
+/// half; pass it `None` when the sources aren't on disk, e.g. from an
+/// installed binary).
 pub fn run_audit(workspace_root: Option<&Path>) -> AuditReport {
     let fx = Fixture::new();
     let input = fx.input();
@@ -202,6 +220,7 @@ pub fn run_audit(workspace_root: Option<&Path>) -> AuditReport {
         simd: simd::check_workspace_simd(workspace_root),
         serve: serve::check_serve(workspace_root),
         form: form::check_form(&input),
+        probe: probe::check_probe(&input, workspace_root),
     }
 }
 

@@ -1,4 +1,4 @@
-//! The static-analysis audit: runs all ten `alya-analyze` passes and
+//! The static-analysis audit: runs all eleven `alya-analyze` passes and
 //! exits nonzero on any violation, so CI can gate on it.
 //!
 //! Usage:
@@ -27,6 +27,9 @@
 //!                                        # the pass-9 isolation check
 //! audit --seed-violation ir-contract-drift # perturb a derived contract;
 //!                                        # expect the pass-10 parity check
+//! audit --seed-violation perf-regression # skew the live throughput against
+//!                                        # the committed baselines; expect
+//!                                        # the pass-11 sentinel to fire
 //! ```
 //!
 //! The `--seed-violation` modes are self-tests of the analyzer: they inject
@@ -38,7 +41,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use alya_analyze::{comm, contracts, form, races, serve, simd, sources, telemetry, Fixture};
+use alya_analyze::{comm, contracts, form, probe, races, serve, simd, sources, telemetry, Fixture};
 use alya_core::drivers::{trace_element, ThroughputDb};
 use alya_core::layout::{self, Layout};
 use alya_core::{DistributedDriver, HaloFault, Variant};
@@ -147,6 +150,10 @@ fn full_audit() -> ExitCode {
         }
     }
 
+    println!("\nprobe contract audit");
+    println!("====================");
+    println!("  {}", report.probe);
+
     if report.is_clean() {
         println!("\naudit clean");
         ExitCode::SUCCESS
@@ -238,6 +245,9 @@ fn list_modes() -> ExitCode {
     println!("  10 IR derivation        every variant derived from the one symbolic base form:");
     println!("                          generated event streams, bitwise whole-mesh output and");
     println!("                          trace-derived contracts all equal to handwritten truth");
+    println!("  11 probe contract       flight recorder bitwise-transparent and bounded, seeded");
+    println!("                          stalls leave a diagnosing black-box dump, and the perf");
+    println!("                          sentinel stays quiet on the committed bench baselines");
     println!("seed modes (--seed-violation <mode>, exit 0 iff caught):");
     for (mode, what) in SEED_MODES {
         println!("  {mode:<19} {what}");
@@ -297,6 +307,10 @@ const SEED_MODES: &[(&str, &str)] = &[
     (
         "ir-contract-drift",
         "perturb a derived contract off the hand-maintained table; pass 10 must flag the drift",
+    ),
+    (
+        "perf-regression",
+        "skew the live throughput to half its committed baseline; the pass-11 sentinel must fire",
     ),
 ];
 
@@ -542,6 +556,46 @@ fn seeded(mode: &str) -> ExitCode {
             let report = serve::check_report(&serve::run_pool_scenario(true));
             println!("{report}");
             !report.is_clean() && report.violations.iter().all(|v| v.contains("isolation"))
+        }
+        "perf-regression" => {
+            // Arm the sentinel from the committed bench reports and
+            // confirm it is quiet, then replay the same keys with every
+            // throughput halved — the drift a broken dispatch or a
+            // silently degraded machine would produce. Every skewed row
+            // (and nothing else) must fire the sentinel.
+            let root = sources::workspace_root_from(env!("CARGO_MANIFEST_DIR"));
+            let Some(pairs) = probe::sentinel_pairs_from_workspace(&root) else {
+                eprintln!("no committed bench reports to arm the sentinel from");
+                return ExitCode::FAILURE;
+            };
+            let (baselines, quiet) = probe::check_sentinel_pairs(&pairs);
+            if baselines == 0 || !quiet.is_empty() {
+                eprintln!("committed baselines unexpectedly noisy: {quiet:?}");
+                return ExitCode::FAILURE;
+            }
+            let skewed: Vec<probe::SentinelPair> = pairs
+                .iter()
+                .map(|p| probe::SentinelPair {
+                    key: p.key.clone(),
+                    expected: p.expected,
+                    measured: if p.key.starts_with("melem_per_s/") {
+                        0.5 * p.measured
+                    } else {
+                        p.measured
+                    },
+                })
+                .collect();
+            let (_, drifts) = probe::check_sentinel_pairs(&skewed);
+            for d in &drifts {
+                println!("{d}");
+            }
+            let melem_rows = skewed
+                .iter()
+                .filter(|p| p.key.starts_with("melem_per_s/"))
+                .count();
+            melem_rows > 0
+                && drifts.len() == melem_rows
+                && drifts.iter().all(|d| d.contains("melem_per_s/"))
         }
         other => {
             eprintln!("unknown seed mode {other:?}; run `audit --list` for the full table");

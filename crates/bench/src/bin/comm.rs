@@ -22,6 +22,8 @@
 //! comm --elems 200000          # override the element target
 //! comm --samples 7             # timed iterations per rank count
 //! comm --json PATH             # write the JSON report to PATH
+//! comm --probe-dump PATH       # write the flight recorder's black box
+//!                              # at exit (plus PATH.trace.json)
 //! comm --trace PATH            # dump the run's telemetry spans as
 //!                              # chrome trace JSON (chrome://tracing)
 //! ```
@@ -55,6 +57,7 @@ struct Args {
     samples: usize,
     json: Option<String>,
     trace: Option<String>,
+    probe_dump: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -62,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
     let mut samples = None;
     let mut json = None;
     let mut trace = None;
+    let mut probe_dump = None;
     let mut quick = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -77,6 +81,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => json = Some(it.next().ok_or("--json needs a path")?),
             "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?),
+            "--probe-dump" => {
+                probe_dump = Some(it.next().ok_or("--probe-dump needs a path")?);
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -89,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
         }),
         json,
         trace,
+        probe_dump,
     })
 }
 
@@ -138,11 +146,15 @@ fn main() {
         Err(e) => {
             eprintln!("{e}");
             eprintln!(
-                "usage: comm [--quick] [--elems N] [--samples N] [--json PATH] [--trace PATH]"
+                "usage: comm [--quick] [--elems N] [--samples N] [--json PATH] [--trace PATH] \
+                 [--probe-dump PATH]"
             );
             std::process::exit(1);
         }
     };
+    // Register the recorder's telemetry sink before the first span so
+    // --probe-dump captures the whole sweep.
+    alya_probe::init();
     // The session stays open for the whole sweep: the blocked-wait
     // numbers come from its counters, and --trace dumps its spans.
     let session = telemetry::session();
@@ -260,6 +272,9 @@ fn main() {
             println!("\nwrote {path}");
         }
         None => println!("\n(re-run with --json PATH to persist the report)"),
+    }
+    if let Some(path) = &args.probe_dump {
+        alya_bench::blackbox::write_probe_dump(path, "comm bench exit");
     }
 }
 

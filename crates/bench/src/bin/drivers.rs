@@ -20,6 +20,8 @@
 //! drivers --json PATH          # write the JSON report to PATH
 //! drivers --trace PATH         # dump the run's telemetry spans as
 //!                              # chrome trace JSON (chrome://tracing)
+//! drivers --probe-dump PATH    # write the flight recorder's black box
+//!                              # at exit (plus PATH.trace.json)
 //! drivers --assert-packed      # exit nonzero unless the packed serial
 //!                              # path beats scalar at one thread (CI)
 //! ```
@@ -55,6 +57,7 @@ struct Args {
     variants: Vec<Variant>,
     json: Option<String>,
     trace: Option<String>,
+    probe_dump: Option<String>,
     assert_packed: bool,
 }
 
@@ -92,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
     let mut variants = None;
     let mut json = None;
     let mut trace = None;
+    let mut probe_dump = None;
     let mut quick = false;
     let mut assert_packed = false;
     let mut it = std::env::args().skip(1);
@@ -125,6 +129,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => json = Some(it.next().ok_or("--json needs a path")?),
             "--trace" => trace = Some(it.next().ok_or("--trace needs a path")?),
+            "--probe-dump" => {
+                probe_dump = Some(it.next().ok_or("--probe-dump needs a path")?);
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -139,6 +146,7 @@ fn parse_args() -> Result<Args, String> {
         variants: variants.unwrap_or_else(|| vec![Variant::Rsp, Variant::Rspr]),
         json,
         trace,
+        probe_dump,
         assert_packed,
     })
 }
@@ -184,14 +192,21 @@ fn main() {
             eprintln!("{e}");
             eprintln!(
                 "usage: drivers [--quick] [--elems N] [--samples N] [--threads LIST] \
-                 [--variants LIST] [--json PATH] [--trace PATH] [--assert-packed]"
+                 [--variants LIST] [--json PATH] [--trace PATH] [--probe-dump PATH] \
+                 [--assert-packed]"
             );
             std::process::exit(1);
         }
     };
+    // Register the recorder's telemetry sink before the first span so
+    // --probe-dump captures the whole sweep.
+    alya_probe::init();
     // A telemetry session costs one span per timed assembly, nothing in
-    // the hot loops — only opened when a trace was asked for.
-    let session = args.trace.as_ref().map(|_| alya_telemetry::session());
+    // the hot loops — only opened when an observer asked for it. The
+    // flight recorder sees this bench exclusively through the telemetry
+    // sink (no distributed stages here), so --probe-dump needs the
+    // session too or the black box comes back empty.
+    let session = (args.trace.is_some() || args.probe_dump.is_some()).then(alya_telemetry::session);
 
     let case = Case::bolund(args.elems);
     let ne = case.mesh.num_elements();
@@ -322,6 +337,9 @@ fn main() {
             println!("\nwrote {path}");
         }
         None => println!("\n(re-run with --json PATH to persist the report)"),
+    }
+    if let Some(path) = &args.probe_dump {
+        alya_bench::blackbox::write_probe_dump(path, "drivers bench exit");
     }
 
     if args.assert_packed && !packed_beats_scalar(&rows) {

@@ -27,6 +27,10 @@
 //! serve --steps 4              # work items per session
 //! serve --elems 2000           # case-mesh element target
 //! serve --json PATH            # write the JSON report to PATH
+//! serve --top                  # print a top-style per-tenant snapshot
+//!                              # after each level
+//! serve --probe-dump PATH      # write the flight recorder's black box
+//!                              # at exit (plus PATH.trace.json)
 //! ```
 
 use std::fmt::Write as _;
@@ -51,6 +55,8 @@ struct Args {
     steps: u32,
     max_sessions: usize,
     json: Option<String>,
+    top: bool,
+    probe_dump: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +64,8 @@ fn parse_args() -> Result<Args, String> {
     let mut steps = None;
     let mut max_sessions = None;
     let mut json = None;
+    let mut top = false;
+    let mut probe_dump = None;
     let mut quick = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -76,6 +84,10 @@ fn parse_args() -> Result<Args, String> {
                 max_sessions = Some(v.parse::<usize>().map_err(|e| format!("--sessions: {e}"))?);
             }
             "--json" => json = Some(it.next().ok_or("--json needs a path")?),
+            "--top" => top = true,
+            "--probe-dump" => {
+                probe_dump = Some(it.next().ok_or("--probe-dump needs a path")?);
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -84,6 +96,8 @@ fn parse_args() -> Result<Args, String> {
         steps: steps.unwrap_or(if quick { QUICK_STEPS } else { DEFAULT_STEPS }),
         max_sessions: max_sessions.unwrap_or(512),
         json,
+        top,
+        probe_dump,
     })
 }
 
@@ -103,7 +117,7 @@ struct Row {
     warm_binds: u64,
 }
 
-fn run_level(level: usize, case: &Arc<SharedCase>, steps: u32) -> Row {
+fn run_level(level: usize, case: &Arc<SharedCase>, steps: u32, top: bool) -> Row {
     let ntenants = TENANTS.min(level).max(1);
     let service = Service::new(ServiceConfig {
         pool: PoolConfig {
@@ -168,6 +182,9 @@ fn run_level(level: usize, case: &Arc<SharedCase>, steps: u32) -> Row {
         );
         std::process::exit(1);
     }
+    if top {
+        print!("{}", service.top_snapshot(elapsed));
+    }
 
     Row {
         sessions: level,
@@ -192,11 +209,15 @@ fn main() {
         Err(e) => {
             eprintln!("{e}");
             eprintln!(
-                "usage: serve [--quick] [--sessions N] [--steps N] [--elems N] [--json PATH]"
+                "usage: serve [--quick] [--sessions N] [--steps N] [--elems N] [--json PATH] \
+                 [--top] [--probe-dump PATH]"
             );
             std::process::exit(1);
         }
     };
+    // Register the recorder's telemetry sink before the first span so
+    // --probe-dump captures the whole run.
+    alya_probe::init();
     let case = Case::bolund(args.elems);
     let mut cfg = StepConfig::default();
     cfg.dt = 5e-4;
@@ -222,7 +243,7 @@ fn main() {
         if level > args.max_sessions {
             continue;
         }
-        let row = run_level(level, &shared, args.steps);
+        let row = run_level(level, &shared, args.steps, args.top);
         println!(
             "  {:>4} sessions × {} tenants: {:>8.1} sessions/s  {:>8.1} items/s  \
              p50 {:.3} ms  p99 {:.3} ms  spread {:.3}  warm {} cold-steady {}",
@@ -246,6 +267,9 @@ fn main() {
             println!("\nwrote {path}");
         }
         None => println!("\n(re-run with --json PATH to persist the report)"),
+    }
+    if let Some(path) = &args.probe_dump {
+        alya_bench::blackbox::write_probe_dump(path, "serve bench exit");
     }
 }
 

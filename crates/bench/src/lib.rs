@@ -21,6 +21,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod blackbox;
 pub mod case;
 pub mod harness;
 pub mod paper;

@@ -33,6 +33,7 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
 use alya_machine::par;
+use alya_probe as probe;
 use alya_telemetry as telemetry;
 use alya_telemetry::{Metric, Scope};
 
@@ -279,6 +280,7 @@ impl<M: Payload> RankHandle<M> {
             Ok(()) => {
                 self.stats.sent[to as usize].record(bytes);
                 telemetry::add(Scope::GLOBAL, Metric::HaloBytesPosted, bytes);
+                probe::note_comm_post(to, bytes);
                 true
             }
             Err(_) => {
@@ -363,7 +365,9 @@ impl<M: Payload> RankHandle<M> {
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break None,
             }
         };
-        self.note_blocked(start.elapsed());
+        let waited = start.elapsed();
+        self.note_blocked(waited);
+        probe::note_comm_block(peer, waited.as_nanos() as u64, got.is_some());
         if let Some(msg) = &got {
             self.account_received(peer, msg);
         }
@@ -598,6 +602,7 @@ impl Communicator {
             // thread); the guard restores the caller's row because a
             // single-rank run executes on the calling thread.
             let _track = telemetry::set_thread_track(r as u32 + 1, &format!("rank {r}"));
+            probe::set_thread_rank(r as u32);
             let result = f(r as u32, &mut handle);
             (result, handle.finish())
         });

@@ -62,6 +62,7 @@ use alya_comm::{
 use alya_fem::VectorField;
 use alya_machine::NoRecord;
 use alya_mesh::{ExchangePlan, Partition, Shard, ShardSet, TetMesh};
+use alya_probe as probe;
 use alya_sched::{Pipeline, SchedTrace, StageStatus, Stall, Watchdog};
 use alya_telemetry as telemetry;
 
@@ -419,7 +420,14 @@ impl DistributedDriver {
                 }
             }
             match stall {
-                Some(s) => Err(s),
+                Some(s) => {
+                    // Black-box the whole fleet while the evidence is
+                    // fresh: every rank's ring still holds the events
+                    // leading up to the stall (the stalled rank's trail
+                    // of comm timeouts names the rank it waited on).
+                    probe::capture(&format!("watchdog stall: {s}"));
+                    Err(s)
+                }
                 None => Ok((rhs, run.report, traces)),
             }
         })

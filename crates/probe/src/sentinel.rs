@@ -1,0 +1,228 @@
+//! The performance-regression sentinel: committed baselines and
+//! closed-form predictions in, structured drift warnings out.
+//!
+//! The bench suite commits measured baselines (`BENCH_drivers.json`,
+//! `BENCH_comm.json`, `BENCH_serve.json`) and the analyzer pins live
+//! counters to closed forms — but until now nothing compared a *live*
+//! run against them while it ran: a 2x throughput regression shipped
+//! silently as long as bitwise tests passed. A [`Sentinel`] holds the
+//! baseline table, watches observations, and flags every value outside
+//! the configured relative band. Each drift is recorded three ways: as
+//! a structured [`Drift`] for callers, as a flight-recorder event
+//! ([`crate::note_drift`]), and as a `telemetry::warn` so it lands in
+//! session reports. Analyzer pass 11 proves the sentinel is silent on
+//! the committed baselines themselves and fires on a seeded skew.
+
+use alya_telemetry as telemetry;
+
+/// Default relative drift band: live values within ±30% of baseline
+/// are considered in-family (bench noise across hosts is real; the
+/// sentinel hunts regressions, not jitter).
+pub const DEFAULT_BAND: f64 = 0.30;
+
+/// One observation outside the band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    /// Baseline key (e.g. `melem_per_s/serial/RSPR/1`).
+    pub key: String,
+    /// Committed/predicted value.
+    pub expected: f64,
+    /// Live value.
+    pub measured: f64,
+    /// `measured / expected` (1.0 = exactly on baseline).
+    pub ratio: f64,
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: measured {:.4} vs baseline {:.4} ({:.1}% of baseline)",
+            self.key,
+            self.measured,
+            self.expected,
+            self.ratio * 100.0
+        )
+    }
+}
+
+/// A baseline table plus the drifts observed against it.
+#[derive(Debug, Clone, Default)]
+pub struct Sentinel {
+    band: f64,
+    baselines: Vec<(String, f64)>,
+    drifts: Vec<Drift>,
+    observed: usize,
+}
+
+impl Sentinel {
+    /// A sentinel with the [`DEFAULT_BAND`].
+    pub fn new() -> Self {
+        Self::with_band(DEFAULT_BAND)
+    }
+
+    /// A sentinel accepting live values within `±band` (relative) of
+    /// baseline.
+    pub fn with_band(band: f64) -> Self {
+        Self {
+            band: band.max(0.0),
+            baselines: Vec::new(),
+            drifts: Vec::new(),
+            observed: 0,
+        }
+    }
+
+    /// Registers (or overwrites) the baseline for `key`.
+    pub fn baseline(&mut self, key: &str, expected: f64) {
+        match self.baselines.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = expected,
+            None => self.baselines.push((key.to_string(), expected)),
+        }
+    }
+
+    /// The registered baseline for `key`, if any.
+    pub fn expected(&self, key: &str) -> Option<f64> {
+        self.baselines
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| *v)
+    }
+
+    /// Number of baselines registered.
+    pub fn num_baselines(&self) -> usize {
+        self.baselines.len()
+    }
+
+    /// Number of observations checked so far.
+    pub fn num_observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Holds a live value against its baseline. Returns the [`Drift`]
+    /// when the value falls outside the band (also recorded in the
+    /// flight recorder and on the telemetry warn channel). Unknown keys
+    /// and zero baselines with zero measurements are in-family.
+    pub fn observe(&mut self, key: &str, measured: f64) -> Option<Drift> {
+        let expected = self.expected(key)?;
+        self.observed += 1;
+        let ratio = if expected == 0.0 {
+            if measured == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            measured / expected
+        };
+        if (ratio - 1.0).abs() <= self.band {
+            return None;
+        }
+        let drift = Drift {
+            key: key.to_string(),
+            expected,
+            measured,
+            ratio,
+        };
+        let permille = if ratio.is_finite() {
+            (ratio * 1000.0).clamp(0.0, u64::MAX as f64) as u64
+        } else {
+            u64::MAX
+        };
+        crate::note_drift(key, permille);
+        telemetry::warn(format!("perf sentinel: {drift}"));
+        self.drifts.push(drift.clone());
+        Some(drift)
+    }
+
+    /// Every drift observed so far, in observation order.
+    pub fn drifts(&self) -> &[Drift] {
+        &self.drifts
+    }
+
+    /// Whether every observation so far stayed inside the band.
+    pub fn is_quiet(&self) -> bool {
+        self.drifts.is_empty()
+    }
+}
+
+/// A `top`-style live service sample — the per-tenant snapshot `serve`
+/// renders periodically (throughput, latency quantiles, fairness,
+/// cold/warm bind ratio). Built by `alya-serve`, checked by callers.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceSample {
+    /// Sample window, seconds.
+    pub elapsed_s: f64,
+    /// p50 work-item latency, milliseconds.
+    pub p50_step_ms: f64,
+    /// p99 work-item latency, milliseconds.
+    pub p99_step_ms: f64,
+    /// Weight-normalized fairness spread (0 = perfectly fair).
+    pub fairness_spread: f64,
+    /// Cold solver builds since service start.
+    pub cold_builds: u64,
+    /// Warm pooled binds since service start.
+    pub warm_binds: u64,
+    /// Per-tenant rows: (name, active sessions, retired sessions,
+    /// steps, work done).
+    pub tenants: Vec<(String, u32, u64, u64, u64)>,
+}
+
+impl ServiceSample {
+    /// Warm binds as a fraction of all binds (1.0 = pure slot reuse).
+    pub fn warm_ratio(&self) -> f64 {
+        let total = self.cold_builds + self.warm_binds;
+        if total == 0 {
+            return 1.0;
+        }
+        self.warm_binds as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_inside_the_band_stay_quiet() {
+        let mut s = Sentinel::with_band(0.25);
+        s.baseline("melem_per_s/serial/RSPR/1", 7.2);
+        assert!(s.observe("melem_per_s/serial/RSPR/1", 7.2).is_none());
+        assert!(s.observe("melem_per_s/serial/RSPR/1", 6.0).is_none());
+        assert!(s.observe("unknown-key", 0.0).is_none());
+        assert!(s.is_quiet());
+        assert_eq!(s.num_observed(), 2);
+    }
+
+    #[test]
+    fn a_regression_outside_the_band_is_flagged_with_structure() {
+        let mut s = Sentinel::with_band(0.25);
+        s.baseline("melem_per_s/serial/RSPR/1", 8.0);
+        let d = s
+            .observe("melem_per_s/serial/RSPR/1", 4.0)
+            .expect("halved throughput must drift");
+        assert_eq!(d.expected, 8.0);
+        assert_eq!(d.measured, 4.0);
+        assert!((d.ratio - 0.5).abs() < 1e-12);
+        assert!(!s.is_quiet());
+        assert_eq!(s.drifts().len(), 1);
+    }
+
+    #[test]
+    fn inflation_drifts_too_and_zero_baselines_behave() {
+        let mut s = Sentinel::with_band(0.10);
+        s.baseline("halo_bytes/2", 0.0);
+        assert!(s.observe("halo_bytes/2", 0.0).is_none());
+        assert!(s.observe("halo_bytes/2", 12.0).is_some());
+        s.baseline("blocked_wait_s/4", 1.0e-2);
+        assert!(s.observe("blocked_wait_s/4", 2.0e-2).is_some());
+    }
+
+    #[test]
+    fn service_sample_warm_ratio() {
+        let mut sample = ServiceSample::default();
+        assert_eq!(sample.warm_ratio(), 1.0);
+        sample.cold_builds = 1;
+        sample.warm_binds = 3;
+        assert_eq!(sample.warm_ratio(), 0.75);
+    }
+}

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use alya_probe as probe;
 use alya_telemetry as telemetry;
 
 use crate::trace::{BufId, BufMeta, SchedEvent, SchedTrace, StageId, StageMeta};
@@ -232,6 +233,7 @@ impl<'a, C> Pipeline<'a, C> {
                 if !started[s] {
                     started[s] = true;
                     span_start[s] = telemetry::stamp();
+                    probe::note_stage_begin(self.stages[s].name);
                     trace.events.push(SchedEvent::Started { stage: s as u32 });
                 }
                 let status = {
@@ -260,6 +262,7 @@ impl<'a, C> Pipeline<'a, C> {
                             s as u32 + 1,
                             span_start[s],
                         );
+                        probe::note_stage_end(self.stages[s].name);
                         trace.events.push(SchedEvent::Retired { stage: s as u32 });
                         for (t, stage) in self.stages.iter().enumerate() {
                             if !enqueued[t] && stage.deps.iter().all(|&d| retired[d as usize]) {
@@ -290,11 +293,17 @@ impl<'a, C> Pipeline<'a, C> {
                         .filter(|&(s, _)| !retired[s])
                         .map(|(_, stage)| stage.name)
                         .collect();
-                    return Err(Stall {
+                    let stall = Stall {
                         pipeline: self.name,
                         stalled,
                         waited,
-                    });
+                    };
+                    // Leave the stall in this thread's flight-recorder
+                    // ring before unwinding: the black-box dump then
+                    // carries the watchdog's own verdict alongside the
+                    // raw event trail.
+                    probe::note_warn(&format!("watchdog: {stall}"));
+                    return Err(stall);
                 }
                 // Back off gently: yield first (another rank thread may be
                 // about to send), then sleep short slices so a genuinely

@@ -221,6 +221,9 @@ struct Registry {
     /// Live scoped windows, keyed by current session id.
     sessions: Mutex<BTreeMap<u64, Arc<SessionState>>>,
     warnings: Mutex<Vec<String>>,
+    /// Warnings the bounded channel had to drop since the last drain —
+    /// the channel never fails *silently* anymore.
+    warn_dropped: AtomicU64,
     next_span_id: AtomicU64,
     session_lock: Mutex<()>,
     clock: Instant,
@@ -240,6 +243,7 @@ impl Registry {
             next_session: AtomicU64::new(0),
             sessions: Mutex::new(BTreeMap::new()),
             warnings: Mutex::new(Vec::new()),
+            warn_dropped: AtomicU64::new(0),
             next_span_id: AtomicU64::new(0),
             session_lock: Mutex::new(()),
             clock: Instant::now(),
@@ -412,8 +416,61 @@ pub fn stamp() -> u64 {
     now_ns()
 }
 
-fn now_ns() -> u64 {
+/// Nanoseconds on the process-wide monotonic registry clock. This is the
+/// timeline every [`SpanRecord`] is stamped on; the probe flight recorder
+/// uses the same clock so black-box dumps and chrome traces align.
+pub fn now_ns() -> u64 {
     reg().clock.elapsed().as_nanos() as u64
+}
+
+/// A live telemetry event forwarded to the installed probe sink — the
+/// hook `alya-probe`'s flight recorder taps to see every span and
+/// warning without this crate depending on it.
+#[derive(Debug)]
+pub enum ProbeEvent<'a> {
+    /// A RAII span opened on the calling thread.
+    SpanBegin {
+        /// Span display name.
+        name: &'a str,
+        /// Open timestamp on the registry clock.
+        at_ns: u64,
+    },
+    /// A span completed (RAII drop or [`record_span_raw`]).
+    SpanEnd {
+        /// Span display name.
+        name: &'a str,
+        /// Start timestamp on the registry clock.
+        start_ns: u64,
+        /// End timestamp on the registry clock.
+        end_ns: u64,
+    },
+    /// A message pushed onto the warn channel (forwarded even when the
+    /// bounded channel itself had to drop it).
+    Warn {
+        /// The warning text.
+        message: &'a str,
+        /// Emission timestamp on the registry clock.
+        at_ns: u64,
+    },
+}
+
+/// A probe sink: a plain `fn` so forwarding is one indirect call and the
+/// recorder stays allocation-free on the hot side.
+pub type ProbeSink = fn(&ProbeEvent<'_>);
+
+static PROBE_SINK: OnceLock<ProbeSink> = OnceLock::new();
+
+/// Installs the process-wide probe sink (first caller wins; later calls
+/// are no-ops). `alya-probe` installs its flight recorder here.
+pub fn install_probe_sink(sink: ProbeSink) {
+    let _ = PROBE_SINK.set(sink);
+}
+
+#[inline]
+fn probe_forward(ev: &ProbeEvent<'_>) {
+    if let Some(fwd) = PROBE_SINK.get() {
+        fwd(ev);
+    }
 }
 
 /// One completed span on the shared timeline.
@@ -461,12 +518,18 @@ pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
         parent = t.stack.last().copied();
         t.stack.push(id);
     });
+    let name = name.into();
+    let start_ns = now_ns();
+    probe_forward(&ProbeEvent::SpanBegin {
+        name: &name,
+        at_ns: start_ns,
+    });
     Span {
         inner: Some(OpenSpan {
             id,
             parent,
-            name: name.into(),
-            start_ns: now_ns(),
+            name,
+            start_ns,
         }),
     }
 }
@@ -477,6 +540,11 @@ impl Drop for Span {
             return;
         };
         let end_ns = now_ns();
+        probe_forward(&ProbeEvent::SpanEnd {
+            name: &open.name,
+            start_ns: open.start_ns,
+            end_ns,
+        });
         with_shard(|shard, t| {
             // RAII discipline makes this a pop of our own id; a guard
             // outliving its parent is removed positionally.
@@ -506,6 +574,11 @@ pub fn record_span_raw(name: impl Into<Cow<'static, str>>, tid: u32, start_ns: u
     }
     let end_ns = now_ns();
     let name = name.into();
+    probe_forward(&ProbeEvent::SpanEnd {
+        name: &name,
+        start_ns,
+        end_ns,
+    });
     with_shard(|shard, t| {
         let id = reg().next_span_id.fetch_add(1, Ordering::Relaxed) + 1;
         lock(&shard.spans).push(SpanRecord {
@@ -571,20 +644,47 @@ pub fn set_track_label_here(tid: u32, label: &str) {
 
 /// Pushes a warning onto the registry's event channel (bounded; works
 /// with or without a live session) — the "never fail silently" path for
-/// configuration problems like an unreadable bench baseline.
+/// configuration problems like an unreadable bench baseline. When the
+/// channel is full the message is dropped but **counted**: the next
+/// [`drain_warnings`] surfaces the loss, and [`warn_overflow`] exposes
+/// the live count (the probe flight recorder puts it in every dump).
 pub fn warn(message: impl Into<String>) {
-    let mut w = lock(&reg().warnings);
+    let message = message.into();
+    probe_forward(&ProbeEvent::Warn {
+        message: &message,
+        at_ns: now_ns(),
+    });
+    let r = reg();
+    let mut w = lock(&r.warnings);
     if w.len() < MAX_WARNINGS {
         // alya:allow(hot-alloc): bounded (MAX_WARNINGS) config-problem
         // channel; warnings fire on rare setup errors, never per element.
-        w.push(message.into());
+        w.push(message);
+    } else {
+        r.warn_dropped.fetch_add(1, Ordering::Relaxed);
     }
 }
 
+/// Warnings dropped by the bounded channel since the last
+/// [`drain_warnings`] — zero in a healthy run.
+pub fn warn_overflow() -> u64 {
+    reg().warn_dropped.load(Ordering::Relaxed)
+}
+
 /// Takes every pending warning (oldest first). [`Session::finish`] also
-/// drains the channel into its report.
+/// drains the channel into its report. If the bounded channel dropped
+/// messages since the last drain, a final synthetic entry reports how
+/// many were lost, and the overflow counter resets.
 pub fn drain_warnings() -> Vec<String> {
-    std::mem::take(&mut *lock(&reg().warnings))
+    let r = reg();
+    let mut out = std::mem::take(&mut *lock(&r.warnings));
+    let dropped = r.warn_dropped.swap(0, Ordering::Relaxed);
+    if dropped > 0 {
+        out.push(format!(
+            "telemetry: {dropped} warning(s) dropped (bounded channel full at {MAX_WARNINGS})"
+        ));
+    }
+    out
 }
 
 /// Everything one session collected, deterministically merged.
